@@ -1,0 +1,143 @@
+// Package repro's top-level benchmarks regenerate every table and figure of
+// the paper's evaluation with `go test -bench`:
+//
+//	BenchmarkFig6Streaming        Fig. 6 (left):   runtime throughput, streaming
+//	BenchmarkFig6DoubleBuffering  Fig. 6 (middle): runtime throughput, double buffering
+//	BenchmarkFig6FFT              Fig. 6 (right):  runtime throughput, FFT (+ sequential)
+//	BenchmarkFig7Streaming        Fig. 7 (1): subtype-check time vs unrolls
+//	BenchmarkFig7NestedChoice     Fig. 7 (2): subtype-check time vs nesting depth
+//	BenchmarkFig7Ring             Fig. 7 (3): verification time vs participants
+//	BenchmarkFig7KBuffering       Fig. 7 (4): verification time vs buffers
+//	BenchmarkTable1               Table 1: full expressiveness classification
+//
+// Sub-benchmark names carry the series (tool or runtime) and the x value, so
+// `go test -bench Fig7Ring -benchmem` prints one row per plotted point. The
+// cmd/fig6, cmd/fig7 and cmd/table1 binaries print the same data as CSV.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// fig6Point runs one runtime benchmark configuration under b.N.
+func fig6Point(b *testing.B, work int, f func() (int, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		n, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.Fatal("no work performed")
+		}
+	}
+	// Report throughput in the paper's unit (items per microsecond).
+	b.ReportMetric(float64(work)*float64(b.N)/float64(b.Elapsed().Microseconds()+1), "n/us")
+}
+
+func BenchmarkFig6Streaming(b *testing.B) {
+	for _, rt := range bench.Runtimes {
+		for _, n := range []int{10, 30, 50} {
+			b.Run(fmt.Sprintf("%s/n=%d", rt, n), func(b *testing.B) {
+				fig6Point(b, n, func() (int, error) { return bench.Streaming(rt, n, 5) })
+			})
+		}
+	}
+}
+
+func BenchmarkFig6DoubleBuffering(b *testing.B) {
+	for _, rt := range bench.Runtimes {
+		for _, n := range []int{5000, 15000, 25000} {
+			b.Run(fmt.Sprintf("%s/n=%d", rt, n), func(b *testing.B) {
+				fig6Point(b, 2*n, func() (int, error) { return bench.DoubleBuffering(rt, n) })
+			})
+		}
+	}
+}
+
+func BenchmarkFig6FFT(b *testing.B) {
+	for _, rt := range bench.Runtimes {
+		for _, n := range []int{1000, 3000, 5000} {
+			b.Run(fmt.Sprintf("%s/n=%d", rt, n), func(b *testing.B) {
+				fig6Point(b, n, func() (int, error) { return bench.FFTParallel(rt, n) })
+			})
+		}
+	}
+	for _, n := range []int{1000, 3000, 5000} {
+		b.Run(fmt.Sprintf("rustfft-analogue/n=%d", n), func(b *testing.B) {
+			fig6Point(b, n, func() (int, error) { return bench.FFTSequential(n) })
+		})
+	}
+}
+
+// fig7Point times one verifier at one parameter value.
+func fig7Point(b *testing.B, f func() error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := f(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7Streaming(b *testing.B) {
+	for _, v := range []bench.Verifier{bench.SoundBinary, bench.KMC, bench.RumpsteakSubtyping} {
+		for _, n := range []int{0, 20, 50, 100} {
+			if v == bench.KMC && n > 50 {
+				continue // the global product exceeds a sensible bench budget
+			}
+			b.Run(fmt.Sprintf("%s/n=%d", v, n), func(b *testing.B) {
+				fig7Point(b, func() error { return bench.VerifyStreaming(v, n) })
+			})
+		}
+	}
+}
+
+func BenchmarkFig7NestedChoice(b *testing.B) {
+	for _, v := range []bench.Verifier{bench.SoundBinary, bench.KMC, bench.RumpsteakSubtyping} {
+		for n := 1; n <= 4; n++ {
+			b.Run(fmt.Sprintf("%s/n=%d", v, n), func(b *testing.B) {
+				fig7Point(b, func() error { return bench.VerifyNestedChoice(v, n) })
+			})
+		}
+	}
+}
+
+func BenchmarkFig7Ring(b *testing.B) {
+	for _, n := range []int{2, 4, 6, 8} {
+		b.Run(fmt.Sprintf("k-mc/n=%d", n), func(b *testing.B) {
+			fig7Point(b, func() error { return bench.VerifyRing(bench.KMC, n) })
+		})
+	}
+	// The local algorithm scales to the paper's full range.
+	for _, n := range []int{2, 10, 20, 30} {
+		b.Run(fmt.Sprintf("rumpsteak/n=%d", n), func(b *testing.B) {
+			fig7Point(b, func() error { return bench.VerifyRing(bench.RumpsteakSubtyping, n) })
+		})
+	}
+}
+
+func BenchmarkFig7KBuffering(b *testing.B) {
+	for _, n := range []int{0, 20, 50, 100} {
+		if n <= 20 {
+			b.Run(fmt.Sprintf("k-mc/n=%d", n), func(b *testing.B) {
+				fig7Point(b, func() error { return bench.VerifyKBuffering(bench.KMC, n) })
+			})
+		}
+		b.Run(fmt.Sprintf("rumpsteak/n=%d", n), func(b *testing.B) {
+			fig7Point(b, func() error { return bench.VerifyKBuffering(bench.RumpsteakSubtyping, n) })
+		})
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table1()
+		if len(rows) != 17 {
+			b.Fatalf("expected 17 rows, got %d", len(rows))
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Command fig6 regenerates the three runtime-throughput plots of Fig. 6:
+// streaming, double buffering and FFT, across the five runtime designs
+// (plus the sequential FFT baseline). Output is a CSV (or aligned table)
+// with one column per design — the same series the paper plots.
+//
+// Usage:
+//
+//	fig6 [-exp streaming|doublebuffer|fft|all] [-reps 3] [-format csv|table]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fig6: ")
+	exp := flag.String("exp", "all", "experiment: streaming, doublebuffer, fft or all")
+	reps := flag.Int("reps", 3, "repetitions per point (best-of)")
+	format := flag.String("format", "table", "output format: csv or table")
+	flag.Parse()
+
+	run := func(name string) {
+		var series []bench.Series
+		var xLabel string
+		var err error
+		switch name {
+		case "streaming":
+			xLabel = "values_n"
+			series, err = streaming(*reps)
+		case "doublebuffer":
+			xLabel = "buffer_n"
+			series, err = doubleBuffer(*reps)
+		case "fft":
+			xLabel = "columns_n"
+			series, err = fftSeries(*reps)
+		default:
+			log.Fatalf("unknown experiment %q", name)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# Fig. 6 — %s (throughput, n per microsecond; higher is better)\n", name)
+		if *format == "csv" {
+			err = bench.WriteCSV(os.Stdout, xLabel, series)
+		} else {
+			err = bench.WriteTable(os.Stdout, xLabel, series)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"streaming", "doublebuffer", "fft"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}
+
+// throughput converts (work n, duration) into the paper's n/µs unit.
+func throughput(n int, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(n) / (seconds * 1e6)
+}
+
+func streaming(reps int) ([]bench.Series, error) {
+	xs := []int{10, 20, 30, 40, 50}
+	var out []bench.Series
+	for _, rt := range bench.Runtimes {
+		s := bench.Series{Name: rt.String()}
+		for _, n := range xs {
+			d, err := bench.TimeBest(reps, func() error {
+				_, err := bench.Streaming(rt, n, 5)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, bench.Point{X: n, Y: throughput(n, d.Seconds())})
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func doubleBuffer(reps int) ([]bench.Series, error) {
+	xs := []int{5000, 10000, 15000, 20000, 25000}
+	var out []bench.Series
+	for _, rt := range bench.Runtimes {
+		s := bench.Series{Name: rt.String()}
+		for _, n := range xs {
+			d, err := bench.TimeBest(reps, func() error {
+				_, err := bench.DoubleBuffering(rt, n)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, bench.Point{X: n, Y: throughput(2*n, d.Seconds())})
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func fftSeries(reps int) ([]bench.Series, error) {
+	xs := []int{1000, 2000, 3000, 4000, 5000}
+	var out []bench.Series
+	for _, rt := range bench.Runtimes {
+		s := bench.Series{Name: rt.String()}
+		for _, n := range xs {
+			d, err := bench.TimeBest(reps, func() error {
+				_, err := bench.FFTParallel(rt, n)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, bench.Point{X: n, Y: throughput(n, d.Seconds())})
+		}
+		out = append(out, s)
+	}
+	seq := bench.Series{Name: "rustfft-analogue"}
+	for _, n := range xs {
+		d, err := bench.TimeBest(reps, func() error {
+			_, err := bench.FFTSequential(n)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		seq.Points = append(seq.Points, bench.Point{X: n, Y: throughput(n, d.Seconds())})
+	}
+	return append(out, seq), nil
+}

@@ -1,0 +1,123 @@
+// Command fig7 regenerates the four verification-scalability plots of
+// Fig. 7: streaming unrolls, nested choice, ring size and k-buffering, each
+// comparing this paper's asynchronous subtyping algorithm against the
+// SoundBinary and k-MC baselines. Output is running time in seconds per
+// parameter value, one column per tool — the paper's series.
+//
+// Usage:
+//
+//	fig7 [-exp streaming|nested|ring|kbuffering|all] [-max N] [-format csv|table]
+//
+// The default ranges follow the paper where feasible; the exhaustive k-MC
+// baseline is exponential, so its ring and nested-choice ranges are truncated
+// at the point where a single check exceeds the -timeout budget (the paper's
+// Haskell tool has the same growth, just a faster constant; see
+// EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+var timeout = flag.Duration("timeout", 20*time.Second, "per-point budget; a series stops once one check exceeds it")
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fig7: ")
+	exp := flag.String("exp", "all", "experiment: streaming, nested, ring, kbuffering or all")
+	maxN := flag.Int("max", 0, "largest parameter value (0 = paper default)")
+	reps := flag.Int("reps", 1, "repetitions per point (best-of)")
+	format := flag.String("format", "table", "output format: csv or table")
+	flag.Parse()
+
+	run := func(name string) {
+		var series []bench.Series
+		var xLabel string
+		switch name {
+		case "streaming":
+			xLabel = "unrolls_n"
+			series = sweep(*reps, pick(*maxN, 100), 10, []bench.Verifier{bench.SoundBinary, bench.KMC, bench.RumpsteakSubtyping}, bench.VerifyStreaming)
+		case "nested":
+			xLabel = "levels_n"
+			series = sweepFrom(*reps, 1, pick(*maxN, 5), 1, []bench.Verifier{bench.SoundBinary, bench.KMC, bench.RumpsteakSubtyping}, bench.VerifyNestedChoice)
+		case "ring":
+			xLabel = "participants_n"
+			series = sweepFrom(*reps, 2, pick(*maxN, 30), 2, []bench.Verifier{bench.KMC, bench.RumpsteakSubtyping}, bench.VerifyRing)
+		case "kbuffering":
+			xLabel = "unrolls_n"
+			series = sweep(*reps, pick(*maxN, 100), 10, []bench.Verifier{bench.KMC, bench.RumpsteakSubtyping}, bench.VerifyKBuffering)
+		default:
+			log.Fatalf("unknown experiment %q", name)
+		}
+		fmt.Printf("# Fig. 7 — %s (verification time in seconds; lower is better)\n", name)
+		var err error
+		if *format == "csv" {
+			err = bench.WriteCSV(os.Stdout, xLabel, series)
+		} else {
+			err = bench.WriteTable(os.Stdout, xLabel, series)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"streaming", "nested", "ring", "kbuffering"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}
+
+func pick(override, def int) int {
+	if override > 0 {
+		return override
+	}
+	return def
+}
+
+func sweep(reps, max, step int, vs []bench.Verifier, f func(bench.Verifier, int) error) []bench.Series {
+	return sweepFrom(reps, 0, max, step, vs, f)
+}
+
+// sweepFrom times f for each verifier at n = from, from+step, ..., max. A
+// verifier's series stops early when a point exceeds the timeout, or when the
+// observed growth rate predicts the next point would — the exponential
+// baselines would otherwise dominate the run (the paper's own Haskell tools
+// behave the same way; only the constant differs).
+func sweepFrom(reps, from, max, step int, vs []bench.Verifier, f func(bench.Verifier, int) error) []bench.Series {
+	var out []bench.Series
+	for _, v := range vs {
+		s := bench.Series{Name: v.String()}
+		var prev time.Duration
+		for n := from; n <= max; n += step {
+			d, err := bench.TimeBest(reps, func() error { return f(v, n) })
+			if err != nil {
+				log.Fatalf("%s at n=%d: %v", v, n, err)
+			}
+			s.Points = append(s.Points, bench.Point{X: n, Y: d.Seconds()})
+			if d > *timeout {
+				log.Printf("%s stopped at n=%d (%.1fs > budget)", v, n, d.Seconds())
+				break
+			}
+			if prev > time.Microsecond && d > 10*time.Millisecond {
+				growth := float64(d) / float64(prev)
+				if time.Duration(float64(d)*growth) > *timeout {
+					log.Printf("%s stopped after n=%d (next point projected > budget)", v, n)
+					break
+				}
+			}
+			prev = d
+		}
+		out = append(out, s)
+	}
+	return out
+}

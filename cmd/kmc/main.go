@@ -1,0 +1,81 @@
+// Command kmc is the command-line front end to the k-multiparty
+// compatibility checker (§2.2, §4.2). A system is given as alternating
+// role / local-type arguments, or by naming a Table 1 protocol:
+//
+//	kmc -k 2 p 'q!l1.q?l2.end' q 'p!l2.p?l1.end'
+//	kmc -protocol "Optimised Double Buffering" -k 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/fsm"
+	"repro/internal/kmc"
+	"repro/internal/protocols"
+	"repro/internal/types"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kmc: ")
+	k := flag.Int("k", 1, "queue bound (with -upto, the largest bound tried)")
+	upto := flag.Bool("upto", false, "try k = 1..k until the system is compatible")
+	proto := flag.String("protocol", "", "check a named Table 1 protocol's executed system")
+	flag.Parse()
+
+	var machines []*fsm.FSM
+	if *proto != "" {
+		entry, ok := findProtocol(*proto)
+		if !ok {
+			log.Fatalf("unknown protocol %q; see cmd/table1 for the registry", *proto)
+		}
+		machines = protocols.Machines(protocols.FSMs(entry.System()))
+	} else {
+		args := flag.Args()
+		if len(args) == 0 || len(args)%2 != 0 {
+			log.Fatal("expected alternating role and local-type arguments")
+		}
+		for i := 0; i < len(args); i += 2 {
+			role := types.Role(args[i])
+			t, err := types.Parse(args[i+1])
+			if err != nil {
+				log.Fatalf("parsing type for %s: %v", role, err)
+			}
+			m, err := fsm.FromLocal(role, t)
+			if err != nil {
+				log.Fatalf("machine for %s: %v", role, err)
+			}
+			machines = append(machines, m)
+		}
+	}
+
+	sys, err := kmc.NewSystem(machines...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var res kmc.Result
+	usedK := *k
+	if *upto {
+		usedK, res = kmc.CheckUpTo(sys, *k)
+	} else {
+		res = kmc.Check(sys, *k)
+	}
+	if res.OK {
+		fmt.Printf("OK: system is %d-multiparty compatible (%d configurations explored)\n", usedK, res.Configs)
+		return
+	}
+	fmt.Printf("REJECTED at k=%d: %s\n", usedK, res.Violation.Error())
+	os.Exit(1)
+}
+
+func findProtocol(name string) (protocols.Entry, bool) {
+	for _, e := range protocols.Registry() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return protocols.Entry{}, false
+}

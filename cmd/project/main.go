@@ -1,0 +1,75 @@
+// Command project plays the role of the νScr toolchain (§2.1): it parses a
+// Scribble protocol description (or a global-type literal) and prints the
+// projection for each role, as a local type or as a Graphviz DOT machine.
+//
+//	project -scribble protocol.scr
+//	project -global 'mu x.k->s:ready.s->k:value.t->k:ready.k->t:value.x'
+//	project -global '...' -role k -dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/fsm"
+	"repro/internal/project"
+	"repro/internal/scribble"
+	"repro/internal/types"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("project: ")
+	scribbleFile := flag.String("scribble", "", "Scribble protocol file")
+	global := flag.String("global", "", "global type literal")
+	role := flag.String("role", "", "project only this role (default: all)")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT machines instead of local types")
+	flag.Parse()
+
+	var g types.Global
+	switch {
+	case *scribbleFile != "" && *global != "":
+		log.Fatal("give either -scribble or -global, not both")
+	case *scribbleFile != "":
+		data, err := os.ReadFile(*scribbleFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := scribble.Parse(string(data))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("// protocol %s\n", p.Name)
+		g = p.Global
+	case *global != "":
+		var err error
+		g, err = types.ParseGlobal(*global)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("missing -scribble or -global")
+	}
+
+	roles := types.Roles(g)
+	if *role != "" {
+		roles = []types.Role{types.Role(*role)}
+	}
+	for _, r := range roles {
+		local, err := project.Project(g, r)
+		if err != nil {
+			log.Fatalf("projecting onto %s: %v", r, err)
+		}
+		if *dot {
+			m, err := fsm.FromLocal(r, local)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(m.Dot())
+			continue
+		}
+		fmt.Printf("%s: %s\n", r, local)
+	}
+}

@@ -1,0 +1,55 @@
+// Command soundbinary is the command-line front end to the SoundBinary
+// baseline: sound *binary* asynchronous session subtyping in the style of
+// Bravetti et al., as benchmarked in §4.2. Unlike cmd/subtype it supports
+// unbounded accumulation for two-party types (e.g. the Hospital example)
+// but rejects any multiparty type.
+//
+//	soundbinary -sub 'mu t.h!{d.t, stop.mu u.h?{ok.u, done.end}}' \
+//	            -sup 'mu t.h!{d.h?ok.t, stop.h?done.end}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/soundbinary"
+	"repro/internal/types"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("soundbinary: ")
+	sub := flag.String("sub", "", "candidate subtype (local type literal)")
+	sup := flag.String("sup", "", "supertype (local type literal)")
+	role := flag.String("role", "self", "role name used when converting types to machines")
+	budget := flag.Int("budget", 0, "simulation step budget (0 = default)")
+	stats := flag.Bool("stats", false, "print step statistics")
+	flag.Parse()
+
+	if *sub == "" || *sup == "" {
+		log.Fatal("missing -sub or -sup")
+	}
+	subT, err := types.Parse(*sub)
+	if err != nil {
+		log.Fatalf("parsing subtype: %v", err)
+	}
+	supT, err := types.Parse(*sup)
+	if err != nil {
+		log.Fatalf("parsing supertype: %v", err)
+	}
+	res, err := soundbinary.CheckTypes(types.Role(*role), subT, supT, soundbinary.Options{Budget: *budget})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *stats {
+		fmt.Printf("steps=%d\n", res.Steps)
+	}
+	if res.OK {
+		fmt.Println("OK: subtype holds")
+		return
+	}
+	fmt.Println("REJECTED: not provable within budget (or the reordering is unsafe)")
+	os.Exit(1)
+}

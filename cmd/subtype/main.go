@@ -1,0 +1,126 @@
+// Command subtype is the command-line front end to the asynchronous
+// multiparty subtyping algorithm of §3 — the analogue of the binary the
+// paper benchmarks with Hyperfine.
+//
+// Two local types are supplied as literal strings (or via files) in the
+// syntax of internal/types, e.g.
+//
+//	subtype -sub 's!ready.mu x.s!ready.s?value.t?ready.t!value.x' \
+//	        -sup 'mu x.s!ready.s?value.t?ready.t!value.x'
+//
+// Alternatively, -protocol re-verifies a named protocol from the Table 1
+// registry (e.g. -protocol "Optimised Double Buffering").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/protocols"
+	"repro/internal/types"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("subtype: ")
+	sub := flag.String("sub", "", "candidate subtype (local type literal)")
+	sup := flag.String("sup", "", "supertype (local type literal)")
+	subFile := flag.String("sub-file", "", "read the candidate subtype from a file")
+	supFile := flag.String("sup-file", "", "read the supertype from a file")
+	proto := flag.String("protocol", "", "verify a named Table 1 protocol instead")
+	role := flag.String("role", "self", "role name used when converting types to machines")
+	bound := flag.Int("bound", core.DefaultBound, "recursion-unrolling bound n")
+	stats := flag.Bool("stats", false, "print visit/reduction statistics")
+	trace := flag.Bool("trace", false, "print the derivation (rules of Fig. 5 as they fire)")
+	flag.Parse()
+
+	opts := core.Options{Bound: *bound, Trace: *trace}
+
+	if *proto != "" {
+		entry, ok := findProtocol(*proto)
+		if !ok {
+			log.Fatalf("unknown protocol %q; see cmd/table1 for the registry", *proto)
+		}
+		if len(entry.Optimised) == 0 {
+			log.Fatalf("protocol %q has no optimised endpoints to verify", *proto)
+		}
+		results, err := bench.VerifyEntrySubtyping(entry, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		allOK := true
+		for r, res := range results {
+			verdict := "OK"
+			if !res.OK {
+				verdict = "REJECTED"
+				allOK = false
+			}
+			fmt.Printf("%s: %s", r, verdict)
+			if *stats {
+				fmt.Printf(" (visits=%d reductions=%d maxPrefix=%d)", res.Stats.Visits, res.Stats.Reductions, res.Stats.MaxPrefix)
+			}
+			fmt.Println()
+		}
+		if !allOK {
+			os.Exit(1)
+		}
+		return
+	}
+
+	subSrc := load(*sub, *subFile, "sub")
+	supSrc := load(*sup, *supFile, "sup")
+	subT, err := types.Parse(subSrc)
+	if err != nil {
+		log.Fatalf("parsing subtype: %v", err)
+	}
+	supT, err := types.Parse(supSrc)
+	if err != nil {
+		log.Fatalf("parsing supertype: %v", err)
+	}
+	res, err := core.CheckTypes(types.Role(*role), subT, supT, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range res.Trace {
+		fmt.Println(line)
+	}
+	if *stats {
+		fmt.Printf("visits=%d reductions=%d maxPrefix=%d\n", res.Stats.Visits, res.Stats.Reductions, res.Stats.MaxPrefix)
+	}
+	if res.OK {
+		fmt.Println("OK: subtype holds")
+		return
+	}
+	fmt.Println("REJECTED: not provable at this bound (raise -bound, or the reordering is unsafe)")
+	os.Exit(1)
+}
+
+func load(literal, file, name string) string {
+	switch {
+	case literal != "" && file != "":
+		log.Fatalf("give either -%s or -%s-file, not both", name, name)
+	case literal != "":
+		return literal
+	case file != "":
+		data, err := os.ReadFile(file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return string(data)
+	}
+	log.Fatalf("missing -%s (or -%s-file)", name, name)
+	return ""
+}
+
+func findProtocol(name string) (protocols.Entry, bool) {
+	for _, e := range protocols.Registry() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return protocols.Entry{}, false
+}

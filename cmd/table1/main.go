@@ -1,0 +1,78 @@
+// Command table1 regenerates the expressiveness comparison of Table 1.
+// Framework columns (Sesh, Ferrite, MultiCrusty) are classified from each
+// protocol's features; verifier columns (Rumpsteak's subtyping, k-MC,
+// SoundBinary) are computed by actually running the checkers on the
+// registered protocols and their AMR-optimised endpoints.
+//
+// Legend (as in the paper):
+//
+//	✔  expressible with deadlock-freedom guaranteed
+//	✗* expressible using endpoint types but without the guarantee (amber)
+//	✗  not expressible
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("table1: ")
+	markdown := flag.Bool("markdown", false, "emit a Markdown table instead of aligned text")
+	flag.Parse()
+
+	rows := bench.Table1()
+
+	if *markdown {
+		fmt.Println("| Protocol | n | C | R | IR | AMR | Sesh | Ferrite | MultiCrusty | Rumpsteak | k-MC | SoundBinary |")
+		fmt.Println("|---|---|---|---|---|---|---|---|---|---|---|---|")
+		for _, r := range rows {
+			e := r.Entry
+			fmt.Printf("| %s %s | %d | %s | %s | %s | %s | %s | %s | %s | %s | %s | %s |\n",
+				e.Name, e.Ref, e.Participants,
+				flag2(e.Choice), flag2(e.Rec), flag2(e.InfiniteRec), flag2(e.AMR),
+				cell(r.Sesh), cell(r.Ferrite), cell(r.MultiCrusty),
+				cell(r.Rumpsteak), cell(r.KMCCell), cell(r.SoundBin))
+		}
+		return
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Protocol\tn\tC\tR\tIR\tAMR\tSesh\tFerrite\tMultiCrusty\tRumpsteak\tk-MC\tSoundBinary")
+	for _, r := range rows {
+		e := r.Entry
+		fmt.Fprintf(w, "%s %s\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			e.Name, e.Ref, e.Participants,
+			flag2(e.Choice), flag2(e.Rec), flag2(e.InfiniteRec), flag2(e.AMR),
+			cell(r.Sesh), cell(r.Ferrite), cell(r.MultiCrusty),
+			cell(r.Rumpsteak), cell(r.KMCCell), cell(r.SoundBin))
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n✔ deadlock-free  ✗* endpoint types only (no guarantee)  ✗ not expressible")
+}
+
+func flag2(b bool) string {
+	if b {
+		return "✔"
+	}
+	return ""
+}
+
+func cell(c bench.Cell) string {
+	switch c {
+	case bench.Yes:
+		return "✔"
+	case bench.Endpoint:
+		return "✗*"
+	default:
+		return "✗"
+	}
+}

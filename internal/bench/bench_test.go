@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStreamingAllRuntimes(t *testing.T) {
+	for _, rt := range Runtimes {
+		rt := rt
+		t.Run(rt.String(), func(t *testing.T) {
+			t.Parallel()
+			got, err := Streaming(rt, 50, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != 50 {
+				t.Errorf("transferred %d values, want 50", got)
+			}
+		})
+	}
+}
+
+func TestStreamingUnrollClamped(t *testing.T) {
+	// unroll > n must not deadlock or overshoot.
+	got, err := Streaming(RumpsteakOpt, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("transferred %d, want 3", got)
+	}
+}
+
+func TestDoubleBufferingAllRuntimes(t *testing.T) {
+	for _, rt := range Runtimes {
+		rt := rt
+		t.Run(rt.String(), func(t *testing.T) {
+			t.Parallel()
+			got, err := DoubleBuffering(rt, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != 200 { // two iterations of n values
+				t.Errorf("moved %d values, want 200", got)
+			}
+		})
+	}
+}
+
+func TestFFTAllRuntimes(t *testing.T) {
+	for _, rt := range Runtimes {
+		rt := rt
+		t.Run(rt.String(), func(t *testing.T) {
+			t.Parallel()
+			got, err := FFTParallel(rt, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != 64 {
+				t.Errorf("processed %d rows, want 64", got)
+			}
+		})
+	}
+	if got, err := FFTSequential(64); err != nil || got != 64 {
+		t.Errorf("sequential: %d %v", got, err)
+	}
+}
+
+func TestVerifyStreamingAllVerifiers(t *testing.T) {
+	for _, v := range []Verifier{RumpsteakSubtyping, SoundBinary, KMC} {
+		for _, n := range []int{0, 3, 10} {
+			if err := VerifyStreaming(v, n); err != nil {
+				t.Errorf("%s n=%d: %v", v, n, err)
+			}
+		}
+	}
+}
+
+func TestVerifyNestedChoiceAllVerifiers(t *testing.T) {
+	for _, v := range []Verifier{RumpsteakSubtyping, SoundBinary, KMC} {
+		for n := 1; n <= 2; n++ {
+			if err := VerifyNestedChoice(v, n); err != nil {
+				t.Errorf("%s n=%d: %v", v, n, err)
+			}
+		}
+	}
+}
+
+func TestVerifyRing(t *testing.T) {
+	for _, v := range []Verifier{RumpsteakSubtyping, KMC} {
+		for _, n := range []int{2, 4, 6} {
+			if err := VerifyRing(v, n); err != nil {
+				t.Errorf("%s n=%d: %v", v, n, err)
+			}
+		}
+	}
+	if err := VerifyRing(SoundBinary, 3); err == nil {
+		t.Error("SoundBinary should not support the multiparty ring")
+	}
+}
+
+func TestVerifyKBuffering(t *testing.T) {
+	for _, v := range []Verifier{RumpsteakSubtyping, KMC} {
+		for _, n := range []int{1, 4, 8} {
+			if err := VerifyKBuffering(v, n); err != nil {
+				t.Errorf("%s n=%d: %v", v, n, err)
+			}
+		}
+	}
+	if err := VerifyKBuffering(SoundBinary, 2); err == nil {
+		t.Error("SoundBinary should not support multiparty k-buffering")
+	}
+}
+
+func TestTable1Verdicts(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 17 {
+		t.Fatalf("Table1 has %d rows", len(rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.Entry.Name] = r
+	}
+
+	// Spot-check the paper's classifications.
+	checks := []struct {
+		name   string
+		column string
+		want   Cell
+	}{
+		{"Two Adder", "sesh", Yes},
+		{"Two Adder", "rumpsteak", Yes},
+		{"Three Adder", "sesh", Endpoint},
+		{"Three Adder", "multicrusty", Yes},
+		{"Optimised Streaming", "sesh", Endpoint},
+		{"Optimised Streaming", "multicrusty", Endpoint},
+		{"Optimised Streaming", "rumpsteak", Yes},
+		{"Optimised Streaming", "kmc", Yes},
+		{"Optimised Double Buffering", "rumpsteak", Yes},
+		{"Optimised Double Buffering", "soundbinary", No},
+		{"Hospital", "rumpsteak", Endpoint},
+		{"Hospital", "kmc", Endpoint},
+		{"Hospital", "soundbinary", Yes},
+		{"FFT", "multicrusty", Yes},
+		{"Optimised FFT", "multicrusty", Endpoint},
+		{"Optimised FFT", "rumpsteak", Yes},
+	}
+	for _, c := range checks {
+		row, ok := byName[c.name]
+		if !ok {
+			t.Errorf("row %q missing", c.name)
+			continue
+		}
+		var got Cell
+		switch c.column {
+		case "sesh":
+			got = row.Sesh
+		case "ferrite":
+			got = row.Ferrite
+		case "multicrusty":
+			got = row.MultiCrusty
+		case "rumpsteak":
+			got = row.Rumpsteak
+		case "kmc":
+			got = row.KMCCell
+		case "soundbinary":
+			got = row.SoundBin
+		}
+		if got != c.want {
+			t.Errorf("%s/%s = %s, want %s", c.name, c.column, got, c.want)
+		}
+	}
+}
+
+func TestWriteCSVAndTable(t *testing.T) {
+	series := []Series{
+		{Name: "a", Points: []Point{{X: 1, Y: 0.5}, {X: 2, Y: 1.5}}},
+		{Name: "b", Points: []Point{{X: 2, Y: 2.5}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, "n", series); err != nil {
+		t.Fatal(err)
+	}
+	want := "n,a,b\n1,0.5,\n2,1.5,2.5\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+	buf.Reset()
+	if err := WriteTable(&buf, "n", series); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"n", "a", "b", "0.5", "2.5", "-"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("table missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	d, err := Time(func() error { time.Sleep(time.Millisecond); return nil })
+	if err != nil || d < time.Millisecond {
+		t.Errorf("Time = %v %v", d, err)
+	}
+	if _, err := TimeBest(0, func() error { return nil }); err != nil {
+		t.Error(err)
+	}
+	wantErr := func() error { return errTest }
+	if _, err := TimeBest(3, wantErr); err != errTest {
+		t.Errorf("TimeBest error = %v", err)
+	}
+}
+
+var errTest = errSentinel("test")
+
+type errSentinel string
+
+func (e errSentinel) Error() string { return string(e) }

@@ -1,0 +1,586 @@
+// Package bench implements the paper's evaluation harness: the runtime
+// throughput experiments of Fig. 6 (streaming, double buffering, FFT across
+// five runtime designs), the verification-scalability experiments of Fig. 7
+// (our subtyping algorithm versus SoundBinary and k-MC on four protocol
+// families), and the expressiveness classification of Table 1.
+//
+// Each experiment function performs one complete run at a given parameter and
+// returns the work done, so that callers — the cmd/fig6 and cmd/fig7 binaries
+// and the testing.B benchmarks in bench_test.go — can derive throughput or
+// running time in the same shape as the paper's plots.
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/baseline"
+	"repro/internal/channel"
+	"repro/internal/fft"
+	"repro/internal/types"
+)
+
+// Runtime identifies one of the five runtime designs compared in Fig. 6.
+type Runtime int
+
+const (
+	// Sesh: binary, synchronous, per-interaction channel allocation.
+	Sesh Runtime = iota
+	// MultiCrusty: multiparty as a synchronous binary mesh.
+	MultiCrusty
+	// Ferrite: binary, asynchronous, per-interaction channel allocation.
+	Ferrite
+	// Rumpsteak: multiparty, asynchronous, persistent queues.
+	Rumpsteak
+	// RumpsteakOpt: Rumpsteak running the AMR-optimised protocol.
+	RumpsteakOpt
+)
+
+// Runtimes lists the designs in the paper's legend order.
+var Runtimes = []Runtime{Sesh, MultiCrusty, Ferrite, Rumpsteak, RumpsteakOpt}
+
+func (r Runtime) String() string {
+	switch r {
+	case Sesh:
+		return "sesh"
+	case MultiCrusty:
+		return "multicrusty"
+	case Ferrite:
+		return "ferrite"
+	case Rumpsteak:
+		return "rumpsteak"
+	case RumpsteakOpt:
+		return "rumpsteak-opt"
+	default:
+		return "unknown"
+	}
+}
+
+// rsNetwork builds the persistent unbounded queues the Rumpsteak-analogue
+// uses. The raw network (no monitor) is used for benchmarking: the protocols
+// are verified once, not re-checked per message, matching the Rust framework
+// where conformance costs nothing at run time.
+type rsNetwork struct {
+	queues map[[2]types.Role]*channel.Queue
+}
+
+func newRSNetwork(roles ...types.Role) *rsNetwork {
+	n := &rsNetwork{queues: map[[2]types.Role]*channel.Queue{}}
+	for _, a := range roles {
+		for _, b := range roles {
+			if a != b {
+				n.queues[[2]types.Role{a, b}] = channel.NewQueue()
+			}
+		}
+	}
+	return n
+}
+
+func (n *rsNetwork) send(from, to types.Role, label types.Label, v any) {
+	n.queues[[2]types.Role{from, to}].Send(channel.Message{Label: label, Value: v})
+}
+
+func (n *rsNetwork) recv(from, to types.Role) channel.Message {
+	m, err := n.queues[[2]types.Role{from, to}].Recv()
+	if err != nil {
+		panic(fmt.Sprintf("bench: recv %s->%s: %v", from, to, err))
+	}
+	return m
+}
+
+// Streaming runs the streaming protocol once: the sink requests values until
+// the source has delivered n, then the source stops. The optimised variant
+// unrolls `unroll` value sends ahead of their readys (§4.1 uses 5).
+// It returns the number of values transferred, the figure's throughput unit.
+func Streaming(rt Runtime, n, unroll int) (int, error) {
+	switch rt {
+	case Sesh, Ferrite:
+		return streamingBinary(rt == Ferrite, n)
+	case MultiCrusty:
+		return streamingMesh(n)
+	case Rumpsteak:
+		return streamingRumpsteak(n, 0)
+	case RumpsteakOpt:
+		return streamingRumpsteak(n, unroll)
+	default:
+		return 0, fmt.Errorf("bench: unknown runtime %v", rt)
+	}
+}
+
+func streamingBinary(async bool, n int) (int, error) {
+	// One fresh one-shot channel per interaction, continuation-passing.
+	ch := baseline.NewPair(async)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	received := 0
+	go func() { // sink
+		defer wg.Done()
+		c := ch
+		for {
+			c = c.Send("ready", nil)
+			label, _, next := c.Recv()
+			if label == "stop" {
+				return
+			}
+			received++
+			c = next
+		}
+	}()
+	// source
+	c := ch
+	for i := 0; ; i++ {
+		label, _, next := c.Recv()
+		if label != "ready" {
+			return 0, fmt.Errorf("bench: source expected ready, got %s", label)
+		}
+		c = next
+		if i == n {
+			c.Send("stop", nil)
+			break
+		}
+		c = c.Send("value", i)
+	}
+	wg.Wait()
+	return received, nil
+}
+
+func streamingMesh(n int) (int, error) {
+	m := baseline.NewMesh(false, "s", "t")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	received := 0
+	go func() { // sink
+		defer wg.Done()
+		e := m.Endpoint("t")
+		for {
+			e.Send("s", "ready", nil)
+			label, _, _ := mustRecv(e, "s")
+			if label == "stop" {
+				return
+			}
+			received++
+		}
+	}()
+	e := m.Endpoint("s")
+	for i := 0; ; i++ {
+		if _, err := e.RecvLabel("t", "ready"); err != nil {
+			return 0, err
+		}
+		if i == n {
+			e.Send("t", "stop", nil)
+			break
+		}
+		e.Send("t", "value", i)
+	}
+	wg.Wait()
+	return received, nil
+}
+
+func mustRecv(e *baseline.MeshEndpoint, from types.Role) (types.Label, any, error) {
+	label, v, err := e.Recv(from)
+	if err != nil {
+		panic(err)
+	}
+	return label, v, err
+}
+
+// streamingRumpsteak runs the protocol over persistent unbounded queues.
+// With unroll = u > 0, the source sends its first u values before waiting for
+// readys, consuming the outstanding readys before stopping — the verified
+// AMR of protocols.OptimisedStreaming generalised to u unrolls.
+func streamingRumpsteak(n, unroll int) (int, error) {
+	if unroll > n {
+		unroll = n
+	}
+	net := newRSNetwork("s", "t")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	received := 0
+	go func() { // sink: unchanged by the source's AMR
+		defer wg.Done()
+		for {
+			net.send("t", "s", "ready", nil)
+			m := net.recv("s", "t")
+			if m.Label == "stop" {
+				return
+			}
+			received++
+		}
+	}()
+	// source
+	for i := 0; i < unroll; i++ {
+		net.send("s", "t", "value", i)
+	}
+	for i := unroll; i < n; i++ {
+		net.recv("t", "s") // ready
+		net.send("s", "t", "value", i)
+	}
+	// Drain the readys matching the unrolled sends, then the final ready.
+	for i := 0; i < unroll; i++ {
+		net.recv("t", "s")
+	}
+	net.recv("t", "s")
+	net.send("s", "t", "stop", nil)
+	wg.Wait()
+	if received != n {
+		return received, fmt.Errorf("bench: sink received %d of %d", received, n)
+	}
+	return received, nil
+}
+
+// DoubleBuffering runs the double-buffering protocol for two iterations of
+// buffers of n values each (as in §4.1: "two iterations allows both of the
+// kernel's buffers to be filled"), returning total values moved end to end.
+// Buffers are modelled as n individual value messages per iteration, so the
+// message count scales with n exactly as the figure's x-axis does.
+func DoubleBuffering(rt Runtime, n int) (int, error) {
+	const iters = 2
+	switch rt {
+	case Sesh, Ferrite:
+		return doubleBufferingBinary(rt == Ferrite, n, iters)
+	case MultiCrusty:
+		return doubleBufferingMesh(n, iters)
+	case Rumpsteak:
+		return doubleBufferingRumpsteak(n, iters, false)
+	case RumpsteakOpt:
+		return doubleBufferingRumpsteak(n, iters, true)
+	default:
+		return 0, fmt.Errorf("bench: unknown runtime %v", rt)
+	}
+}
+
+// doubleBufferingBinary decomposes the three-party protocol into two binary
+// sessions (s↔k, k↔t), as §4.1 does for Sesh and Ferrite — without
+// multiparty safety, and with per-interaction allocation.
+func doubleBufferingBinary(async bool, n, iters int) (int, error) {
+	sk := baseline.NewPair(async)
+	kt := baseline.NewPair(async)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // source
+		defer wg.Done()
+		c := sk
+		for it := 0; it < iters; it++ {
+			_, _, next := c.Recv() // ready
+			c = next
+			for v := 0; v < n; v++ {
+				c = c.Send("value", v)
+			}
+		}
+	}()
+	moved := 0
+	go func() { // sink
+		defer wg.Done()
+		c := kt
+		for it := 0; it < iters; it++ {
+			c = c.Send("ready", nil)
+			for v := 0; v < n; v++ {
+				_, _, next := c.Recv()
+				moved++
+				c = next
+			}
+		}
+	}()
+	// kernel
+	cs, ct := sk, kt
+	for it := 0; it < iters; it++ {
+		cs = cs.Send("ready", nil)
+		buf := make([]any, 0, n)
+		for v := 0; v < n; v++ {
+			_, value, next := cs.Recv()
+			buf = append(buf, value)
+			cs = next
+		}
+		_, _, next := ct.Recv() // sink ready
+		ct = next
+		for _, value := range buf {
+			ct = ct.Send("value", value)
+		}
+	}
+	wg.Wait()
+	return moved, nil
+}
+
+func doubleBufferingMesh(n, iters int) (int, error) {
+	m := baseline.NewMesh(false, "k", "s", "t")
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // source
+		defer wg.Done()
+		e := m.Endpoint("s")
+		for it := 0; it < iters; it++ {
+			e.RecvLabel("k", "ready")
+			for v := 0; v < n; v++ {
+				e.Send("k", "value", v)
+			}
+		}
+	}()
+	moved := 0
+	go func() { // sink
+		defer wg.Done()
+		e := m.Endpoint("t")
+		for it := 0; it < iters; it++ {
+			e.Send("k", "ready", nil)
+			for v := 0; v < n; v++ {
+				e.RecvLabel("k", "value")
+				moved++
+			}
+		}
+	}()
+	e := m.Endpoint("k")
+	for it := 0; it < iters; it++ {
+		e.Send("s", "ready", nil)
+		buf := make([]any, 0, n)
+		for v := 0; v < n; v++ {
+			value, err := e.RecvLabel("s", "value")
+			if err != nil {
+				return 0, err
+			}
+			buf = append(buf, value)
+		}
+		if _, err := e.RecvLabel("t", "ready"); err != nil {
+			return 0, err
+		}
+		for _, value := range buf {
+			e.Send("t", "value", value)
+		}
+	}
+	wg.Wait()
+	return moved, nil
+}
+
+// doubleBufferingRumpsteak runs the kernel over persistent queues; when
+// optimised it issues the second ready immediately (Fig. 4b), letting the
+// source fill the second buffer while the sink drains the first.
+func doubleBufferingRumpsteak(n, iters int, optimised bool) (int, error) {
+	net := newRSNetwork("k", "s", "t")
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // source
+		defer wg.Done()
+		for it := 0; it < iters; it++ {
+			net.recv("k", "s") // ready
+			for v := 0; v < n; v++ {
+				net.send("s", "k", "value", v)
+			}
+		}
+	}()
+	moved := 0
+	go func() { // sink
+		defer wg.Done()
+		for it := 0; it < iters; it++ {
+			net.send("t", "k", "ready", nil)
+			for v := 0; v < n; v++ {
+				net.recv("k", "t")
+				moved++
+			}
+		}
+	}()
+	// kernel
+	if optimised {
+		net.send("k", "s", "ready", nil) // anticipate the second buffer
+	}
+	for it := 0; it < iters; it++ {
+		if optimised {
+			if it+1 < iters {
+				net.send("k", "s", "ready", nil)
+			}
+		} else {
+			net.send("k", "s", "ready", nil)
+		}
+		buf := make([]any, 0, n)
+		for v := 0; v < n; v++ {
+			buf = append(buf, net.recv("s", "k").Value)
+		}
+		net.recv("t", "k") // sink ready
+		for _, value := range buf {
+			net.send("k", "t", "value", value)
+		}
+	}
+	wg.Wait()
+	return moved, nil
+}
+
+// FFTSequential runs the RustFFT-analogue: the row-wise 8-point transform of
+// an n×8 matrix with no message passing. Returns rows processed.
+func FFTSequential(n int) (int, error) {
+	cols := randomMatrix(n)
+	if err := fft.SequentialColumns(cols); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// FFTParallel runs the eight-process butterfly over the chosen runtime.
+// Whole columns travel as single messages, as in the paper's implementation.
+// The plain schedule has the lower partner of each exchange send first; the
+// optimised (AMR) schedule has everyone send before receiving.
+func FFTParallel(rt Runtime, n int) (int, error) {
+	cols := randomMatrix(n)
+	switch rt {
+	case Sesh, Ferrite:
+		return fftBinary(rt == Ferrite, cols)
+	case MultiCrusty:
+		return fftMesh(cols)
+	case Rumpsteak:
+		return fftRumpsteak(cols, false)
+	case RumpsteakOpt:
+		return fftRumpsteak(cols, true)
+	default:
+		return 0, fmt.Errorf("bench: unknown runtime %v", rt)
+	}
+}
+
+func randomMatrix(n int) [][]complex128 {
+	cols := make([][]complex128, 8)
+	seed := uint64(1)
+	for j := range cols {
+		cols[j] = make([]complex128, n)
+		for r := range cols[j] {
+			// Cheap deterministic pseudo-random values; the arithmetic cost
+			// is what matters, not the distribution.
+			seed = seed*6364136223846793005 + 1442695040888963407
+			cols[j][r] = complex(float64(int32(seed>>33))/1e9, float64(int32(seed>>13))/1e9)
+		}
+	}
+	return cols
+}
+
+// fftWorker runs process j's three butterfly stages, exchanging columns via
+// the provided send/recv functions.
+func fftWorker(j int, col []complex128, send func(stage, to int, col []complex128), recv func(stage, from int) []complex128, amr bool) []complex128 {
+	cur := col
+	for si, span := range fft.Stages(8) {
+		p := fft.Partner(j, span)
+		var theirs []complex128
+		if amr || j < p {
+			// Optimised: everyone sends first. Plain: lower index sends
+			// first (the global-type order), upper receives then replies.
+			send(si, p, cur)
+			theirs = recv(si, p)
+		} else {
+			theirs = recv(si, p)
+			send(si, p, cur)
+		}
+		next := make([]complex128, len(cur))
+		fft.StageOutput(8, j, span, cur, theirs, next)
+		cur = next
+	}
+	return cur
+}
+
+func fftRumpsteak(cols [][]complex128, amr bool) (int, error) {
+	roles := make([]types.Role, 8)
+	for j := range roles {
+		roles[j] = types.Role(fmt.Sprintf("w%d", j))
+	}
+	net := newRSNetwork(roles...)
+	var wg sync.WaitGroup
+	out := make([][]complex128, 8)
+	for j := 0; j < 8; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			send := func(stage, to int, col []complex128) {
+				net.send(roles[j], roles[to], "col", col)
+			}
+			recv := func(stage, from int) []complex128 {
+				return net.recv(roles[from], roles[j]).Value.([]complex128)
+			}
+			out[j] = fftWorker(j, cols[j], send, recv, amr)
+		}(j)
+	}
+	wg.Wait()
+	return len(cols[0]), nil
+}
+
+func fftMesh(cols [][]complex128) (int, error) {
+	roles := make([]types.Role, 8)
+	for j := range roles {
+		roles[j] = types.Role(fmt.Sprintf("w%d", j))
+	}
+	m := baseline.NewMesh(false, roles...)
+	var wg sync.WaitGroup
+	for j := 0; j < 8; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			e := m.Endpoint(roles[j])
+			send := func(stage, to int, col []complex128) {
+				e.Send(roles[to], "col", col)
+			}
+			recv := func(stage, from int) []complex128 {
+				v, err := e.RecvLabel(roles[from], "col")
+				if err != nil {
+					panic(err)
+				}
+				return v.([]complex128)
+			}
+			// Synchronous mesh cannot have both partners send first (both
+			// would block); keep the ordered schedule.
+			fftWorker(j, cols[j], send, recv, false)
+		}(j)
+	}
+	wg.Wait()
+	return len(cols[0]), nil
+}
+
+// fftBinary represents the protocol as one binary session per butterfly pair
+// per stage, with the extra all-pairs synchronisation §4.1 describes for the
+// binary decompositions: every stage waits for all pairs of the previous
+// stage to finish.
+func fftBinary(async bool, cols [][]complex128) (int, error) {
+	// One fresh channel per (stage, pair); plus a barrier between stages.
+	chans := make([]map[[2]int]*baseline.Chan, 3)
+	for si := range chans {
+		chans[si] = map[[2]int]*baseline.Chan{}
+	}
+	for si, span := range fft.Stages(8) {
+		for j := 0; j < 8; j++ {
+			if p := fft.Partner(j, span); j < p {
+				chans[si][[2]int{j, p}] = baseline.NewPair(async)
+			}
+		}
+	}
+	barriers := make([]*sync.WaitGroup, 3)
+	for i := range barriers {
+		var wg sync.WaitGroup
+		wg.Add(8)
+		barriers[i] = &wg
+	}
+	var wg sync.WaitGroup
+	for j := 0; j < 8; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			cur := cols[j]
+			for si, span := range fft.Stages(8) {
+				p := fft.Partner(j, span)
+				lo, hi := j, p
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				ch := chans[si][[2]int{lo, hi}]
+				var theirs []complex128
+				if j == lo {
+					next := ch.Send("col", cur)
+					_, v, _ := next.Recv()
+					theirs = v.([]complex128)
+				} else {
+					_, v, next := ch.Recv()
+					theirs = v.([]complex128)
+					next.Send("col", cur)
+				}
+				out := make([]complex128, len(cur))
+				fft.StageOutput(8, j, span, cur, theirs, out)
+				cur = out
+				// Global synchronisation between stages (the cost of the
+				// binary decomposition).
+				barriers[si].Done()
+				barriers[si].Wait()
+			}
+		}(j)
+	}
+	wg.Wait()
+	return len(cols[0]), nil
+}

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Point is one measurement: parameter value x, measurement y.
+type Point struct {
+	X int
+	Y float64
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Time runs f once and returns its wall-clock duration.
+func Time(f func() error) (time.Duration, error) {
+	start := time.Now()
+	err := f()
+	return time.Since(start), err
+}
+
+// TimeBest runs f reps times and returns the fastest duration, which is the
+// usual way to reduce scheduling noise in coarse harness runs (the testing.B
+// benchmarks do proper statistics instead).
+func TimeBest(reps int, f func() error) (time.Duration, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		d, err := Time(f)
+		if err != nil {
+			return 0, err
+		}
+		if d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// WriteCSV renders the series in the layout of the artifact's Hyperfine CSVs:
+// one column per series, one row per x value. Series may have different x
+// sets; missing cells are left empty.
+func WriteCSV(w io.Writer, xLabel string, series []Series) error {
+	xs := map[int]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]int, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Ints(sorted)
+
+	if _, err := fmt.Fprintf(w, "%s", xLabel); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if _, err := fmt.Fprintf(w, ",%s", s.Name); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, x := range sorted {
+		if _, err := fmt.Fprintf(w, "%d", x); err != nil {
+			return err
+		}
+		for _, s := range series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = fmt.Sprintf("%g", p.Y)
+					break
+				}
+			}
+			if _, err := fmt.Fprintf(w, ",%s", cell); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTable renders the series as an aligned text table for terminals.
+func WriteTable(w io.Writer, xLabel string, series []Series) error {
+	if _, err := fmt.Fprintf(w, "%-10s", xLabel); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if _, err := fmt.Fprintf(w, " %16s", s.Name); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w)
+	xs := map[int]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]int, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Ints(sorted)
+	for _, x := range sorted {
+		fmt.Fprintf(w, "%-10d", x)
+		for _, s := range series {
+			cell := "-"
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = fmt.Sprintf("%.6g", p.Y)
+					break
+				}
+			}
+			fmt.Fprintf(w, " %16s", cell)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

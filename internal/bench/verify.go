@@ -1,0 +1,274 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fsm"
+	"repro/internal/kmc"
+	"repro/internal/protocols"
+	"repro/internal/soundbinary"
+	"repro/internal/types"
+)
+
+// This file implements the Fig. 7 verification workloads: one function per
+// (protocol family, verifier). Each returns an error when the verifier
+// unexpectedly rejects, so benches also act as correctness checks.
+
+// Verifier identifies one of the three tools compared in Fig. 7.
+type Verifier int
+
+const (
+	// SoundBinary is the sound binary asynchronous subtyping baseline.
+	SoundBinary Verifier = iota
+	// KMC is the k-multiparty compatibility checker.
+	KMC
+	// RumpsteakSubtyping is this paper's algorithm (internal/core).
+	RumpsteakSubtyping
+)
+
+func (v Verifier) String() string {
+	switch v {
+	case SoundBinary:
+		return "soundbinary"
+	case KMC:
+		return "k-mc"
+	case RumpsteakSubtyping:
+		return "rumpsteak"
+	default:
+		return "unknown"
+	}
+}
+
+// VerifyStreaming checks the n-unrolled streaming source with the given
+// verifier (Fig. 7, first plot).
+func VerifyStreaming(v Verifier, n int) error {
+	sub, sup := protocols.StreamingUnrolled(n)
+	switch v {
+	case RumpsteakSubtyping:
+		res, err := core.CheckTypes("s", sub, sup, core.Options{Bound: 2*n + 8})
+		return expectOK(res.OK, err, "streaming", n)
+	case SoundBinary:
+		res, err := soundbinary.CheckTypes("s", sub, sup, soundbinary.Options{})
+		return expectOK(res.OK, err, "streaming", n)
+	case KMC:
+		sys, err := kmc.NewSystem(protocols.StreamingUnrolledSystem(n)...)
+		if err != nil {
+			return err
+		}
+		res := kmc.Check(sys, n+1)
+		return expectOK(res.OK, nil, "streaming", n)
+	default:
+		return fmt.Errorf("bench: unknown verifier %v", v)
+	}
+}
+
+// VerifyNestedChoice checks Tₙ ≤ T′ₙ from Chen et al. (Fig. 7, second plot).
+func VerifyNestedChoice(v Verifier, n int) error {
+	sub, sup := protocols.NestedChoice(n)
+	switch v {
+	case RumpsteakSubtyping:
+		res, err := core.CheckTypes("self", sub, sup, core.Options{Bound: 8})
+		return expectOK(res.OK, err, "nested-choice", n)
+	case SoundBinary:
+		res, err := soundbinary.CheckTypes("self", sub, sup, soundbinary.Options{})
+		return expectOK(res.OK, err, "nested-choice", n)
+	case KMC:
+		sys, err := kmc.NewSystem(protocols.NestedChoiceSystem(n)...)
+		if err != nil {
+			return err
+		}
+		_, res := kmc.CheckUpTo(sys, 2)
+		return expectOK(res.OK, nil, "nested-choice", n)
+	default:
+		return fmt.Errorf("bench: unknown verifier %v", v)
+	}
+}
+
+// VerifyRing checks the n-participant optimised ring (Fig. 7, third plot).
+// Rumpsteak verifies each participant locally; k-MC must analyse the whole
+// system at once. SoundBinary does not apply (multiparty).
+func VerifyRing(v Verifier, n int) error {
+	switch v {
+	case RumpsteakSubtyping:
+		plain, opt := protocols.RingN(n)
+		for i := 0; i < n; i++ {
+			r := protocols.RingRole(i)
+			res, err := core.CheckTypes(r, opt[r], plain[r], core.Options{Bound: 8})
+			if err := expectOK(res.OK, err, "ring", n); err != nil {
+				return err
+			}
+		}
+		return nil
+	case KMC:
+		sys, err := kmc.NewSystem(protocols.RingNSystem(n)...)
+		if err != nil {
+			return err
+		}
+		res := kmc.Check(sys, 1)
+		return expectOK(res.OK, nil, "ring", n)
+	default:
+		return fmt.Errorf("bench: verifier %v does not support the multiparty ring", v)
+	}
+}
+
+// VerifyKBuffering checks the n-buffer kernel (Fig. 7, fourth plot).
+// SoundBinary does not apply (multiparty).
+func VerifyKBuffering(v Verifier, n int) error {
+	switch v {
+	case RumpsteakSubtyping:
+		sub, sup := protocols.KBuffering(n)
+		res, err := core.CheckTypes("k", sub, sup, core.Options{Bound: 2*n + 8})
+		return expectOK(res.OK, err, "k-buffering", n)
+	case KMC:
+		sys, err := kmc.NewSystem(protocols.KBufferingSystem(n)...)
+		if err != nil {
+			return err
+		}
+		res := kmc.Check(sys, n+1)
+		return expectOK(res.OK, nil, "k-buffering", n)
+	default:
+		return fmt.Errorf("bench: verifier %v does not support multiparty k-buffering", v)
+	}
+}
+
+func expectOK(ok bool, err error, family string, n int) error {
+	if err != nil {
+		return fmt.Errorf("bench: %s n=%d: %w", family, n, err)
+	}
+	if !ok {
+		return fmt.Errorf("bench: %s n=%d: verifier rejected a valid optimisation", family, n)
+	}
+	return nil
+}
+
+// Cell is one Table 1 verdict.
+type Cell int
+
+const (
+	// No: not expressible at all.
+	No Cell = iota
+	// Endpoint: expressible via endpoint types but without the
+	// deadlock-freedom guarantee (the amber ✗ of Table 1).
+	Endpoint
+	// Yes: expressible with deadlock-freedom guaranteed.
+	Yes
+)
+
+func (c Cell) String() string {
+	switch c {
+	case Yes:
+		return "yes"
+	case Endpoint:
+		return "endpoint"
+	default:
+		return "no"
+	}
+}
+
+// Table1Row is the computed verdict row for one protocol.
+type Table1Row struct {
+	Entry       protocols.Entry
+	Sesh        Cell
+	Ferrite     Cell
+	MultiCrusty Cell
+	Rumpsteak   Cell
+	KMCCell     Cell
+	SoundBin    Cell
+}
+
+// Table1 computes the expressiveness table. Framework columns (Sesh, Ferrite,
+// MultiCrusty) are classified from protocol features, mirroring §4.1's
+// discussion; checker columns (Rumpsteak, k-MC, SoundBinary) are computed by
+// actually running each verifier.
+func Table1() []Table1Row {
+	var rows []Table1Row
+	for _, e := range protocols.Registry() {
+		rows = append(rows, table1Row(e))
+	}
+	return rows
+}
+
+func table1Row(e protocols.Entry) Table1Row {
+	row := Table1Row{Entry: e}
+
+	// Binary frameworks guarantee deadlock-freedom only for two parties and
+	// cannot express AMR (it breaks duality); multiparty protocols are
+	// representable as unchecked endpoint types.
+	binCell := func() Cell {
+		switch {
+		case e.Participants == 2 && !e.AMR:
+			return Yes
+		default:
+			return Endpoint
+		}
+	}
+	row.Sesh = binCell()
+	row.Ferrite = binCell()
+	// MultiCrusty supports MPST but not AMR.
+	if e.AMR {
+		row.MultiCrusty = Endpoint
+	} else {
+		row.MultiCrusty = Yes
+	}
+
+	// Rumpsteak: run the asynchronous subtyping algorithm on every optimised
+	// endpoint (reflexive success when there is no optimisation but a global
+	// type or consistent endpoint set exists).
+	row.Rumpsteak = Yes
+	for r, opt := range e.Optimised {
+		res, err := core.CheckTypes(r, opt, e.Locals[r], core.Options{Bound: 8})
+		if err != nil || !res.OK {
+			row.Rumpsteak = Endpoint // runnable, not verifiable
+			break
+		}
+	}
+
+	// k-MC: run the global check on the executed system.
+	sys, err := kmc.NewSystem(protocols.Machines(protocols.FSMs(e.System()))...)
+	if err != nil {
+		row.KMCCell = No
+	} else if _, res := kmc.CheckUpTo(sys, e.KmcBound); res.OK {
+		row.KMCCell = Yes
+	} else {
+		row.KMCCell = Endpoint
+	}
+
+	// SoundBinary: two-party protocols only.
+	if e.Participants != 2 {
+		row.SoundBin = No
+	} else {
+		row.SoundBin = Yes
+		for r, opt := range e.Optimised {
+			res, err := soundbinary.CheckTypes(r, opt, e.Locals[r], soundbinary.Options{})
+			if err != nil || !res.OK {
+				row.SoundBin = Endpoint
+				break
+			}
+		}
+	}
+	return row
+}
+
+// VerifyEntrySubtyping re-verifies one registry entry with the core
+// algorithm, returning per-role results; used by cmd/subtype for named
+// protocols.
+func VerifyEntrySubtyping(e protocols.Entry, opts core.Options) (map[types.Role]core.Result, error) {
+	out := map[types.Role]core.Result{}
+	for r, opt := range e.Optimised {
+		sub, err := fsm.FromLocal(r, opt)
+		if err != nil {
+			return nil, err
+		}
+		sup, err := fsm.FromLocal(r, e.Locals[r])
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Check(sub, sup, opts)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = res
+	}
+	return out, nil
+}

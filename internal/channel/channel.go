@@ -1,0 +1,228 @@
+// Package channel provides the communication substrates used by the session
+// runtimes:
+//
+//   - Queue: an unbounded FIFO with non-blocking sends — the "asynchronous
+//     queue" of the paper's semantics and of the Rumpsteak runtime;
+//   - Bounded: a FIFO with capacity k, matching the k-MC execution model;
+//   - Rendezvous: a synchronous channel where the sender blocks until the
+//     receiver takes the message, matching the Sesh/MultiCrusty baselines.
+//
+// All types are safe for concurrent use by one or more senders and receivers.
+package channel
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// Message is one labelled payload in transit.
+type Message struct {
+	Label types.Label
+	Value any
+}
+
+// ErrClosed is returned by receives once a channel is closed and drained, and
+// by sends on a closed channel.
+var ErrClosed = errors.New("channel: closed")
+
+// Sender is the output half of a channel.
+type Sender interface {
+	Send(Message) error
+}
+
+// Receiver is the input half of a channel.
+type Receiver interface {
+	// Recv blocks until a message is available or the channel is closed and
+	// drained.
+	Recv() (Message, error)
+	// TryRecv returns immediately; ok reports whether a message was taken.
+	TryRecv() (msg Message, ok bool, err error)
+}
+
+// Queue is an unbounded FIFO. Send never blocks; Recv blocks until a message
+// arrives. The zero value is ready to use.
+type Queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []Message
+	head   int
+	closed bool
+}
+
+// NewQueue returns an empty unbounded queue.
+func NewQueue() *Queue { return &Queue{} }
+
+func (q *Queue) lockedCond() *sync.Cond {
+	if q.cond == nil {
+		q.cond = sync.NewCond(&q.mu)
+	}
+	return q.cond
+}
+
+// Send appends m. It never blocks.
+func (q *Queue) Send(m Message) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.buf = append(q.buf, m)
+	q.lockedCond().Signal()
+	return nil
+}
+
+// Recv removes and returns the oldest message, blocking while empty.
+func (q *Queue) Recv() (Message, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.head >= len(q.buf) && !q.closed {
+		q.lockedCond().Wait()
+	}
+	if q.head >= len(q.buf) {
+		return Message{}, ErrClosed
+	}
+	return q.pop(), nil
+}
+
+// TryRecv removes the oldest message if one is present.
+func (q *Queue) TryRecv() (Message, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head < len(q.buf) {
+		return q.pop(), true, nil
+	}
+	if q.closed {
+		return Message{}, false, ErrClosed
+	}
+	return Message{}, false, nil
+}
+
+// pop assumes q.mu held and at least one message buffered.
+func (q *Queue) pop() Message {
+	m := q.buf[q.head]
+	q.buf[q.head] = Message{} // release the payload for GC
+	q.head++
+	if q.head == len(q.buf) {
+		// Reset to reuse the backing array instead of growing forever.
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return m
+}
+
+// Len returns the number of buffered messages.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf) - q.head
+}
+
+// Close marks the queue closed. Buffered messages may still be received;
+// subsequent sends fail.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.lockedCond().Broadcast()
+}
+
+// Bounded is a FIFO with a fixed capacity: sends block while full. It models
+// the k-bounded queues of the k-MC semantics.
+type Bounded struct {
+	ch chan Message
+}
+
+// NewBounded returns a queue with capacity k (k ≥ 1).
+func NewBounded(k int) *Bounded {
+	if k < 1 {
+		k = 1
+	}
+	return &Bounded{ch: make(chan Message, k)}
+}
+
+// Send blocks while the queue is full. Like a native Go channel, sending
+// after Close panics; the session runtimes close queues only after all
+// senders have finished.
+func (b *Bounded) Send(m Message) error {
+	b.ch <- m
+	return nil
+}
+
+// Recv blocks until a message is available.
+func (b *Bounded) Recv() (Message, error) {
+	m, ok := <-b.ch
+	if !ok {
+		return Message{}, ErrClosed
+	}
+	return m, nil
+}
+
+// TryRecv returns immediately.
+func (b *Bounded) TryRecv() (Message, bool, error) {
+	select {
+	case m, ok := <-b.ch:
+		if !ok {
+			return Message{}, false, ErrClosed
+		}
+		return m, true, nil
+	default:
+		return Message{}, false, nil
+	}
+}
+
+// Len returns the number of buffered messages.
+func (b *Bounded) Len() int { return len(b.ch) }
+
+// Close closes the queue. Buffered messages may still be received.
+func (b *Bounded) Close() { close(b.ch) }
+
+// Rendezvous is a synchronous channel: Send blocks until a receiver takes the
+// message, as in the synchronous baselines (Sesh, MultiCrusty).
+type Rendezvous struct {
+	ch chan Message
+}
+
+// NewRendezvous returns a fresh synchronous channel.
+func NewRendezvous() *Rendezvous { return &Rendezvous{ch: make(chan Message)} }
+
+// Send blocks until the message is received.
+func (r *Rendezvous) Send(m Message) error {
+	r.ch <- m
+	return nil
+}
+
+// Recv blocks until a sender arrives.
+func (r *Rendezvous) Recv() (Message, error) {
+	m, ok := <-r.ch
+	if !ok {
+		return Message{}, ErrClosed
+	}
+	return m, nil
+}
+
+// TryRecv returns immediately.
+func (r *Rendezvous) TryRecv() (Message, bool, error) {
+	select {
+	case m, ok := <-r.ch:
+		if !ok {
+			return Message{}, false, ErrClosed
+		}
+		return m, true, nil
+	default:
+		return Message{}, false, nil
+	}
+}
+
+// Close closes the channel; pending and future receivers observe ErrClosed.
+func (r *Rendezvous) Close() { close(r.ch) }
+
+var (
+	_ Sender   = (*Queue)(nil)
+	_ Receiver = (*Queue)(nil)
+	_ Sender   = (*Bounded)(nil)
+	_ Receiver = (*Bounded)(nil)
+	_ Sender   = (*Rendezvous)(nil)
+	_ Receiver = (*Rendezvous)(nil)
+)

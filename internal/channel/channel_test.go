@@ -1,0 +1,263 @@
+package channel
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue()
+	for i := 0; i < 10; i++ {
+		if err := q.Send(Message{Label: "l", Value: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len() != 10 {
+		t.Errorf("Len = %d", q.Len())
+	}
+	for i := 0; i < 10; i++ {
+		m, err := q.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Value.(int) != i {
+			t.Errorf("got %v at position %d", m.Value, i)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len after drain = %d", q.Len())
+	}
+}
+
+func TestQueueBlockingRecv(t *testing.T) {
+	q := NewQueue()
+	done := make(chan Message)
+	go func() {
+		m, err := q.Recv()
+		if err != nil {
+			t.Error(err)
+		}
+		done <- m
+	}()
+	if err := q.Send(Message{Label: "x", Value: 42}); err != nil {
+		t.Fatal(err)
+	}
+	m := <-done
+	if m.Value.(int) != 42 {
+		t.Errorf("got %v", m.Value)
+	}
+}
+
+func TestQueueTryRecv(t *testing.T) {
+	q := NewQueue()
+	if _, ok, err := q.TryRecv(); ok || err != nil {
+		t.Errorf("TryRecv on empty = %v %v", ok, err)
+	}
+	q.Send(Message{Label: "a"})
+	m, ok, err := q.TryRecv()
+	if !ok || err != nil || m.Label != "a" {
+		t.Errorf("TryRecv = %v %v %v", m, ok, err)
+	}
+}
+
+func TestQueueClose(t *testing.T) {
+	q := NewQueue()
+	q.Send(Message{Label: "a"})
+	q.Close()
+	if err := q.Send(Message{Label: "b"}); err != ErrClosed {
+		t.Errorf("Send after close = %v", err)
+	}
+	// The buffered message is still deliverable.
+	m, err := q.Recv()
+	if err != nil || m.Label != "a" {
+		t.Errorf("Recv = %v %v", m, err)
+	}
+	if _, err := q.Recv(); err != ErrClosed {
+		t.Errorf("Recv after drain = %v", err)
+	}
+	if _, _, err := q.TryRecv(); err != ErrClosed {
+		t.Errorf("TryRecv after drain = %v", err)
+	}
+}
+
+func TestQueueCloseUnblocksReceivers(t *testing.T) {
+	q := NewQueue()
+	done := make(chan error)
+	go func() {
+		_, err := q.Recv()
+		done <- err
+	}()
+	q.Close()
+	if err := <-done; err != ErrClosed {
+		t.Errorf("blocked Recv after Close = %v", err)
+	}
+}
+
+func TestQueueConcurrentSenders(t *testing.T) {
+	q := NewQueue()
+	const senders, each = 8, 100
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				q.Send(Message{Label: "l", Value: s*each + i})
+			}
+		}(s)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < senders*each; i++ {
+		m, err := q.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := m.Value.(int)
+		if seen[v] {
+			t.Fatalf("duplicate delivery of %d", v)
+		}
+		seen[v] = true
+	}
+	wg.Wait()
+	if len(seen) != senders*each {
+		t.Errorf("delivered %d messages", len(seen))
+	}
+}
+
+func TestQuickQueuePreservesOrderPerSender(t *testing.T) {
+	// Property: a single-sender queue is exactly FIFO for any send/recv
+	// interleaving pattern.
+	f := func(ops []bool) bool {
+		q := NewQueue()
+		next, expect := 0, 0
+		for _, isSend := range ops {
+			if isSend {
+				q.Send(Message{Value: next})
+				next++
+			} else if m, ok, _ := q.TryRecv(); ok {
+				if m.Value.(int) != expect {
+					return false
+				}
+				expect++
+			}
+		}
+		for {
+			m, ok, _ := q.TryRecv()
+			if !ok {
+				break
+			}
+			if m.Value.(int) != expect {
+				return false
+			}
+			expect++
+		}
+		return expect == next
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBounded(t *testing.T) {
+	b := NewBounded(2)
+	b.Send(Message{Value: 1})
+	b.Send(Message{Value: 2})
+	if b.Len() != 2 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	// A third send must block until a receive happens.
+	sent := make(chan struct{})
+	go func() {
+		b.Send(Message{Value: 3})
+		close(sent)
+	}()
+	select {
+	case <-sent:
+		t.Fatal("send on full bounded queue did not block")
+	default:
+	}
+	m, err := b.Recv()
+	if err != nil || m.Value.(int) != 1 {
+		t.Fatalf("Recv = %v %v", m, err)
+	}
+	<-sent
+	if m, _ := b.Recv(); m.Value.(int) != 2 {
+		t.Error("order violated")
+	}
+	if m, _ := b.Recv(); m.Value.(int) != 3 {
+		t.Error("order violated")
+	}
+	b.Close()
+	if _, err := b.Recv(); err != ErrClosed {
+		t.Errorf("Recv after close = %v", err)
+	}
+}
+
+func TestBoundedMinimumCapacity(t *testing.T) {
+	b := NewBounded(0)
+	done := make(chan struct{})
+	go func() {
+		b.Send(Message{Value: 1})
+		close(done)
+	}()
+	m, err := b.Recv()
+	if err != nil || m.Value.(int) != 1 {
+		t.Fatalf("Recv = %v %v", m, err)
+	}
+	<-done
+}
+
+func TestBoundedTryRecv(t *testing.T) {
+	b := NewBounded(1)
+	if _, ok, err := b.TryRecv(); ok || err != nil {
+		t.Error("TryRecv on empty bounded queue")
+	}
+	b.Send(Message{Label: "a"})
+	if m, ok, _ := b.TryRecv(); !ok || m.Label != "a" {
+		t.Error("TryRecv failed")
+	}
+	b.Close()
+	if _, _, err := b.TryRecv(); err != ErrClosed {
+		t.Error("TryRecv after close")
+	}
+}
+
+func TestRendezvousSynchrony(t *testing.T) {
+	r := NewRendezvous()
+	sent := make(chan struct{})
+	go func() {
+		r.Send(Message{Label: types.Label("hello")})
+		close(sent)
+	}()
+	select {
+	case <-sent:
+		t.Fatal("rendezvous send completed without a receiver")
+	default:
+	}
+	m, err := r.Recv()
+	if err != nil || m.Label != "hello" {
+		t.Fatalf("Recv = %v %v", m, err)
+	}
+	<-sent
+}
+
+func TestRendezvousClose(t *testing.T) {
+	r := NewRendezvous()
+	r.Close()
+	if _, err := r.Recv(); err != ErrClosed {
+		t.Errorf("Recv after close = %v", err)
+	}
+	if _, _, err := r.TryRecv(); err != ErrClosed {
+		t.Errorf("TryRecv after close = %v", err)
+	}
+}
+
+func TestRendezvousTryRecv(t *testing.T) {
+	r := NewRendezvous()
+	if _, ok, err := r.TryRecv(); ok || err != nil {
+		t.Error("TryRecv with no sender should be empty")
+	}
+}

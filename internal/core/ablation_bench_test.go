@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/protocols"
+	"repro/internal/types"
+)
+
+// Ablation benchmarks for the implementation choices of Appendix B.5 that
+// DESIGN.md calls out: the fail-early reduction check, and the sensitivity
+// of the algorithm to the recursion-unrolling bound.
+
+func BenchmarkAblationFailFast(b *testing.B) {
+	cases := []struct {
+		name     string
+		sub, sup types.Local
+		bound    int
+	}{
+		{
+			name: "double-buffering-valid",
+			sub:  types.MustParse("s!ready.mu x.s!ready.s?value.t?ready.t!value.x"),
+			sup:  types.MustParse("mu x.s!ready.s?value.t?ready.t!value.x"),
+		},
+		{
+			name: "unsafe-reordering-invalid",
+			sub:  types.MustParse("mu x.s?value.s!ready.t?ready.t!value.x"),
+			sup:  types.MustParse("mu x.s!ready.s?value.t?ready.t!value.x"),
+		},
+		{
+			name: "nested-choice-4",
+			sub:  nestedSub(4),
+			sup:  nestedSup(4),
+		},
+	}
+	for _, c := range cases {
+		for _, failFast := range []bool{true, false} {
+			b.Run(fmt.Sprintf("%s/failfast=%v", c.name, failFast), func(b *testing.B) {
+				opts := Options{Bound: c.bound, NoFailFast: !failFast}
+				for i := 0; i < b.N; i++ {
+					if _, err := CheckTypes("k", c.sub, c.sup, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func nestedSub(n int) types.Local {
+	sub, _ := protocols.NestedChoice(n)
+	return sub
+}
+
+func nestedSup(n int) types.Local {
+	_, sup := protocols.NestedChoice(n)
+	return sup
+}
+
+func BenchmarkAblationBound(b *testing.B) {
+	sub, sup := protocols.KBuffering(4)
+	for _, bound := range []int{10, 20, 40, 80} {
+		b.Run(fmt.Sprintf("bound=%d", bound), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := CheckTypes("k", sub, sup, Options{Bound: bound})
+				if err != nil || !res.OK {
+					b.Fatal("check failed")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSubtypePaperExamples(b *testing.B) {
+	cases := []struct{ name, sub, sup string }{
+		{"example2", "p!l2.p?l1.end", "p?l1.p!l2.end"},
+		{"double-buffering", "s!ready.mu x.s!ready.s?value.t?ready.t!value.x", "mu x.s!ready.s?value.t?ready.t!value.x"},
+		{"ring-choice", "mu t.c!{add.a?add.t, sub.a?add.t}", "mu t.a?add.c!{add.t, sub.t}"},
+		{"alternating-bit", "mu t.s?{d0.s!a0.t, d1.s!a1.t}", "mu t.s?d0.s!{a0.mu x.s?d1.s!{a0.x, a1.t}, a1.t}"},
+	}
+	for _, c := range cases {
+		sub, sup := types.MustParse(c.sub), types.MustParse(c.sup)
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := CheckTypes("self", sub, sup, Options{})
+				if err != nil || !res.OK {
+					b.Fatal("check failed")
+				}
+			}
+		})
+	}
+}

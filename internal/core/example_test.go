@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+// ExampleCheckTypes verifies the paper's double-buffering optimisation: the
+// kernel that sends two readys up front may replace the projected kernel.
+func ExampleCheckTypes() {
+	projected := types.MustParse("mu x.s!ready.s?value.t?ready.t!value.x")
+	optimised := types.MustParse("s!ready.mu x.s!ready.s?value.t?ready.t!value.x")
+
+	res, err := core.CheckTypes("k", optimised, projected, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("optimised ≤ projected:", res.OK)
+
+	// The reverse replacement is refused.
+	rev, _ := core.CheckTypes("k", projected, optimised, core.Options{})
+	fmt.Println("projected ≤ optimised:", rev.OK)
+	// Output:
+	// optimised ≤ projected: true
+	// projected ≤ optimised: false
+}
+
+// ExampleCheckTypes_unsafe shows Example 2 of the paper: anticipating an
+// input before an output to the same participant deadlocks and is rejected.
+func ExampleCheckTypes_unsafe() {
+	sub := types.MustParse("q?l2.q!l1.end")
+	sup := types.MustParse("q!l1.q?l2.end")
+	res, _ := core.CheckTypes("p", sub, sup, core.Options{})
+	fmt.Println(res.OK)
+	// Output:
+	// false
+}

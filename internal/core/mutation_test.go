@@ -1,0 +1,191 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fsm"
+	"repro/internal/kmc"
+	"repro/internal/protocols"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Mutation testing for soundness: take each verified AMR optimisation from
+// the registry and derive *unsafe* mutants by reorderings the theory forbids
+// (anticipating an input past an output to the same participant, swapping
+// same-peer inputs). Every mutant must be rejected by the subtyping
+// algorithm; and whenever the mutant system is executable, either k-MC
+// rejects it or a random execution exhibits the failure. This ties the
+// static layer to the execution layer: "rejected" means "really unsafe", not
+// "algorithm too weak" — at least for these mechanically derived mutants.
+
+// swapFirstTwo exchanges the first two actions of a SISO-headed type when
+// both are single-branch prefixes, producing a reordering mutant.
+func swapFirstTwo(t types.Local) (types.Local, bool) {
+	first, ok := singlePrefix(t)
+	if !ok {
+		return nil, false
+	}
+	second, ok := singlePrefix(first.cont)
+	if !ok {
+		return nil, false
+	}
+	inner := second.cont
+	return second.rebuild(first.rebuild(inner)), true
+}
+
+type prefixNode struct {
+	send  bool
+	peer  types.Role
+	label types.Label
+	sort  types.Sort
+	cont  types.Local
+}
+
+func singlePrefix(t types.Local) (prefixNode, bool) {
+	switch t := t.(type) {
+	case types.Send:
+		if len(t.Branches) == 1 {
+			b := t.Branches[0]
+			return prefixNode{send: true, peer: t.Peer, label: b.Label, sort: b.Sort, cont: b.Cont}, true
+		}
+	case types.Recv:
+		if len(t.Branches) == 1 {
+			b := t.Branches[0]
+			return prefixNode{send: false, peer: t.Peer, label: b.Label, sort: b.Sort, cont: b.Cont}, true
+		}
+	}
+	return prefixNode{}, false
+}
+
+func (p prefixNode) rebuild(cont types.Local) types.Local {
+	if p.send {
+		return types.LSend(p.peer, p.label, p.sort, cont)
+	}
+	return types.LRecv(p.peer, p.label, p.sort, cont)
+}
+
+func TestMutatedKernelRejectedAndDeadlocks(t *testing.T) {
+	// The canonical unsafe mutant of the double-buffering kernel: receive
+	// the value before announcing readiness.
+	e := protocols.DoubleBuffering()
+	bad := types.MustParse("mu x.s?value.s!ready.t?ready.t!value.x")
+	res, err := CheckTypes("k", bad, e.Locals["k"], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Fatal("unsafe kernel accepted by subtyping")
+	}
+	// The mutant system deadlocks in every schedule.
+	machines := []*fsm.FSM{
+		fsm.MustFromLocal("k", bad),
+		fsm.MustFromLocal("s", e.Locals["s"]),
+		fsm.MustFromLocal("t", e.Locals["t"]),
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		if _, err := sim.Run(machines, 1000, seed); err == nil {
+			t.Errorf("seed %d: mutant system did not get stuck", seed)
+		}
+	}
+	// And k-MC rejects it too.
+	sys, err := kmc.NewSystem(machines...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := kmc.Check(sys, 2); r.OK {
+		t.Error("k-MC accepted the mutant system")
+	}
+}
+
+func TestUnsafeInputAnticipationMutantsRejected(t *testing.T) {
+	// For every registry protocol, derive a mutant of each local type by
+	// swapping its first two actions. Mutants whose swap anticipates an
+	// input past an output to the same peer — the unsafe direction of
+	// Example 2 — must be rejected against the original.
+	count := 0
+	for _, e := range protocols.Registry() {
+		for r, orig := range e.Locals {
+			unfolded := types.Unfold(orig)
+			first, ok1 := singlePrefix(unfolded)
+			if !ok1 {
+				continue
+			}
+			second, ok2 := singlePrefix(first.cont)
+			if !ok2 {
+				continue
+			}
+			// Only the provably unsafe pattern: output to p then input from
+			// p, mutated to input-first.
+			if !(first.send && !second.send && first.peer == second.peer) {
+				continue
+			}
+			mutant, ok := swapFirstTwo(unfolded)
+			if !ok {
+				continue
+			}
+			if err := types.ValidateLocal(mutant); err != nil {
+				continue
+			}
+			res, err := CheckTypes(r, mutant, orig, Options{Bound: 6})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", e.Name, r, err)
+			}
+			if res.OK {
+				t.Errorf("%s/%s: unsafe mutant accepted:\n  mutant=%s\n  orig=%s", e.Name, r, mutant, orig)
+			}
+			count++
+		}
+	}
+	if count == 0 {
+		t.Skip("no applicable mutants in the registry (pattern not present)")
+	}
+	t.Logf("rejected %d unsafe mutants", count)
+}
+
+func TestSafeOutputAnticipationMutantsAccepted(t *testing.T) {
+	// The dual sanity check: swapping an input followed by an output to a
+	// *different* peer into output-first is the safe AMR; the algorithm must
+	// accept those mutants.
+	accepted, total := 0, 0
+	for _, e := range protocols.Registry() {
+		for r, orig := range e.Locals {
+			unfolded := types.Unfold(orig)
+			first, ok1 := singlePrefix(unfolded)
+			if !ok1 {
+				continue
+			}
+			second, ok2 := singlePrefix(first.cont)
+			if !ok2 {
+				continue
+			}
+			if !(!first.send && second.send) {
+				continue
+			}
+			mutant, ok := swapFirstTwo(unfolded)
+			if !ok {
+				continue
+			}
+			if err := types.ValidateLocal(mutant); err != nil {
+				continue
+			}
+			total++
+			res, err := CheckTypes(r, mutant, orig, Options{Bound: 8})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", e.Name, r, err)
+			}
+			if res.OK {
+				accepted++
+			} else {
+				t.Logf("%s/%s: safe-looking mutant rejected (may be bound-limited): %s", e.Name, r, mutant)
+			}
+		}
+	}
+	if total == 0 {
+		t.Skip("no applicable mutants")
+	}
+	if accepted == 0 {
+		t.Errorf("no safe mutants accepted (%d candidates)", total)
+	}
+	t.Logf("accepted %d/%d safe output anticipations", accepted, total)
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+// genClosed generates a random closed, well-formed local type whose peers are
+// drawn from {p, q}. Guarded recursion only.
+func genClosed(r *rand.Rand, depth int, vars []string) types.Local {
+	if depth <= 0 {
+		if len(vars) > 0 && r.Intn(2) == 0 {
+			return types.Var{Name: vars[r.Intn(len(vars))]}
+		}
+		return types.End{}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return types.End{}
+	case 1:
+		name := "v" + string(rune('a'+len(vars)))
+		body := genGuarded(r, depth-1, append(append([]string{}, vars...), name))
+		return types.Rec{Name: name, Body: body}
+	default:
+		return genGuarded(r, depth-1, vars)
+	}
+}
+
+func genGuarded(r *rand.Rand, depth int, vars []string) types.Local {
+	peers := []types.Role{"p", "q"}
+	labels := []types.Label{"a", "b", "c"}
+	peer := peers[r.Intn(len(peers))]
+	n := 1 + r.Intn(2)
+	used := map[types.Label]bool{}
+	var branches []types.Branch
+	for i := 0; i < n; i++ {
+		l := labels[r.Intn(len(labels))]
+		if used[l] {
+			continue
+		}
+		used[l] = true
+		branches = append(branches, types.Branch{Label: l, Sort: types.Unit, Cont: genClosed(r, depth-1, vars)})
+	}
+	if r.Intn(2) == 0 {
+		return types.Send{Peer: peer, Branches: branches}
+	}
+	return types.Recv{Peer: peer, Branches: branches}
+}
+
+type closedGen struct{ T types.Local }
+
+func (closedGen) Generate(r *rand.Rand, size int) reflect.Value {
+	d := size
+	if d > 5 {
+		d = 5
+	}
+	return reflect.ValueOf(closedGen{T: genClosed(r, d, nil)})
+}
+
+func TestQuickReflexivity(t *testing.T) {
+	// Theorem: T ≤ T for every T (the paper argues the algorithm preserves
+	// reflexivity given a sufficient bound).
+	f := func(g closedGen) bool {
+		res, err := CheckTypes("self", g.T, g.T, Options{Bound: 8})
+		if err != nil {
+			t.Logf("CheckTypes(%s): %v", g.T, err)
+			return false
+		}
+		if !res.OK {
+			t.Logf("reflexivity failed for %s", g.T)
+		}
+		return res.OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOutputAnticipationSound(t *testing.T) {
+	// For any T that begins with an input from q, prefixing the subtype with
+	// an output p!x (p ≠ q) that T performs immediately after that input is
+	// the canonical safe AMR; constructed as: sub = p!x.q?l.T', sup = q?l.p!x.T'.
+	f := func(g closedGen) bool {
+		inner := g.T
+		sup := types.LRecv("q", "l", types.Unit, types.LSend("p", "x", types.Unit, inner))
+		sub := types.LSend("p", "x", types.Unit, types.LRecv("q", "l", types.Unit, inner))
+		res, err := CheckTypes("self", sub, sup, Options{Bound: 8})
+		if err != nil {
+			return false
+		}
+		if !res.OK {
+			t.Logf("anticipation rejected for continuation %s", inner)
+		}
+		return res.OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInputAnticipationUnsound(t *testing.T) {
+	// The converse reordering — anticipating an input before an output to
+	// the same participant — is never a subtype (it can deadlock): for
+	// sub = q?l.q!x.T', sup = q!x.q?l.T' the algorithm must say no.
+	f := func(g closedGen) bool {
+		inner := g.T
+		sup := types.LSend("q", "x", types.Unit, types.LRecv("q", "l", types.Unit, inner))
+		sub := types.LRecv("q", "l", types.Unit, types.LSend("q", "x", types.Unit, inner))
+		res, err := CheckTypes("self", sub, sup, Options{Bound: 6})
+		if err != nil {
+			return false
+		}
+		return !res.OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubtypePassesKMCWitness(t *testing.T) {
+	// Soundness cross-check on the streaming family: if the unrolled source
+	// is accepted against its projection, then the system {unrolled source,
+	// projected sink} must be k-MC for some k — exercised for random unroll
+	// depths.
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%5) + 1
+		sub := unrolledStream(n)
+		sup := types.MustParse("mu x.t?ready.t!value.x")
+		res, err := CheckTypes("s", sub, sup, Options{Bound: 2 * (n + 2)})
+		if err != nil || !res.OK {
+			t.Logf("subtype rejected at n=%d", n)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,372 @@
+// Package core implements the paper's primary contribution: a sound,
+// terminating algorithm for asynchronous multiparty session subtyping (§3.2,
+// Fig. 5), in the FSM-based formulation of Appendix B.5.
+//
+// Check(sub, sup) asks whether the optimised machine sub may safely replace
+// the projected machine sup: every process conforming to sub can be used
+// where a process conforming to sup is expected, in any multiparty context,
+// without introducing deadlocks or communication mismatches. Asynchronous
+// message reordering is captured by the prefix reduction rules: an input
+// p?ℓ may be anticipated before inputs that are not from p (rule ⤳A), and an
+// output p!ℓ may be anticipated before any inputs and before outputs that are
+// not to p (rule ⤳B).
+//
+// The full relation is undecidable, so the algorithm bounds how many times
+// each pair of states may be revisited along a derivation path (the paper's
+// recursion-unrolling bound n). A "true" answer is sound; a "false" answer
+// means either the subtyping does not hold or the bound was insufficient.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fsm"
+	"repro/internal/types"
+)
+
+// DefaultBound is the default number of times a pair of states may be
+// revisited along one derivation path. Looping protocols close their cycle
+// within two visits of the loop head, so a small bound suffices in practice;
+// raise it for deeply unrolled optimisations.
+const DefaultBound = 8
+
+// Options configures the algorithm.
+type Options struct {
+	// Bound is the recursion-unrolling bound n. Zero means DefaultBound.
+	Bound int
+	// NoFailFast disables the fail-early reduction check of Appendix B.5
+	// (used for benchmarking its effect; results are unchanged).
+	NoFailFast bool
+	// Trace records the derivation (which Fig. 5 rules fired, with the
+	// prefixes at each step) into Result.Trace — the executable counterpart
+	// of the paper's worked derivation trees.
+	Trace bool
+}
+
+// Stats reports the work performed by a call to Check.
+type Stats struct {
+	Visits     int // number of visit steps (proof-tree nodes explored)
+	Reductions int // number of prefix reduction steps applied
+	MaxPrefix  int // high-water mark of live prefix length
+}
+
+// Result is the outcome of a subtyping check.
+type Result struct {
+	OK    bool
+	Stats Stats
+	// Trace holds the derivation log when Options.Trace was set.
+	Trace []string
+}
+
+// ErrNotDirected is returned when a machine mixes directions or peers within
+// one state, which the local-type syntax of Definition 1 cannot express.
+var ErrNotDirected = errors.New("core: machine is not directed (mixed send/receive or peers within a state)")
+
+// Check reports whether sub is an asynchronous subtype of sup.
+func Check(sub, sup *fsm.FSM, opts Options) (Result, error) {
+	if !sub.Directed() {
+		return Result{}, fmt.Errorf("%w: candidate subtype %s", ErrNotDirected, sub.Role())
+	}
+	if !sup.Directed() {
+		return Result{}, fmt.Errorf("%w: supertype %s", ErrNotDirected, sup.Role())
+	}
+	bound := opts.Bound
+	if bound <= 0 {
+		bound = DefaultBound
+	}
+	v := &visitor{
+		sub:      sub,
+		sup:      sup,
+		history:  newHistory(sub.NumStates(), sup.NumStates(), bound),
+		failFast: !opts.NoFailFast,
+	}
+	if opts.Trace {
+		v.tr = &tracer{}
+	}
+	ok := v.visit(sub.Initial(), sup.Initial())
+	res := Result{OK: ok, Stats: v.stats}
+	if v.tr != nil {
+		res.Trace = v.tr.lines
+	}
+	return res, nil
+}
+
+// CheckTypes is Check on local types: both are converted to machines for the
+// given role first.
+func CheckTypes(role types.Role, sub, sup types.Local, opts Options) (Result, error) {
+	msub, err := fsm.FromLocal(role, sub)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: subtype: %w", err)
+	}
+	msup, err := fsm.FromLocal(role, sup)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: supertype: %w", err)
+	}
+	return Check(msub, msup, opts)
+}
+
+// previous is one cell of the history matrix: the remaining visit budget for
+// a pair of states and, when the pair is on the current derivation path, the
+// assumption made at its last visit (prefix snapshots plus the length of the
+// subtype-action log ρ at that time).
+type previous struct {
+	visits int
+	snaps  *assumption
+}
+
+// assumption corresponds to one entry of the map Σ of Fig. 5: it is keyed by
+// the state pair (implicitly, by living in history[l][r]) together with the
+// prefixes at assumption time (the snapshots), and stores ρ (here: the log
+// length, from which ρ' — the subtype actions performed since — is derived).
+type assumption struct {
+	sub, sup snapshot
+	rhoLen   int
+}
+
+func newHistory(nSub, nSup, bound int) [][]previous {
+	h := make([][]previous, nSub)
+	cells := make([]previous, nSub*nSup)
+	for i := range h {
+		h[i] = cells[i*nSup : (i+1)*nSup]
+		for j := range h[i] {
+			h[i][j].visits = bound
+		}
+	}
+	return h
+}
+
+type visitor struct {
+	sub, sup *fsm.FSM
+	history  [][]previous
+	pre      [2]prefix // 0: subtype prefix π, 1: supertype prefix π′
+	rho      []fsm.Action
+	failFast bool
+	stats    Stats
+	tr       *tracer
+}
+
+// visit implements one derivation step for ⟨π, T, n⟩ ≤ ⟨π′, T′, n′⟩ where T
+// and T′ are the states ls and rs. It mutates the prefixes; the caller
+// restores them via snapshots after the call returns.
+func (v *visitor) visit(ls, rs fsm.State) bool {
+	v.stats.Visits++
+	// High-water mark of the prefix windows (an upper bound on live length;
+	// exact counting would rescan both prefixes on every visit).
+	if n := len(v.pre[0].entries) - v.pre[0].start + len(v.pre[1].entries) - v.pre[1].start; n > v.stats.MaxPrefix {
+		v.stats.MaxPrefix = n
+	}
+
+	v.traceVisit(ls, rs)
+
+	// (1) Reduce the pair of prefixes ([sub] with rules ⤳i, ⤳o, ⤳A, ⤳B).
+	if !v.reduce() {
+		v.traceRule("[sub]", "fail-early: blocked head can never reduce")
+		return false // fail-early: a head can never be matched
+	}
+
+	prev := &v.history[ls][rs]
+
+	// (2) Assumption rule [asm]: the same state pair is an ancestor on the
+	// path with identical live prefixes, and the subtype has performed a
+	// superset of the supertype's pending actions since (act(ρ′) ⊇ act(π′)).
+	if a := prev.snaps; a != nil {
+		if v.pre[0].liveEqualAt(a.sub) && v.pre[1].liveEqualAt(a.sup) && v.actCheck(a) {
+			v.traceRule("[asm]", "assumption matches; act(ρ′) ⊇ act(π′)")
+			return true
+		}
+	}
+
+	ltr, rtr := v.sub.Transitions(ls), v.sup.Transitions(rs)
+
+	// (3) Termination rule [end].
+	if len(ltr) == 0 && len(rtr) == 0 {
+		ok := v.pre[0].empty() && v.pre[1].empty()
+		if ok {
+			v.traceRule("[end]", "both terminal with empty prefixes")
+		} else {
+			v.traceRule("[end]", "terminal with pending prefixes: reject")
+		}
+		return ok
+	}
+	if len(ltr) == 0 || len(rtr) == 0 {
+		v.traceRule("[end]", "one side terminal, the other not: reject")
+		return false
+	}
+
+	// (4) Recursion-unrolling bound ([μl]/[μr] with n = 0).
+	if prev.visits <= 0 {
+		v.traceRule("[μ]", "recursion bound exhausted")
+		return false
+	}
+
+	// (5) Pop one action from each machine and push it onto the prefixes,
+	// per rules [oi], [oo], [ii], [io].
+	saved := *prev
+	prev.visits--
+	prev.snaps = &assumption{sub: v.pre[0].snapshot(), sup: v.pre[1].snapshot(), rhoLen: len(v.rho)}
+	defer func() { *prev = saved }()
+
+	subOut := ltr[0].Act.Dir == fsm.Send
+	supOut := rtr[0].Act.Dir == fsm.Send
+	rule := ruleName(subOut, supOut)
+
+	try := func(lt, rt fsm.Transition) bool {
+		subSnap, supSnap, rhoLen := v.pre[0].snapshot(), v.pre[1].snapshot(), len(v.rho)
+		v.pre[0].push(lt.Act)
+		v.pre[1].push(rt.Act)
+		v.rho = append(v.rho, lt.Act)
+		v.traceRule(rule, fmt.Sprintf("push %s / %s", lt.Act, rt.Act))
+		v.tr.push()
+		ok := v.visit(lt.To, rt.To)
+		v.tr.pop()
+		v.pre[0].restore(subSnap)
+		v.pre[1].restore(supSnap)
+		v.rho = v.rho[:rhoLen]
+		return ok
+	}
+	switch {
+	case subOut && !supOut: // [oi]: ∀i ∀j
+		for _, lt := range ltr {
+			for _, rt := range rtr {
+				if !try(lt, rt) {
+					return false
+				}
+			}
+		}
+		return true
+	case subOut && supOut: // [oo]: ∀i ∃j
+		for _, lt := range ltr {
+			ok := false
+			for _, rt := range rtr {
+				if try(lt, rt) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	case !subOut && !supOut: // [ii]: ∀j ∃i
+		for _, rt := range rtr {
+			ok := false
+			for _, lt := range ltr {
+				if try(lt, rt) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	default: // [io]: ∃i ∃j
+		for _, lt := range ltr {
+			for _, rt := range rtr {
+				if try(lt, rt) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+}
+
+// actCheck verifies act(ρ′) ⊇ act(π′): every pending supertype action's
+// (direction, peer) occurs among the subtype actions performed since the
+// assumption. This is the side condition of [asm] preventing "forgotten"
+// interactions (Appendix B.3, Fig. A.14).
+func (v *visitor) actCheck(a *assumption) bool {
+	rho := v.rho[a.rhoLen:]
+	sup := &v.pre[1]
+	for i := sup.start; i < len(sup.entries); i++ {
+		e := &sup.entries[i]
+		if e.removed {
+			continue
+		}
+		found := false
+		for j := range rho {
+			if rho[j].Dir == e.act.Dir && rho[j].Peer == e.act.Peer {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// reduce applies the prefix reduction rules of Definition 3 until no rule
+// applies. It returns false when fail-fast is enabled and the subtype prefix
+// head is permanently blocked: a matching action can never appear before the
+// blocker, because prefixes only grow at the tail.
+func (v *visitor) reduce() bool {
+	l, r := &v.pre[0], &v.pre[1]
+	for {
+		if l.empty() {
+			return true
+		}
+		h := l.head()
+		idx, blocked := findMatch(r, h)
+		if blocked {
+			if v.failFast {
+				return false
+			}
+			return true
+		}
+		if idx < 0 {
+			return true // cannot reduce yet; more supertype actions may arrive
+		}
+		v.stats.Reductions++
+		l.popHead()
+		r.removeAt(idx)
+	}
+}
+
+// findMatch scans the supertype prefix for the first live transition matching
+// head h, skipping exactly the transitions the reordering sequences A(p) and
+// B(p) permit. It returns the match index, or -1 if the scan ran off the end,
+// and blocked = true if an unskippable transition was found first.
+//
+//	h = p?ℓ: skip receives not from p (A(p)); blockers are any send, and any
+//	         receive from p that does not match.
+//	h = p!ℓ: skip all receives and sends not to p (B(p)); blockers are sends
+//	         to p that do not match.
+func findMatch(r *prefix, h fsm.Action) (int, bool) {
+	for i := r.start; i < len(r.entries); i++ {
+		e := &r.entries[i]
+		if e.removed {
+			continue
+		}
+		a := e.act
+		if a.Dir == h.Dir && a.Peer == h.Peer {
+			if a.Label == h.Label && sortOK(h, a) {
+				return i, false
+			}
+			// Same peer and direction but a different label (or an
+			// incompatible sort): this can never be skipped by A/B.
+			return -1, true
+		}
+		if h.Dir == fsm.Recv && a.Dir == fsm.Send {
+			return -1, true // sends block input anticipation
+		}
+		// Otherwise skippable: a receive (any peer ≠ p for inputs, any peer
+		// for outputs) or, for outputs, a send to a different peer.
+	}
+	return -1, false
+}
+
+// sortOK checks payload-sort compatibility between the subtype's action h and
+// the supertype's action a: outputs are covariant (the subtype may send a
+// smaller sort), inputs contravariant (the subtype may accept a larger sort).
+func sortOK(h, a fsm.Action) bool {
+	if h.Dir == fsm.Send {
+		return types.SubSort(h.Sort, a.Sort)
+	}
+	return types.SubSort(a.Sort, h.Sort)
+}

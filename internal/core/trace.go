@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fsm"
+)
+
+// tracer records which rules of Fig. 5 fired, producing a human-readable
+// derivation like the worked examples of §3.2 and Appendix B.4. Tracing is
+// off unless Options.Trace is set; every hook is behind a nil check so the
+// fast path pays a single branch.
+type tracer struct {
+	lines []string
+	depth int
+}
+
+func (t *tracer) push() {
+	if t != nil {
+		t.depth++
+	}
+}
+
+func (t *tracer) pop() {
+	if t != nil {
+		t.depth--
+	}
+}
+
+func (t *tracer) logf(format string, args ...any) {
+	if t == nil {
+		return
+	}
+	indent := t.depth
+	if indent > 32 {
+		indent = 32
+	}
+	pad := make([]byte, indent*2)
+	for i := range pad {
+		pad[i] = ' '
+	}
+	t.lines = append(t.lines, string(pad)+fmt.Sprintf(format, args...))
+}
+
+// ruleName maps the direction pair at a visit to the Fig. 5 rule applied.
+func ruleName(subOut, supOut bool) string {
+	switch {
+	case subOut && !supOut:
+		return "[oi]"
+	case subOut && supOut:
+		return "[oo]"
+	case !subOut && !supOut:
+		return "[ii]"
+	default:
+		return "[io]"
+	}
+}
+
+func (v *visitor) traceVisit(ls, rs fsm.State) {
+	if v.tr == nil {
+		return
+	}
+	v.tr.logf("visit ⟨%s, S%d⟩ ≤ ⟨%s, S%d⟩", &v.pre[0], ls, &v.pre[1], rs)
+}
+
+func (v *visitor) traceRule(rule string, detail string) {
+	if v.tr == nil {
+		return
+	}
+	v.tr.logf("%s %s", rule, detail)
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func traceOf(t *testing.T, sub, sup string) (Result, string) {
+	t.Helper()
+	res, err := CheckTypes("self", types.MustParse(sub), types.MustParse(sup), Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, strings.Join(res.Trace, "\n")
+}
+
+func TestTraceDoubleBufferingDerivation(t *testing.T) {
+	// The §3.2 worked example must close its derivation with [asm], having
+	// applied [oo] (the unrolled send against the loop's send) on the way.
+	res, trace := traceOf(t,
+		"s!ready.mu x.s!ready.s?copy.t?ready.t!copy.x",
+		"mu x.s!ready.s?copy.t?ready.t!copy.x")
+	if !res.OK {
+		t.Fatal("derivation failed")
+	}
+	for _, rule := range []string{"[oo]", "[oi]", "[ii]", "[io]", "[asm]"} {
+		if !strings.Contains(trace, rule) {
+			t.Errorf("trace missing %s:\n%s", rule, trace)
+		}
+	}
+}
+
+func TestTraceUnsafeReordering(t *testing.T) {
+	res, trace := traceOf(t, "q?l2.q!l1.end", "q!l1.q?l2.end")
+	if res.OK {
+		t.Fatal("unsafe reordering accepted")
+	}
+	if !strings.Contains(trace, "fail-early") {
+		t.Errorf("trace missing fail-early rejection:\n%s", trace)
+	}
+}
+
+func TestTraceEndRule(t *testing.T) {
+	res, trace := traceOf(t, "p!l.end", "p!l.end")
+	if !res.OK {
+		t.Fatal("identity failed")
+	}
+	if !strings.Contains(trace, "[end]") {
+		t.Errorf("trace missing [end]:\n%s", trace)
+	}
+}
+
+func TestTraceForgottenAction(t *testing.T) {
+	// Fig. A.14: the rejection happens at the recursion bound, not via [asm].
+	res, trace := traceOf(t, "mu t.p?l.t", "q?lp.mu t.p?l.t")
+	if res.OK {
+		t.Fatal("forgotten action accepted")
+	}
+	if strings.Contains(trace, "[asm]") {
+		t.Errorf("asm fired despite the act-check:\n%s", trace)
+	}
+	if !strings.Contains(trace, "bound exhausted") {
+		t.Errorf("trace missing bound exhaustion:\n%s", trace)
+	}
+}
+
+func TestTraceOffByDefault(t *testing.T) {
+	res, err := CheckTypes("self", types.MustParse("p!l.end"), types.MustParse("p!l.end"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Error("trace recorded without Options.Trace")
+	}
+}

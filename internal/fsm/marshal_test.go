@@ -1,0 +1,104 @@
+package fsm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	sources := []string{
+		"end",
+		"mu x.s!ready.s?copy.t?ready.t!copy.x",
+		"t?ready.t!{value(i32).end, stop.end}",
+		"mu t.s?{d0.s!a0.t, d1.s!a1.t}",
+	}
+	for _, src := range sources {
+		m := MustFromLocal("r", types.MustParse(src))
+		text := Marshal(m)
+		back, err := Unmarshal(text)
+		if err != nil {
+			t.Fatalf("Unmarshal(%q): %v\n%s", src, err, text)
+		}
+		if back.Role() != "r" {
+			t.Errorf("role = %s", back.Role())
+		}
+		if !bisimilar(m, back) {
+			t.Errorf("round trip changed behaviour for %q:\n%s", src, text)
+		}
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	m := MustFromLocal("r", types.MustParse("t!{b.end, a.end, c.end}"))
+	if Marshal(m) != Marshal(m) {
+		t.Error("Marshal not deterministic")
+	}
+}
+
+func TestUnmarshalExplicit(t *testing.T) {
+	src := `
+fsm k
+initial 0
+# the double-buffering kernel loop
+0 s ! ready unit 1
+1 s ? value unit 2
+2 t ? ready unit 3
+3 t ! value unit 0
+states 4
+`
+	m, err := Unmarshal(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Role() != "k" || m.NumStates() != 4 {
+		t.Fatalf("role=%s states=%d", m.Role(), m.NumStates())
+	}
+	ts := m.Transitions(0)
+	if len(ts) != 1 || ts[0].Act.String() != "s!ready" {
+		t.Errorf("transitions(0) = %v", ts)
+	}
+}
+
+func TestUnmarshalFinalOnlyStates(t *testing.T) {
+	// A machine whose final state has no transitions must keep that state.
+	src := "fsm p\ninitial 0\n0 q ! l unit 1\nstates 2\n"
+	m, err := Unmarshal(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() != 2 || !m.IsFinal(1) {
+		t.Errorf("states=%d", m.NumStates())
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	bad := map[string]string{
+		"no header":     "initial 0\n0 q ! l unit 1\n",
+		"bad dir":       "fsm p\ninitial 0\n0 q > l unit 1\n",
+		"bad from":      "fsm p\ninitial 0\nx q ! l unit 1\n",
+		"bad to":        "fsm p\ninitial 0\n0 q ! l unit y\n",
+		"short line":    "fsm p\ninitial 0\n0 q !\n",
+		"bad initial":   "fsm p\ninitial zz\n",
+		"bad states":    "fsm p\ninitial 0\nstates zz\n",
+		"self peer":     "fsm p\ninitial 0\n0 p ! l unit 1\n",
+		"dup action":    "fsm p\ninitial 0\n0 q ! l unit 1\n0 q ! l unit 0\n",
+		"extra fsm arg": "fsm p extra\n",
+	}
+	for name, src := range bad {
+		if _, err := Unmarshal(src); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestMarshalContainsHeader(t *testing.T) {
+	m := MustFromLocal("k", types.MustParse("s!ready.end"))
+	text := Marshal(m)
+	for _, frag := range []string{"fsm k", "initial 0", "states"} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("Marshal output missing %q:\n%s", frag, text)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package project_test
+
+import (
+	"fmt"
+
+	"repro/internal/project"
+	"repro/internal/types"
+)
+
+// ExampleProject projects the double-buffering global type of Listing 1 onto
+// its three participants.
+func ExampleProject() {
+	g := types.MustParseGlobal("mu x.k->s:ready.s->k:value.t->k:ready.k->t:value.x")
+	for _, role := range types.Roles(g) {
+		local, err := project.Project(g, role)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %s\n", role, local)
+	}
+	// Output:
+	// k: mu x.s!{ready.s?{value.t?{ready.t!{value.x}}}}
+	// s: mu x.k?{ready.k!{value.x}}
+	// t: mu x.k!{ready.k?{value.x}}
+}

@@ -1,0 +1,250 @@
+// Package project implements projection of global session types onto
+// participants, producing the local types / FSMs that the top-down workflow
+// verifies optimisations against (§2.1 of the paper). It plays the role of
+// the νScr toolchain in the Rust framework.
+//
+// Projection follows the classical plain merging discipline of Honda, Yoshida
+// and Carbone: for an interaction p → q : {ℓᵢ.Gᵢ},
+//
+//   - the projection onto p is the internal choice ⊕ᵢ q!ℓᵢ.(Gᵢ ↾ p),
+//   - the projection onto q is the external choice &ᵢ p?ℓᵢ.(Gᵢ ↾ q),
+//   - the projection onto any other role r requires all branch projections
+//     Gᵢ ↾ r to merge. Plain merge requires identical projections; full merge
+//     additionally allows distinct external choices from the same peer to be
+//     combined branch-wise.
+package project
+
+import (
+	"fmt"
+
+	"repro/internal/fsm"
+	"repro/internal/types"
+)
+
+// Project computes G ↾ role using full merging. It fails when the global type
+// is ill-formed or unprojectable.
+func Project(g types.Global, role types.Role) (types.Local, error) {
+	if err := types.ValidateGlobal(g); err != nil {
+		return nil, err
+	}
+	t, err := project(g, role)
+	if err != nil {
+		return nil, err
+	}
+	return pruneUnusedRecs(t), nil
+}
+
+// MustProject is Project but panics on error.
+func MustProject(g types.Global, role types.Role) types.Local {
+	t, err := Project(g, role)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// ProjectAll projects onto every participant of g.
+func ProjectAll(g types.Global) (map[types.Role]types.Local, error) {
+	out := map[types.Role]types.Local{}
+	for _, r := range types.Roles(g) {
+		t, err := Project(g, r)
+		if err != nil {
+			return nil, fmt.Errorf("project: projection onto %s: %w", r, err)
+		}
+		out[r] = t
+	}
+	return out, nil
+}
+
+// ProjectFSMs projects onto every participant and converts the results to
+// machines, the representation the verification algorithms consume.
+func ProjectFSMs(g types.Global) (map[types.Role]*fsm.FSM, error) {
+	locals, err := ProjectAll(g)
+	if err != nil {
+		return nil, err
+	}
+	out := map[types.Role]*fsm.FSM{}
+	for r, t := range locals {
+		m, err := fsm.FromLocal(r, t)
+		if err != nil {
+			return nil, fmt.Errorf("project: FSM for %s: %w", r, err)
+		}
+		out[r] = m
+	}
+	return out, nil
+}
+
+func project(g types.Global, role types.Role) (types.Local, error) {
+	switch g := g.(type) {
+	case types.GEnd:
+		return types.End{}, nil
+	case types.GVar:
+		return types.Var{Name: g.Name}, nil
+	case types.GRec:
+		// Classical rule: (μt.G) ↾ r is end when r does not participate in G,
+		// and μt.(G ↾ r) otherwise.
+		if !participates(g.Body, role) {
+			return types.End{}, nil
+		}
+		body, err := project(g.Body, role)
+		if err != nil {
+			return nil, err
+		}
+		return types.Rec{Name: g.Name, Body: body}, nil
+	case types.Comm:
+		switch role {
+		case g.From:
+			branches, err := projectBranches(g.Branches, role)
+			if err != nil {
+				return nil, err
+			}
+			return types.Send{Peer: g.To, Branches: branches}, nil
+		case g.To:
+			branches, err := projectBranches(g.Branches, role)
+			if err != nil {
+				return nil, err
+			}
+			return types.Recv{Peer: g.From, Branches: branches}, nil
+		default:
+			projs := make([]types.Local, len(g.Branches))
+			for i, b := range g.Branches {
+				p, err := project(b.Cont, role)
+				if err != nil {
+					return nil, err
+				}
+				projs[i] = p
+			}
+			merged := projs[0]
+			for i := 1; i < len(projs); i++ {
+				m, err := merge(merged, projs[i])
+				if err != nil {
+					return nil, fmt.Errorf("cannot merge projections of %s->%s onto %s: %w", g.From, g.To, role, err)
+				}
+				merged = m
+			}
+			return merged, nil
+		}
+	default:
+		return nil, fmt.Errorf("project: unknown global type %T", g)
+	}
+}
+
+func projectBranches(branches []types.GBranch, role types.Role) ([]types.Branch, error) {
+	out := make([]types.Branch, len(branches))
+	for i, b := range branches {
+		cont, err := project(b.Cont, role)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = types.Branch{Label: b.Label, Sort: b.Sort, Cont: cont}
+	}
+	return out, nil
+}
+
+// merge implements full merging: identical types merge to themselves, and two
+// external choices from the same peer merge branch-wise (common labels must
+// have mergeable continuations; distinct labels are unioned).
+func merge(a, b types.Local) (types.Local, error) {
+	if types.EqualLocal(a, b) {
+		return a, nil
+	}
+	ra, okA := a.(types.Recv)
+	rb, okB := b.(types.Recv)
+	if okA && okB && ra.Peer == rb.Peer {
+		byLabel := map[types.Label]types.Branch{}
+		var order []types.Label
+		for _, br := range ra.Branches {
+			byLabel[br.Label] = br
+			order = append(order, br.Label)
+		}
+		for _, br := range rb.Branches {
+			if existing, ok := byLabel[br.Label]; ok {
+				if existing.Sort != br.Sort {
+					return nil, fmt.Errorf("label %s has conflicting sorts %s and %s", br.Label, existing.Sort, br.Sort)
+				}
+				m, err := merge(existing.Cont, br.Cont)
+				if err != nil {
+					return nil, err
+				}
+				byLabel[br.Label] = types.Branch{Label: br.Label, Sort: br.Sort, Cont: m}
+			} else {
+				byLabel[br.Label] = br
+				order = append(order, br.Label)
+			}
+		}
+		out := make([]types.Branch, len(order))
+		for i, l := range order {
+			out[i] = byLabel[l]
+		}
+		return types.Recv{Peer: ra.Peer, Branches: out}, nil
+	}
+	// Recursion binders merge when bodies merge under the same name.
+	ka, okA2 := a.(types.Rec)
+	kb, okB2 := b.(types.Rec)
+	if okA2 && okB2 && ka.Name == kb.Name {
+		body, err := merge(ka.Body, kb.Body)
+		if err != nil {
+			return nil, err
+		}
+		return types.Rec{Name: ka.Name, Body: body}, nil
+	}
+	return nil, fmt.Errorf("unmergeable projections %s and %s", a, b)
+}
+
+// pruneUnusedRecs removes μ-binders whose variable never occurs, which
+// projection introduces when a role does not participate in a loop. Without
+// pruning, a projection such as μx.end would be reported non-contractive by
+// downstream validation... it is in fact simply end.
+func pruneUnusedRecs(t types.Local) types.Local {
+	switch t := t.(type) {
+	case types.End, types.Var:
+		return t
+	case types.Rec:
+		body := pruneUnusedRecs(t.Body)
+		if !occursFree(body, t.Name) {
+			return body
+		}
+		return types.Rec{Name: t.Name, Body: body}
+	case types.Send:
+		return types.Send{Peer: t.Peer, Branches: pruneBranches(t.Branches)}
+	case types.Recv:
+		return types.Recv{Peer: t.Peer, Branches: pruneBranches(t.Branches)}
+	default:
+		panic(fmt.Sprintf("project: unknown local type %T", t))
+	}
+}
+
+func pruneBranches(bs []types.Branch) []types.Branch {
+	out := make([]types.Branch, len(bs))
+	for i, b := range bs {
+		out[i] = types.Branch{Label: b.Label, Sort: b.Sort, Cont: pruneUnusedRecs(b.Cont)}
+	}
+	return out
+}
+
+// participates reports whether role sends or receives anywhere in g.
+func participates(g types.Global, role types.Role) bool {
+	switch g := g.(type) {
+	case types.Comm:
+		if g.From == role || g.To == role {
+			return true
+		}
+		for _, b := range g.Branches {
+			if participates(b.Cont, role) {
+				return true
+			}
+		}
+	case types.GRec:
+		return participates(g.Body, role)
+	}
+	return false
+}
+
+func occursFree(t types.Local, name string) bool {
+	for _, v := range types.FreeVars(t) {
+		if v == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,151 @@
+package project
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestProjectStreaming(t *testing.T) {
+	// GST = μx.t→s:ready.s→t:{value.x, stop.end}  (Fig. 3)
+	g := types.MustParseGlobal("mu x.t->s:ready.s->t:{value.x, stop.end}")
+
+	source := MustProject(g, "s")
+	wantSource := types.MustParse("mu x.t?ready.t!{value.x, stop.end}")
+	if !types.EqualLocal(source, wantSource) {
+		t.Errorf("source projection = %s, want %s", source, wantSource)
+	}
+
+	sink := MustProject(g, "t")
+	wantSink := types.MustParse("mu x.s!ready.s?{value.x, stop.end}")
+	if !types.EqualLocal(sink, wantSink) {
+		t.Errorf("sink projection = %s, want %s", sink, wantSink)
+	}
+}
+
+func TestProjectDoubleBuffering(t *testing.T) {
+	// GDB = μx.k→s:ready.s→k:value.t→k:ready.k→t:value.x  (§2.1)
+	g := types.MustParseGlobal("mu x.k->s:ready.s->k:value.t->k:ready.k->t:value.x")
+
+	kernel := MustProject(g, "k")
+	wantKernel := types.MustParse("mu x.s!ready.s?value.t?ready.t!value.x")
+	if !types.EqualLocal(kernel, wantKernel) {
+		t.Errorf("kernel projection = %s, want %s", kernel, wantKernel)
+	}
+
+	source := MustProject(g, "s")
+	wantSource := types.MustParse("mu x.k?ready.k!value.x")
+	if !types.EqualLocal(source, wantSource) {
+		t.Errorf("source projection = %s, want %s", source, wantSource)
+	}
+
+	sink := MustProject(g, "t")
+	wantSink := types.MustParse("mu x.k!ready.k?value.x")
+	if !types.EqualLocal(sink, wantSink) {
+		t.Errorf("sink projection = %s, want %s", sink, wantSink)
+	}
+}
+
+func TestProjectNonParticipant(t *testing.T) {
+	g := types.MustParseGlobal("mu x.a->b:m.x")
+	got := MustProject(g, "c")
+	if _, ok := got.(types.End); !ok {
+		t.Errorf("non-participant projection = %s, want end", got)
+	}
+}
+
+func TestProjectMergeIdenticalBranches(t *testing.T) {
+	// c does the same thing in both branches: mergeable.
+	g := types.MustParseGlobal("a->b:{l.b->c:m.end, r.b->c:m.end}")
+	got := MustProject(g, "c")
+	want := types.MustParse("b?m.end")
+	if !types.EqualLocal(got, want) {
+		t.Errorf("projection = %s, want %s", got, want)
+	}
+}
+
+func TestProjectFullMerge(t *testing.T) {
+	// c receives different labels from b depending on the branch: full merge
+	// combines them into a single external choice.
+	g := types.MustParseGlobal("a->b:{l.b->c:m1.end, r.b->c:m2.end}")
+	got := MustProject(g, "c")
+	want := types.MustParse("b?{m1.end, m2.end}")
+	if !types.EqualLocal(got, want) {
+		t.Errorf("projection = %s, want %s", got, want)
+	}
+}
+
+func TestProjectUnmergeable(t *testing.T) {
+	// c must *send* different things depending on a choice it never observes.
+	g := types.MustParseGlobal("a->b:{l.c->b:m1.end, r.c->b:m2.end}")
+	if _, err := Project(g, "c"); err == nil {
+		t.Error("unprojectable protocol accepted")
+	}
+	// Conflicting sorts under a common label.
+	g2 := types.MustParseGlobal("a->b:{l.b->c:m(i32).end, r.b->c:m(i64).end}")
+	if _, err := Project(g2, "c"); err == nil {
+		t.Error("conflicting sorts accepted")
+	}
+}
+
+func TestProjectRingWithChoice(t *testing.T) {
+	// The ring-with-choice protocol from Appendix B.2.1: roles a, b, c where
+	// b's projection is μt.a?add.c!{add.t, sub.t}.
+	g := types.MustParseGlobal("mu t.a->b:add.b->c:{add.c->a:add.t, sub.c->a:add.t}")
+	got := MustProject(g, "b")
+	want := types.MustParse("mu t.a?add.c!{add.t, sub.t}")
+	if !types.EqualLocal(got, want) {
+		t.Errorf("projection = %s, want %s", got, want)
+	}
+}
+
+func TestProjectAll(t *testing.T) {
+	g := types.MustParseGlobal("mu x.k->s:ready.s->k:value.t->k:ready.k->t:value.x")
+	all, err := ProjectAll(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("ProjectAll returned %d roles", len(all))
+	}
+	for r, l := range all {
+		if err := types.ValidateLocal(l); err != nil {
+			t.Errorf("projection onto %s invalid: %v", r, err)
+		}
+	}
+}
+
+func TestProjectFSMs(t *testing.T) {
+	g := types.MustParseGlobal("mu x.t->s:ready.s->t:{value.x, stop.end}")
+	ms, err := ProjectFSMs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("got %d machines", len(ms))
+	}
+	for r, m := range ms {
+		if m.Role() != r {
+			t.Errorf("machine role %s under key %s", m.Role(), r)
+		}
+		if !m.Directed() {
+			t.Errorf("projected machine for %s not directed", r)
+		}
+	}
+}
+
+func TestProjectRejectsIllFormedGlobal(t *testing.T) {
+	bad := types.Comm{From: "p", To: "p", Branches: []types.GBranch{{Label: "l", Sort: types.Unit, Cont: types.GEnd{}}}}
+	if _, err := Project(bad, "p"); err == nil {
+		t.Error("self-communication accepted")
+	}
+}
+
+func TestMergeErrorMentionsRole(t *testing.T) {
+	g := types.MustParseGlobal("a->b:{l.c->b:m1.end, r.c->b:m2.end}")
+	_, err := Project(g, "c")
+	if err == nil || !strings.Contains(err.Error(), "merge") {
+		t.Errorf("error %v does not mention merging", err)
+	}
+}

@@ -1,0 +1,124 @@
+package project
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fsm"
+	"repro/internal/kmc"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// genGlobal generates a random well-formed, projectable global type over
+// three roles: sequences of interactions, an optional top-level loop, and
+// choices whose branches share a continuation (the plainly-mergeable class).
+func genGlobal(r *rand.Rand, depth int, loop bool) types.Global {
+	roles := []types.Role{"a", "b", "c"}
+	labels := []types.Label{"l", "m", "n"}
+	var gen func(depth int) types.Global
+	gen = func(depth int) types.Global {
+		if depth <= 0 {
+			if loop && r.Intn(2) == 0 {
+				return types.GVar{Name: "t"}
+			}
+			return types.GEnd{}
+		}
+		from := roles[r.Intn(len(roles))]
+		to := roles[(int(from[0])-'a'+1+r.Intn(2))%3]
+		if from == to {
+			to = roles[(int(to[0])-'a'+1)%3]
+		}
+		cont := gen(depth - 1)
+		if r.Intn(4) == 0 {
+			// A two-branch choice with a shared continuation.
+			return types.Comm{From: from, To: to, Branches: []types.GBranch{
+				{Label: labels[0], Sort: types.Unit, Cont: cont},
+				{Label: labels[1], Sort: types.Unit, Cont: cont},
+			}}
+		}
+		return types.GComm(from, to, labels[r.Intn(len(labels))], types.Unit, cont)
+	}
+	body := gen(depth)
+	if loop {
+		// Guard the loop: at least one interaction before any variable. The
+		// generator above may produce a bare variable at depth 0, so wrap
+		// only when the body is guarded.
+		g := types.GRec{Name: "t", Body: body}
+		if err := types.ValidateGlobal(g); err == nil {
+			return g
+		}
+		return types.GComm("a", "b", "seed", types.Unit, types.GEnd{})
+	}
+	return body
+}
+
+type globalGen struct {
+	G types.Global
+}
+
+func (globalGen) Generate(r *rand.Rand, size int) reflect.Value {
+	d := size%5 + 1
+	return reflect.ValueOf(globalGen{G: genGlobal(r, d, r.Intn(2) == 0)})
+}
+
+// TestQuickProjectionsAreCompatible is the communication-safety theorem of
+// MPST, checked empirically: the projections of any well-formed global type
+// form a 1-multiparty-compatible system.
+func TestQuickProjectionsAreCompatible(t *testing.T) {
+	f := func(g globalGen) bool {
+		if err := types.ValidateGlobal(g.G); err != nil {
+			t.Logf("generator produced ill-formed global %s: %v", g.G, err)
+			return false
+		}
+		ms, err := ProjectFSMs(g.G)
+		if err != nil {
+			t.Logf("projection failed for %s: %v", g.G, err)
+			return false
+		}
+		if len(ms) < 2 {
+			return true // degenerate: fewer than two participants
+		}
+		var machines []*fsm.FSM
+		for _, m := range ms {
+			machines = append(machines, m)
+		}
+		sys, err := kmc.NewSystem(machines...)
+		if err != nil {
+			return false
+		}
+		res := kmc.Check(sys, 1)
+		if !res.OK {
+			t.Logf("projections of %s not 1-MC: %v", g.G, res.Violation)
+		}
+		return res.OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickProjectionsExecute runs the projected systems under random
+// schedules: they must never get stuck.
+func TestQuickProjectionsExecute(t *testing.T) {
+	f := func(g globalGen, seed int64) bool {
+		ms, err := ProjectFSMs(g.G)
+		if err != nil || len(ms) < 2 {
+			return err == nil
+		}
+		var machines []*fsm.FSM
+		for _, m := range ms {
+			machines = append(machines, m)
+		}
+		if _, err := sim.Run(machines, 500, seed); err != nil {
+			t.Logf("execution of %s stuck: %v", g.G, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

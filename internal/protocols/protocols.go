@@ -1,0 +1,429 @@
+// Package protocols is the library of every protocol evaluated in the paper:
+// the seventeen rows of Table 1, plus the parameterised families benchmarked
+// in Fig. 7 (streaming unrolls, nested choice, rings of n participants,
+// k-buffering). Each entry carries the global type (when one exists), the
+// endpoint types per role, the AMR-optimised endpoints (when the paper
+// optimises the protocol) and the feature flags of Table 1's left columns.
+package protocols
+
+import (
+	"fmt"
+
+	"repro/internal/fsm"
+	"repro/internal/types"
+)
+
+// Entry is one protocol of Table 1.
+type Entry struct {
+	// Name as printed in Table 1.
+	Name string
+	// Ref is the paper's citation tag for the protocol's origin.
+	Ref string
+	// Participants is the column n.
+	Participants int
+	// Global is the protocol's global type; nil for protocols that exist
+	// only as endpoint types (bottom-up only, e.g. Hospital).
+	Global types.Global
+	// Locals maps each role to its endpoint type (the projection when Global
+	// is set; hand-written otherwise).
+	Locals map[types.Role]types.Local
+	// Optimised maps roles to their AMR-optimised endpoint types. Empty when
+	// the row is not an optimised variant.
+	Optimised map[types.Role]types.Local
+	// Feature flags: the C, R, IR and AMR columns.
+	Choice, Rec, InfiniteRec, AMR bool
+	// KmcBound is the queue bound at which the (optimised) system is
+	// expected to be k-MC; CheckUpTo is run up to this bound.
+	KmcBound int
+}
+
+// System returns the endpoint types actually executed: Locals overridden by
+// Optimised where present.
+func (e Entry) System() map[types.Role]types.Local {
+	out := map[types.Role]types.Local{}
+	for r, l := range e.Locals {
+		out[r] = l
+	}
+	for r, l := range e.Optimised {
+		out[r] = l
+	}
+	return out
+}
+
+// FSMs converts a role→local-type map into machines, panicking on malformed
+// entries (the registry is static data).
+func FSMs(locals map[types.Role]types.Local) map[types.Role]*fsm.FSM {
+	out := map[types.Role]*fsm.FSM{}
+	for r, l := range locals {
+		out[r] = fsm.MustFromLocal(r, l)
+	}
+	return out
+}
+
+// Machines flattens a role→FSM map into a deterministic slice (sorted by
+// role), as the k-MC checker expects.
+func Machines(ms map[types.Role]*fsm.FSM) []*fsm.FSM {
+	var roles []types.Role
+	for r := range ms {
+		roles = append(roles, r)
+	}
+	for i := 1; i < len(roles); i++ {
+		for j := i; j > 0 && roles[j] < roles[j-1]; j-- {
+			roles[j], roles[j-1] = roles[j-1], roles[j]
+		}
+	}
+	out := make([]*fsm.FSM, len(roles))
+	for i, r := range roles {
+		out[i] = ms[r]
+	}
+	return out
+}
+
+// mp and mpg are terse parser aliases for building the registry.
+func mp(src string) types.Local   { return types.MustParse(src) }
+func mpg(src string) types.Global { return types.MustParseGlobal(src) }
+func rl(src string) types.Role    { return types.Role(src) }
+func locals(kv ...any) map[types.Role]types.Local {
+	out := map[types.Role]types.Local{}
+	for i := 0; i < len(kv); i += 2 {
+		out[rl(kv[i].(string))] = kv[i+1].(types.Local)
+	}
+	return out
+}
+
+// Registry returns the seventeen Table 1 rows, in the paper's order.
+func Registry() []Entry {
+	return []Entry{
+		TwoAdder(),
+		ThreeAdder(),
+		Streaming(),
+		OptimisedStreaming(),
+		Ring(),
+		OptimisedRing(),
+		RingWithChoice(),
+		OptimisedRingWithChoice(),
+		DoubleBuffering(),
+		OptimisedDoubleBuffering(),
+		AlternatingBit(),
+		Elevator(),
+		FFT(),
+		OptimisedFFT(),
+		Authentication(),
+		ClientServerLog(),
+		Hospital(),
+	}
+}
+
+// TwoAdder is the two-party adder of the νScr examples: a client repeatedly
+// sends two integers and receives their sum, or says bye.
+func TwoAdder() Entry {
+	g := mpg("mu t.c->s:{add(i32).c->s:num(i32).s->c:sum(i32).t, bye.s->c:bye.end}")
+	return Entry{
+		Name: "Two Adder", Ref: "[2]", Participants: 2,
+		Global: g,
+		Locals: locals(
+			"c", mp("mu t.s!{add(i32).s!num(i32).s?sum(i32).t, bye.s?bye.end}"),
+			"s", mp("mu t.c?{add(i32).c?num(i32).c!sum(i32).t, bye.c!bye.end}"),
+		),
+		Choice: true, Rec: true, KmcBound: 2,
+	}
+}
+
+// ThreeAdder splits the addition across three parties in a line.
+func ThreeAdder() Entry {
+	g := mpg("a->b:num(i32).b->c:num(i32).c->a:sum(i32).end")
+	return Entry{
+		Name: "Three Adder", Ref: "", Participants: 3,
+		Global: g,
+		Locals: locals(
+			"a", mp("b!num(i32).c?sum(i32).end"),
+			"b", mp("a?num(i32).c!num(i32).end"),
+			"c", mp("b?num(i32).a!sum(i32).end"),
+		),
+		KmcBound: 1,
+	}
+}
+
+// Streaming is GST of §2.1/§4.1: a sink requests values until the source
+// stops.
+func Streaming() Entry {
+	g := mpg("mu x.t->s:ready.s->t:{value(i32).x, stop.end}")
+	return Entry{
+		Name: "Streaming", Ref: "", Participants: 2,
+		Global: g,
+		Locals: locals(
+			"s", mp("mu x.t?ready.t!{value(i32).x, stop.end}"),
+			"t", mp("mu x.s!ready.s?{value(i32).x, stop.end}"),
+		),
+		Choice: true, Rec: true, KmcBound: 1,
+	}
+}
+
+// OptimisedStreaming unrolls one value ahead of its ready (AMR), consuming
+// the outstanding ready after stopping.
+func OptimisedStreaming() Entry {
+	e := Streaming()
+	e.Name, e.Ref = "Optimised Streaming", ""
+	e.Optimised = locals(
+		"s", mp("t!value(i32).mu x.t?ready.t!{value(i32).x, stop.t?ready.end}"),
+	)
+	e.AMR = true
+	e.KmcBound = 2
+	return e
+}
+
+// Ring is the three-participant ring of [11]: a value circulates forever.
+func Ring() Entry {
+	g := mpg("mu t.a->b:v.b->c:v.c->a:v.t")
+	return Entry{
+		Name: "Ring", Ref: "[11]", Participants: 3,
+		Global: g,
+		Locals: locals(
+			"a", mp("mu t.b!v.c?v.t"),
+			"b", mp("mu t.a?v.c!v.t"),
+			"c", mp("mu t.b?v.a!v.t"),
+		),
+		Rec: true, InfiniteRec: true, KmcBound: 1,
+	}
+}
+
+// OptimisedRing lets b and c send to their successors before receiving (AMR).
+func OptimisedRing() Entry {
+	e := Ring()
+	e.Name = "Optimised Ring"
+	e.Optimised = locals(
+		"b", mp("mu t.c!v.a?v.t"),
+		"c", mp("mu t.a!v.b?v.t"),
+	)
+	e.AMR = true
+	e.KmcBound = 2
+	return e
+}
+
+// RingWithChoice is the Appendix B.2.1 ring: b relays a's add as either add
+// or sub towards c.
+func RingWithChoice() Entry {
+	g := mpg("mu t.a->b:add.b->c:{add.c->a:add.t, sub.c->a:add.t}")
+	return Entry{
+		Name: "Ring With Choice", Ref: "[11]", Participants: 3,
+		Global: g,
+		Locals: locals(
+			"a", mp("mu t.b!add.c?add.t"),
+			"b", mp("mu t.a?add.c!{add.t, sub.t}"),
+			"c", mp("mu t.b?{add.a!add.t, sub.a!add.t}"),
+		),
+		Choice: true, Rec: true, InfiniteRec: true, KmcBound: 1,
+	}
+}
+
+// OptimisedRingWithChoice is the worked subtyping example of Appendix B.4:
+// b chooses and sends before receiving from a.
+func OptimisedRingWithChoice() Entry {
+	e := RingWithChoice()
+	e.Name = "Optimised Ring With Choice"
+	e.Optimised = locals(
+		"b", mp("mu t.c!{add.a?add.t, sub.a?add.t}"),
+	)
+	e.AMR = true
+	e.KmcBound = 2
+	return e
+}
+
+// DoubleBuffering is the running example (Listing 1): a kernel moves values
+// from a source to a sink.
+func DoubleBuffering() Entry {
+	g := mpg("mu x.k->s:ready.s->k:value.t->k:ready.k->t:value.x")
+	return Entry{
+		Name: "Double Buffering", Ref: "[11]", Participants: 3,
+		Global: g,
+		Locals: locals(
+			"k", mp("mu x.s!ready.s?value.t?ready.t!value.x"),
+			"s", mp("mu x.k?ready.k!value.x"),
+			"t", mp("mu x.k!ready.k?value.x"),
+		),
+		Rec: true, InfiniteRec: true, KmcBound: 1,
+	}
+}
+
+// OptimisedDoubleBuffering sends the second ready ahead (§2.1, Fig. 4b), so
+// the source fills one buffer while the sink drains the other.
+func OptimisedDoubleBuffering() Entry {
+	e := DoubleBuffering()
+	e.Name, e.Ref = "Optimised Double Buffering", "[11, 33]"
+	e.Optimised = locals(
+		"k", mp("s!ready.mu x.s!ready.s?value.t?ready.t!value.x"),
+	)
+	e.AMR = true
+	e.KmcBound = 2
+	return e
+}
+
+// AlternatingBit is the classic protocol, with the receiver specification of
+// Appendix B.4 as the optimised endpoint.
+func AlternatingBit() Entry {
+	g := mpg("mu t.s->r:d0.r->s:{a0.mu u.s->r:d1.r->s:{a0.u, a1.t}, a1.t}")
+	return Entry{
+		Name: "Alternating Bit", Ref: "[1, 43]", Participants: 2,
+		Global: g,
+		Locals: locals(
+			"s", mp("mu t.r!d0.r?{a0.mu u.r!d1.r?{a0.u, a1.t}, a1.t}"),
+			"r", mp("mu t.s?d0.s!{a0.mu u.s?d1.s!{a0.u, a1.t}, a1.t}"),
+		),
+		Optimised: locals(
+			"r", mp("mu t.s?{d0.s!a0.t, d1.s!a1.t}"),
+		),
+		Choice: true, Rec: true, InfiniteRec: true, AMR: true, KmcBound: 2,
+	}
+}
+
+// Elevator is a three-party control loop (after [6, 43]): a panel reports
+// up/down calls, the controller cycles the door. The optimised controller
+// opens the door while the next call is still in flight.
+func Elevator() Entry {
+	g := mpg("mu t.p->e:{up.e->d:open.d->e:done.t, down.e->d:open.d->e:done.t}")
+	return Entry{
+		Name: "Elevator", Ref: "[6, 43]", Participants: 3,
+		Global: g,
+		Locals: locals(
+			"p", mp("mu t.e!{up.t, down.t}"),
+			"e", mp("mu t.p?{up.d!open.d?done.t, down.d!open.d?done.t}"),
+			"d", mp("mu t.e?open.e!done.t"),
+		),
+		Optimised: locals(
+			"e", mp("mu t.d!open.p?{up.d?done.t, down.d?done.t}"),
+		),
+		Choice: true, Rec: true, InfiniteRec: true, AMR: true, KmcBound: 2,
+	}
+}
+
+// FFT is the eight-process butterfly exchange of [11]: three stages in which
+// each process swaps its column with its hypercube partner. See FFTGlobal.
+func FFT() Entry {
+	g := FFTGlobal()
+	ls, _ := fftLocals()
+	return Entry{
+		Name: "FFT", Ref: "[11]", Participants: 8,
+		Global:   g,
+		Locals:   ls,
+		KmcBound: 1,
+	}
+}
+
+// OptimisedFFT lets the lower partner of each butterfly send before receiving
+// (AMR), overlapping the two halves of every exchange.
+func OptimisedFFT() Entry {
+	e := FFT()
+	e.Name = "Optimised FFT"
+	_, opt := fftLocals()
+	e.Optimised = opt
+	e.AMR = true
+	e.KmcBound = 2
+	return e
+}
+
+// Authentication is the three-party protocol of [48]: a client logs in via
+// an authenticator which instructs the service to accept or reject.
+func Authentication() Entry {
+	g := mpg("c->a:login(str).a->s:{auth.s->c:ok.end, deny.s->c:fail.end}")
+	return Entry{
+		Name: "Authentication", Ref: "[48]", Participants: 3,
+		Global: g,
+		Locals: locals(
+			"c", mp("a!login(str).s?{ok.end, fail.end}"),
+			"a", mp("c?login(str).s!{auth.end, deny.end}"),
+			"s", mp("a?{auth.c!ok.end, deny.c!fail.end}"),
+		),
+		Choice: true, KmcBound: 1,
+	}
+}
+
+// ClientServerLog is the logging protocol of [41]: a server answers client
+// requests while streaming a log to a third party.
+func ClientServerLog() Entry {
+	g := mpg("mu t.c->s:{req(str).s->l:log(str).s->c:resp(str).t, quit.s->l:shutdown.end}")
+	return Entry{
+		Name: "Client-Server Log", Ref: "[41]", Participants: 3,
+		Global: g,
+		Locals: locals(
+			"c", mp("mu t.s!{req(str).s?resp(str).t, quit.end}"),
+			"s", mp("mu t.c?{req(str).l!log(str).c!resp(str).t, quit.l!shutdown.end}"),
+			"l", mp("mu t.s?{log(str).t, shutdown.end}"),
+		),
+		Choice: true, Rec: true, KmcBound: 1,
+	}
+}
+
+// Hospital is the binary protocol of [7, §1]: a patient streams unboundedly
+// many readings before collecting acknowledgements. The optimisation needs
+// unbounded anticipation, so neither bounded subtyping nor k-MC can verify
+// it; SoundBinary can (Table 1's final row). There is no global type — the
+// endpoints are written directly (bottom-up).
+func Hospital() Entry {
+	return Entry{
+		Name: "Hospital", Ref: "[7]", Participants: 2,
+		Locals: locals(
+			"p", mp("mu t.h!{d.h?ok.t, stop.h?done.end}"),
+			"h", mp("mu t.p?{d.p!ok.t, stop.p!done.end}"),
+		),
+		Optimised: locals(
+			"p", mp("mu t.h!{d.t, stop.mu u.h?{ok.u, done.end}}"),
+		),
+		Choice: true, Rec: true, InfiniteRec: true, AMR: true, KmcBound: 3,
+	}
+}
+
+// FFTGlobal builds the 24-interaction global type of the eight-point
+// butterfly: for every stage span ∈ {4, 2, 1} and every pair {j, j⊕span}
+// with j < j⊕span, the lower process sends its column then receives its
+// partner's.
+func FFTGlobal() types.Global {
+	var g types.Global = types.GEnd{}
+	// Build back to front.
+	spans := []int{1, 2, 4}
+	for _, span := range spans {
+		for j := 7; j >= 0; j-- {
+			p := j ^ span
+			if j > p {
+				continue
+			}
+			lo, hi := fftRole(j), fftRole(p)
+			g = types.GComm(lo, hi, "col", types.F64, types.GComm(hi, lo, "col", types.F64, g))
+		}
+	}
+	return g
+}
+
+func fftRole(j int) types.Role { return types.Role(fmt.Sprintf("w%d", j)) }
+
+// FFTRoles returns the eight worker roles w0..w7.
+func FFTRoles() []types.Role {
+	out := make([]types.Role, 8)
+	for j := range out {
+		out[j] = fftRole(j)
+	}
+	return out
+}
+
+// fftLocals builds each worker's endpoint type and its AMR-optimised variant
+// (send before receive at every stage).
+func fftLocals() (plain, optimised map[types.Role]types.Local) {
+	plain = map[types.Role]types.Local{}
+	optimised = map[types.Role]types.Local{}
+	for j := 0; j < 8; j++ {
+		var tail types.Local = types.End{}
+		var optTail types.Local = types.End{}
+		for _, span := range []int{1, 2, 4} { // build back to front
+			p := fftRole(j ^ span)
+			if j < j^span {
+				// Lower index sends first in the global order.
+				tail = types.LSend(p, "col", types.F64, types.LRecv(p, "col", types.F64, tail))
+			} else {
+				tail = types.LRecv(p, "col", types.F64, types.LSend(p, "col", types.F64, tail))
+			}
+			optTail = types.LSend(p, "col", types.F64, types.LRecv(p, "col", types.F64, optTail))
+		}
+		plain[fftRole(j)] = tail
+		optimised[fftRole(j)] = optTail
+	}
+	return plain, optimised
+}

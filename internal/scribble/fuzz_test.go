@@ -1,0 +1,22 @@
+package scribble
+
+import "testing"
+
+func FuzzParse(f *testing.F) {
+	f.Add(streamingSrc)
+	f.Add(doubleBufferingSrc)
+	f.Add("global protocol P(role a, role b) { m() from a to b; }")
+	f.Add("global protocol P(role a) { rec t { continue t; } }")
+	f.Add("global protocol {}{}")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Any accepted protocol must be well-formed; Parse validates, so a
+		// nil error with a nil global would be a bug.
+		if p.Global == nil || p.Name == "" {
+			t.Fatalf("accepted protocol with missing fields: %+v", p)
+		}
+	})
+}

@@ -1,0 +1,261 @@
+package session
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fsm"
+	"repro/internal/protocols"
+	"repro/internal/types"
+)
+
+// TestRunAlternatingBitEndToEnd executes the alternating-bit protocol with
+// the AMR-optimised receiver of Appendix B.4 over the monitored runtime.
+func TestRunAlternatingBitEndToEnd(t *testing.T) {
+	e := protocols.AlternatingBit()
+	sender := fsm.MustFromLocal("s", e.Locals["s"])
+	receiver := fsm.MustFromLocal("r", e.Optimised["r"])
+
+	// Bottom-up: the pair is verified globally before running.
+	sess, err := BottomUp(e.KmcBound, sender, receiver)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 6 // d0/d1 alternations before the sender gives up
+	var delivered []types.Label
+	err = sess.Run(map[types.Role]func(*Endpoint) error{
+		"s": func(e *Endpoint) error {
+			// The sender resends alternating bits, acknowledging each: here
+			// acks always succeed (a0 for d0, a0 for d1 within the inner
+			// loop, then a1 to flip back). Drive `rounds` d0/d1 pairs.
+			for i := 0; i < rounds; i++ {
+				if err := e.Send("r", "d0", i); err != nil {
+					return err
+				}
+				label, _, err := e.Receive("r")
+				if err != nil {
+					return err
+				}
+				if label != "a0" {
+					continue // a1: restart the outer loop
+				}
+				if err := e.Send("r", "d1", i); err != nil {
+					return err
+				}
+				if _, _, err := e.Receive("r"); err != nil {
+					return err
+				}
+			}
+			return ErrStopped
+		},
+		"r": func(e *Endpoint) error {
+			// Optimised receiver: one state, acknowledge whatever arrives.
+			for i := 0; i < 2*rounds; i++ {
+				label, _, err := e.Receive("s")
+				if err != nil {
+					return err
+				}
+				delivered = append(delivered, label)
+				ack := types.Label("a0")
+				if label == "d1" {
+					ack = "a1"
+				}
+				if err := e.Send("s", ack, nil); err != nil {
+					return err
+				}
+			}
+			return ErrStopped
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delivered) == 0 {
+		t.Fatal("nothing delivered")
+	}
+	// Bits alternate: d0 d1 d0 d1 ...
+	for i, l := range delivered {
+		want := types.Label("d0")
+		if i%2 == 1 {
+			want = "d1"
+		}
+		if l != want {
+			t.Fatalf("delivered[%d] = %s, want %s (trace %v)", i, l, want, delivered)
+		}
+	}
+}
+
+// TestRunElevatorEndToEnd executes the elevator with its AMR-optimised
+// controller (door opened before the call arrives) via the top-down workflow.
+func TestRunElevatorEndToEnd(t *testing.T) {
+	e := protocols.Elevator()
+	sess, err := TopDown(e.Global, map[types.Role]*fsm.FSM{
+		"e": fsm.MustFromLocal("e", e.Optimised["e"]),
+	}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 8
+	opens := 0
+	err = sess.Run(map[types.Role]func(*Endpoint) error{
+		"p": func(ep *Endpoint) error {
+			for i := 0; i < rounds; i++ {
+				label := types.Label("up")
+				if i%3 == 0 {
+					label = "down"
+				}
+				if err := ep.Send("e", label, nil); err != nil {
+					return err
+				}
+			}
+			return ErrStopped
+		},
+		"e": func(ep *Endpoint) error {
+			for i := 0; i < rounds; i++ {
+				// AMR: open the door before the call arrives.
+				if err := ep.Send("d", "open", nil); err != nil {
+					return err
+				}
+				if _, _, err := ep.Receive("p"); err != nil {
+					return err
+				}
+				if _, err := ep.ReceiveLabel("d", "done"); err != nil {
+					return err
+				}
+			}
+			return ErrStopped
+		},
+		"d": func(ep *Endpoint) error {
+			for i := 0; i < rounds; i++ {
+				if _, err := ep.ReceiveLabel("e", "open"); err != nil {
+					return err
+				}
+				opens++
+				if err := ep.Send("e", "done", nil); err != nil {
+					return err
+				}
+			}
+			return ErrStopped
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opens != rounds {
+		t.Errorf("door opened %d times, want %d", opens, rounds)
+	}
+}
+
+// TestRunClientServerLogEndToEnd exercises a protocol with a third-party
+// observer and a terminating branch, fully monitored.
+func TestRunClientServerLogEndToEnd(t *testing.T) {
+	e := protocols.ClientServerLog()
+	sess, err := TopDown(e.Global, nil, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const reqs = 5
+	var logged []string
+	err = sess.Run(map[types.Role]func(*Endpoint) error{
+		"c": func(ep *Endpoint) error {
+			for i := 0; i < reqs; i++ {
+				if err := ep.Send("s", "req", "ping"); err != nil {
+					return err
+				}
+				if _, err := ep.ReceiveLabel("s", "resp"); err != nil {
+					return err
+				}
+			}
+			return ep.Send("s", "quit", nil)
+		},
+		"s": func(ep *Endpoint) error {
+			for {
+				label, v, err := ep.Receive("c")
+				if err != nil {
+					return err
+				}
+				if label == "quit" {
+					return ep.Send("l", "shutdown", nil)
+				}
+				if err := ep.Send("l", "log", v); err != nil {
+					return err
+				}
+				if err := ep.Send("c", "resp", "pong"); err != nil {
+					return err
+				}
+			}
+		},
+		"l": func(ep *Endpoint) error {
+			for {
+				label, v, err := ep.Receive("s")
+				if err != nil {
+					return err
+				}
+				if label == "shutdown" {
+					return nil
+				}
+				logged = append(logged, v.(string))
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logged) != reqs {
+		t.Errorf("logged %d entries, want %d", len(logged), reqs)
+	}
+}
+
+// TestRunAuthenticationBothBranches runs the authentication protocol through
+// both of its outcomes under full monitoring.
+func TestRunAuthenticationBothBranches(t *testing.T) {
+	e := protocols.Authentication()
+	for _, accept := range []bool{true, false} {
+		sess, err := TopDown(e.Global, nil, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var outcome types.Label
+		err = sess.Run(map[types.Role]func(*Endpoint) error{
+			"c": func(ep *Endpoint) error {
+				if err := ep.Send("a", "login", "alice"); err != nil {
+					return err
+				}
+				label, _, err := ep.Receive("s")
+				outcome = label
+				return err
+			},
+			"a": func(ep *Endpoint) error {
+				if _, err := ep.ReceiveLabel("c", "login"); err != nil {
+					return err
+				}
+				verdict := types.Label("auth")
+				if !accept {
+					verdict = "deny"
+				}
+				return ep.Send("s", verdict, nil)
+			},
+			"s": func(ep *Endpoint) error {
+				label, _, err := ep.Receive("a")
+				if err != nil {
+					return err
+				}
+				if label == "auth" {
+					return ep.Send("c", "ok", nil)
+				}
+				return ep.Send("c", "fail", nil)
+			},
+		})
+		if err != nil {
+			t.Fatalf("accept=%v: %v", accept, err)
+		}
+		want := types.Label("ok")
+		if !accept {
+			want = "fail"
+		}
+		if outcome != want {
+			t.Errorf("accept=%v: outcome %s, want %s", accept, outcome, want)
+		}
+	}
+}

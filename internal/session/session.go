@@ -1,0 +1,385 @@
+// Package session is the Go analogue of the Rumpsteak runtime (§2 of the
+// paper): roles communicate asynchronously over per-ordered-pair unbounded
+// FIFO queues; processes are goroutines driving one endpoint each.
+//
+// Where the Rust framework uses the type checker to force each process to
+// conform to its verified FSM, Go has no affine types, so conformance is
+// enforced by a runtime monitor instead (see DESIGN.md for why this preserves
+// the paper's guarantees): every Send/Receive is checked against the
+// endpoint's FSM and faults deterministically on any deviation. Linearity is
+// enforced by TrySession, which consumes the endpoint for the duration of a
+// session and verifies that the protocol ran to completion.
+//
+// Deadlock-freedom is established *before* execution by the three workflows
+// of Fig. 1: TopDown (projection + asynchronous subtyping), BottomUp (k-MC
+// over the endpoint FSMs) and Hybrid (projection + subtyping against
+// developer-supplied FSMs).
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/fsm"
+	"repro/internal/kmc"
+	"repro/internal/project"
+	"repro/internal/types"
+)
+
+// ErrLinearity is returned when an endpoint is used by two sessions at once
+// or reused without Reset.
+var ErrLinearity = errors.New("session: endpoint already in use (linearity violation)")
+
+// ErrIncomplete is returned by TrySession when the process returned before
+// driving its protocol to a terminal state.
+var ErrIncomplete = errors.New("session: process returned before the protocol completed")
+
+// ProtocolError reports a process action that its verified FSM does not
+// allow. It is the runtime analogue of a Rust compile error.
+type ProtocolError struct {
+	Role   types.Role
+	State  fsm.State
+	Action fsm.Action
+}
+
+func (e *ProtocolError) Error() string {
+	return fmt.Sprintf("session: role %s attempted %s in state %d, not allowed by its verified FSM", e.Role, e.Action, e.State)
+}
+
+// route is the channel shape a network needs per ordered pair of roles.
+type route interface {
+	channel.Sender
+	channel.Receiver
+	Close()
+}
+
+// Network connects a set of roles with one FIFO queue per ordered pair.
+// Queues are persistent across the whole session, mirroring Rumpsteak's
+// reusable channels (no per-interaction allocation). The default network is
+// unbounded — the paper's asynchronous semantics; NewBoundedNetwork gives the
+// k-bounded semantics of the k-MC model instead.
+type Network struct {
+	roles  []types.Role
+	queues map[[2]types.Role]route
+}
+
+// NewNetwork creates a network of unbounded queues connecting the roles.
+func NewNetwork(roles ...types.Role) *Network {
+	return newNetwork(roles, func() route { return channel.NewQueue() })
+}
+
+// NewBoundedNetwork creates a network whose queues hold at most k messages:
+// sends block when a queue is full, exactly the execution model k-MC
+// verifies. A system that is k-MC runs deadlock-free on a k-bounded network.
+func NewBoundedNetwork(k int, roles ...types.Role) *Network {
+	return newNetwork(roles, func() route { return channel.NewBounded(k) })
+}
+
+func newNetwork(roles []types.Role, mk func() route) *Network {
+	n := &Network{roles: roles, queues: map[[2]types.Role]route{}}
+	for _, a := range roles {
+		for _, b := range roles {
+			if a != b {
+				n.queues[[2]types.Role{a, b}] = mk()
+			}
+		}
+	}
+	return n
+}
+
+// Roles returns the connected roles.
+func (n *Network) Roles() []types.Role { return append([]types.Role(nil), n.roles...) }
+
+func (n *Network) queue(from, to types.Role) (route, error) {
+	q, ok := n.queues[[2]types.Role{from, to}]
+	if !ok {
+		return nil, fmt.Errorf("session: no route %s -> %s", from, to)
+	}
+	return q, nil
+}
+
+// closeAll closes every queue, releasing any blocked receiver with
+// channel.ErrClosed. Used to tear a session down after a process faults,
+// so sibling processes do not block forever on a message that will never
+// arrive.
+func (n *Network) closeAll() {
+	for _, q := range n.queues {
+		q.Close()
+	}
+}
+
+// Endpoint returns an unmonitored endpoint for role — protocol conformance is
+// then the caller's responsibility, as in the bottom-up workflow before
+// verification. Monitored endpoints are obtained from a Session.
+func (n *Network) Endpoint(role types.Role) *Endpoint {
+	return &Endpoint{role: role, net: n}
+}
+
+// Endpoint is one participant's handle on the network. Endpoints are not safe
+// for concurrent use: a session owns its endpoint exclusively (linearity).
+type Endpoint struct {
+	role   types.Role
+	net    *Network
+	mon    *Monitor
+	inUse  bool
+	closed bool
+}
+
+// Role returns the endpoint's role.
+func (e *Endpoint) Role() types.Role { return e.role }
+
+// Monitor returns the endpoint's monitor, or nil when unmonitored.
+func (e *Endpoint) Monitor() *Monitor { return e.mon }
+
+// Send delivers label(value) to the given role. It never blocks (asynchronous
+// semantics): the message is appended to the to-queue. With a monitor
+// attached, the action must be allowed by the FSM and a non-nil payload must
+// inhabit the declared sort.
+func (e *Endpoint) Send(to types.Role, label types.Label, value any) error {
+	if e.mon != nil {
+		sort, err := e.mon.stepSort(fsm.Action{Dir: fsm.Send, Peer: to, Label: label})
+		if err != nil {
+			return err
+		}
+		if !sortAccepts(sort, value) {
+			return &SortError{Role: e.role, Act: fsm.Action{Dir: fsm.Send, Peer: to, Label: label, Sort: sort}, Value: value}
+		}
+	}
+	q, err := e.net.queue(e.role, to)
+	if err != nil {
+		return err
+	}
+	return q.Send(channel.Message{Label: label, Value: value})
+}
+
+// Receive blocks until a message from the given role arrives and returns its
+// label and payload. With a monitor attached, the label is checked against
+// the FSM's expected inputs — an unexpected label faults the session rather
+// than being silently consumed.
+func (e *Endpoint) Receive(from types.Role) (types.Label, any, error) {
+	q, err := e.net.queue(from, e.role)
+	if err != nil {
+		return "", nil, err
+	}
+	m, err := q.Recv()
+	if err != nil {
+		return "", nil, err
+	}
+	if e.mon != nil {
+		if err := e.mon.step(fsm.Action{Dir: fsm.Recv, Peer: from, Label: m.Label}); err != nil {
+			return "", nil, err
+		}
+	}
+	return m.Label, m.Value, nil
+}
+
+// ReceiveLabel receives from the given role and checks the label, returning
+// only the payload: the common case for protocols without branching.
+func (e *Endpoint) ReceiveLabel(from types.Role, want types.Label) (any, error) {
+	label, value, err := e.Receive(from)
+	if err != nil {
+		return nil, err
+	}
+	if label != want {
+		return nil, fmt.Errorf("session: role %s expected label %s from %s, got %s", e.role, want, from, label)
+	}
+	return value, nil
+}
+
+// Monitor tracks an endpoint's progress through its verified FSM.
+type Monitor struct {
+	fsm *fsm.FSM
+	cur fsm.State
+}
+
+// NewMonitor returns a monitor at the machine's initial state.
+func NewMonitor(m *fsm.FSM) *Monitor { return &Monitor{fsm: m, cur: m.Initial()} }
+
+// State returns the current FSM state.
+func (m *Monitor) State() fsm.State { return m.cur }
+
+// Terminal reports whether the monitor sits at a final state.
+func (m *Monitor) Terminal() bool { return m.fsm.IsFinal(m.cur) }
+
+// step advances the monitor over act; direction, peer and label must match a
+// transition of the verified machine.
+func (m *Monitor) step(act fsm.Action) error {
+	_, err := m.stepSort(act)
+	return err
+}
+
+// stepSort is step, additionally returning the matched transition's declared
+// payload sort so that the endpoint can check the dynamic payload.
+func (m *Monitor) stepSort(act fsm.Action) (types.Sort, error) {
+	for _, t := range m.fsm.Transitions(m.cur) {
+		if t.Act.Dir == act.Dir && t.Act.Peer == act.Peer && t.Act.Label == act.Label {
+			m.cur = t.To
+			return t.Act.Sort, nil
+		}
+	}
+	return "", &ProtocolError{Role: m.fsm.Role(), State: m.cur, Action: act}
+}
+
+// reset rewinds the monitor for a fresh session over the same protocol.
+func (m *Monitor) reset() { m.cur = m.fsm.Initial() }
+
+// TrySession runs f with exclusive ownership of the endpoint, mirroring
+// Rumpsteak's try_session (§2.1): the endpoint is consumed for the duration
+// (reuse faults with ErrLinearity), and when f returns nil the monitor must
+// sit at a terminal state — a process that abandons its protocol mid-way
+// returns ErrIncomplete, the analogue of Rust's "closure does not return
+// End". Endpoints of infinite protocols never reach a terminal state, so
+// their processes run forever or return an error (for benchmarks, a sentinel
+// such as ErrStopped).
+func TrySession(e *Endpoint, f func(*Endpoint) error) error {
+	if e.inUse {
+		return ErrLinearity
+	}
+	e.inUse = true
+	defer func() { e.inUse = false }()
+	if e.mon != nil {
+		e.mon.reset()
+	}
+	if err := f(e); err != nil {
+		return err
+	}
+	if e.mon != nil && !e.mon.Terminal() {
+		return fmt.Errorf("%w: role %s stopped in state %d", ErrIncomplete, e.role, e.mon.State())
+	}
+	return nil
+}
+
+// ErrStopped is a conventional sentinel for processes of infinite protocols
+// that deliberately stop after a bounded number of iterations (benchmarks,
+// examples). TrySession treats it as an error, so callers filter it.
+var ErrStopped = errors.New("session: process stopped deliberately")
+
+// Session is a verified protocol instance: a network plus one verified FSM
+// per role. Endpoints handed out by a Session are monitored.
+type Session struct {
+	net  *Network
+	fsms map[types.Role]*fsm.FSM
+}
+
+// TopDown builds a session via the top-down workflow (Fig. 1a): the global
+// type is projected onto every role; roles present in optimised get their
+// machine verified against the projection with the asynchronous subtyping
+// algorithm; all other roles use their projections directly.
+func TopDown(g types.Global, optimised map[types.Role]*fsm.FSM, opts core.Options) (*Session, error) {
+	projs, err := project.ProjectFSMs(g)
+	if err != nil {
+		return nil, err
+	}
+	fsms := map[types.Role]*fsm.FSM{}
+	for role, proj := range projs {
+		m := proj
+		if opt, ok := optimised[role]; ok {
+			res, err := core.Check(opt, proj, opts)
+			if err != nil {
+				return nil, fmt.Errorf("session: verifying %s: %w", role, err)
+			}
+			if !res.OK {
+				return nil, fmt.Errorf("session: optimised FSM for %s is not an asynchronous subtype of its projection", role)
+			}
+			m = opt
+		}
+		fsms[role] = m
+	}
+	for role := range optimised {
+		if _, ok := projs[role]; !ok {
+			return nil, fmt.Errorf("session: optimised FSM for %s, which is not a participant", role)
+		}
+	}
+	return newSession(fsms), nil
+}
+
+// Hybrid builds a session via the hybrid workflow (Fig. 1c): like TopDown,
+// but every role's machine is supplied by the developer (serialised from
+// their hand-written APIs) and verified against its projection.
+func Hybrid(g types.Global, apis map[types.Role]*fsm.FSM, opts core.Options) (*Session, error) {
+	projs, err := project.ProjectFSMs(g)
+	if err != nil {
+		return nil, err
+	}
+	if len(apis) != len(projs) {
+		return nil, fmt.Errorf("session: hybrid workflow needs an API for every role (%d given, %d participants)", len(apis), len(projs))
+	}
+	return TopDown(g, apis, opts)
+}
+
+// BottomUp builds a session via the bottom-up workflow (Fig. 1b): the
+// developer-supplied machines are verified globally with k-multiparty
+// compatibility.
+func BottomUp(k int, machines ...*fsm.FSM) (*Session, error) {
+	sys, err := kmc.NewSystem(machines...)
+	if err != nil {
+		return nil, err
+	}
+	res := kmc.Check(sys, k)
+	if !res.OK {
+		return nil, fmt.Errorf("session: system is not %d-MC: %s", k, res.Violation.Error())
+	}
+	fsms := map[types.Role]*fsm.FSM{}
+	for _, m := range machines {
+		fsms[m.Role()] = m
+	}
+	return newSession(fsms), nil
+}
+
+func newSession(fsms map[types.Role]*fsm.FSM) *Session {
+	roles := make([]types.Role, 0, len(fsms))
+	for r := range fsms {
+		roles = append(roles, r)
+	}
+	return &Session{net: NewNetwork(roles...), fsms: fsms}
+}
+
+// Roles returns the session's participants.
+func (s *Session) Roles() []types.Role { return s.net.Roles() }
+
+// FSM returns the verified machine for a role, or nil if the role is
+// unknown.
+func (s *Session) FSM(role types.Role) *fsm.FSM { return s.fsms[role] }
+
+// Endpoint returns the monitored endpoint for role.
+func (s *Session) Endpoint(role types.Role) (*Endpoint, error) {
+	m, ok := s.fsms[role]
+	if !ok {
+		return nil, fmt.Errorf("session: unknown role %s", role)
+	}
+	return &Endpoint{role: role, net: s.net, mon: NewMonitor(m)}, nil
+}
+
+// Run executes one process per role concurrently, each under TrySession, and
+// returns the first error (ErrStopped is filtered: deliberately stopped
+// benchmark loops are not failures). When a process faults, the session's
+// queues are closed so that sibling processes blocked on a message that will
+// never arrive fail promptly instead of deadlocking the run.
+func (s *Session) Run(procs map[types.Role]func(*Endpoint) error) error {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var first error
+	for role, f := range procs {
+		ep, err := s.Endpoint(role)
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(ep *Endpoint, f func(*Endpoint) error) {
+			defer wg.Done()
+			if err := TrySession(ep, f); err != nil && !errors.Is(err, ErrStopped) {
+				mu.Lock()
+				if first == nil {
+					first = fmt.Errorf("role %s: %w", ep.Role(), err)
+					s.net.closeAll()
+				}
+				mu.Unlock()
+			}
+		}(ep, f)
+	}
+	wg.Wait()
+	return first
+}

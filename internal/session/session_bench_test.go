@@ -1,0 +1,55 @@
+package session
+
+import (
+	"testing"
+
+	"repro/internal/fsm"
+	"repro/internal/types"
+)
+
+// BenchmarkMonitorOverhead measures the cost the runtime monitor adds to
+// every operation — the price Go pays for moving conformance checking from
+// Rust's compiler to run time (see DESIGN.md). Benchmarked as a one-hop
+// round trip with and without a monitor attached.
+
+func BenchmarkSendRecvUnmonitored(b *testing.B) {
+	net := NewNetwork("a", "b")
+	ea, eb := net.Endpoint("a"), net.Endpoint("b")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := ea.Send("b", "ping", i); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := eb.Receive("a"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSendRecvMonitored(b *testing.B) {
+	net := NewNetwork("a", "b")
+	ma := fsm.MustFromLocal("a", types.MustParse("mu t.b!ping.t"))
+	mb := fsm.MustFromLocal("b", types.MustParse("mu t.a?ping.t"))
+	ea := &Endpoint{role: "a", net: net, mon: NewMonitor(ma)}
+	eb := &Endpoint{role: "b", net: net, mon: NewMonitor(mb)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := ea.Send("b", "ping", i); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := eb.Receive("a"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMonitorStepBranching(b *testing.B) {
+	m := fsm.MustFromLocal("a", types.MustParse("mu t.b?{l0.t, l1.t, l2.t, l3.t, l4.t, l5.t, l6.t, l7.t}"))
+	mon := NewMonitor(m)
+	act := fsm.Action{Dir: fsm.Recv, Peer: "b", Label: "l7"}
+	for i := 0; i < b.N; i++ {
+		if err := mon.step(act); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

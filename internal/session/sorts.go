@@ -1,0 +1,75 @@
+package session
+
+import (
+	"fmt"
+
+	"repro/internal/fsm"
+	"repro/internal/types"
+)
+
+// SortError reports a payload whose Go kind does not inhabit the sort the
+// verified protocol declares for the message.
+type SortError struct {
+	Role  types.Role
+	Act   fsm.Action
+	Value any
+}
+
+func (e *SortError) Error() string {
+	return fmt.Sprintf("session: role %s sent %T as payload of %s", e.Role, e.Value, e.Act)
+}
+
+// sortAccepts reports whether a Go value inhabits a sort. nil is always
+// accepted (the caller chose not to attach a payload — common for pure
+// signal labels); unknown sorts accept anything, so protocols may introduce
+// domain-specific sorts without the runtime vetoing them.
+func sortAccepts(s types.Sort, v any) bool {
+	if v == nil {
+		return true
+	}
+	switch s {
+	case types.Unit:
+		// Unit-labelled messages are signals; ad-hoc payloads are permitted
+		// (and unchecked), matching how the benchmarks piggyback data on
+		// ready/value signals.
+		return true
+	case types.I32:
+		_, a := v.(int32)
+		_, b := v.(int)
+		return a || b
+	case types.U32:
+		_, a := v.(uint32)
+		_, b := v.(uint)
+		return a || b
+	case types.I64, types.Int:
+		_, a := v.(int64)
+		_, b := v.(int)
+		return a || b
+	case types.U64:
+		_, a := v.(uint64)
+		_, b := v.(uint)
+		return a || b
+	case types.Nat:
+		switch n := v.(type) {
+		case int:
+			return n >= 0
+		case int64:
+			return n >= 0
+		case uint, uint32, uint64:
+			return true
+		default:
+			return false
+		}
+	case types.F64:
+		_, ok := v.(float64)
+		return ok
+	case types.Str:
+		_, ok := v.(string)
+		return ok
+	case types.Bool:
+		_, ok := v.(bool)
+		return ok
+	default:
+		return true
+	}
+}

@@ -1,0 +1,132 @@
+// Package sim executes a system of communicating machines under the paper's
+// asynchronous semantics — unbounded FIFO queues per ordered pair of roles —
+// following one (seeded) random interleaving. It is the execution-level
+// counterpart of the kmc package's exhaustive exploration: tests use it to
+// run every protocol in the registry end to end, checking that verified
+// systems never get stuck and never mis-deliver, for many schedules.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fsm"
+	"repro/internal/types"
+)
+
+// Result summarises one simulated execution.
+type Result struct {
+	// Steps actually executed (≤ the requested budget).
+	Steps int
+	// Terminated reports that every machine reached a final state with all
+	// queues empty; infinite protocols exhaust the budget instead.
+	Terminated bool
+	// MaxQueue is the high-water mark across all queues — how far ahead the
+	// AMR optimisations actually run.
+	MaxQueue int
+}
+
+// Stuck is returned when no machine can move but the system has not properly
+// terminated: the execution-level witness of a deadlock or orphan message.
+type Stuck struct {
+	Detail string
+}
+
+func (s *Stuck) Error() string { return "sim: stuck: " + s.Detail }
+
+// Run simulates at most steps steps of the system, choosing uniformly among
+// enabled machine moves with the given seed.
+func Run(machines []*fsm.FSM, steps int, seed int64) (Result, error) {
+	n := len(machines)
+	if n == 0 {
+		return Result{}, fmt.Errorf("sim: empty system")
+	}
+	index := map[types.Role]int{}
+	for i, m := range machines {
+		if _, dup := index[m.Role()]; dup {
+			return Result{}, fmt.Errorf("sim: duplicate role %s", m.Role())
+		}
+		index[m.Role()] = i
+	}
+
+	states := make([]fsm.State, n)
+	for i, m := range machines {
+		states[i] = m.Initial()
+	}
+	queues := make([][]types.Label, n*n)
+	rng := rand.New(rand.NewSource(seed))
+
+	res := Result{}
+	for res.Steps = 0; res.Steps < steps; res.Steps++ {
+		type move struct {
+			mi int
+			tr fsm.Transition
+		}
+		var enabled []move
+		for mi, m := range machines {
+			for _, tr := range m.Transitions(states[mi]) {
+				peer, ok := index[tr.Act.Peer]
+				if !ok {
+					return res, fmt.Errorf("sim: machine %s mentions unknown role %s", m.Role(), tr.Act.Peer)
+				}
+				if tr.Act.Dir == fsm.Send {
+					enabled = append(enabled, move{mi, tr}) // unbounded queues
+					continue
+				}
+				q := queues[peer*n+mi]
+				if len(q) > 0 && q[0] == tr.Act.Label {
+					enabled = append(enabled, move{mi, tr})
+				}
+			}
+		}
+		if len(enabled) == 0 {
+			done := true
+			for mi, m := range machines {
+				if !m.IsFinal(states[mi]) {
+					done = false
+					break
+				}
+			}
+			empty := true
+			for _, q := range queues {
+				if len(q) > 0 {
+					empty = false
+					break
+				}
+			}
+			if done && empty {
+				res.Terminated = true
+				return res, nil
+			}
+			return res, &Stuck{Detail: describe(machines, states, queues)}
+		}
+		mv := enabled[rng.Intn(len(enabled))]
+		peer := index[mv.tr.Act.Peer]
+		if mv.tr.Act.Dir == fsm.Send {
+			qi := mv.mi*n + peer
+			queues[qi] = append(queues[qi], mv.tr.Act.Label)
+			if len(queues[qi]) > res.MaxQueue {
+				res.MaxQueue = len(queues[qi])
+			}
+		} else {
+			qi := peer*n + mv.mi
+			queues[qi] = queues[qi][1:]
+		}
+		states[mv.mi] = mv.tr.To
+	}
+	return res, nil
+}
+
+func describe(machines []*fsm.FSM, states []fsm.State, queues [][]types.Label) string {
+	out := ""
+	for mi, m := range machines {
+		out += fmt.Sprintf("%s@%d ", m.Role(), states[mi])
+	}
+	n := len(machines)
+	for qi, q := range queues {
+		if len(q) > 0 {
+			out += fmt.Sprintf("%s->%s:%v ", machines[qi/n].Role(), machines[qi%n].Role(), q)
+		}
+	}
+	return out
+}

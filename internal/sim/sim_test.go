@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fsm"
+	"repro/internal/protocols"
+	"repro/internal/types"
+)
+
+func machines(t *testing.T, kv ...string) []*fsm.FSM {
+	t.Helper()
+	var out []*fsm.FSM
+	for i := 0; i < len(kv); i += 2 {
+		out = append(out, fsm.MustFromLocal(types.Role(kv[i]), types.MustParse(kv[i+1])))
+	}
+	return out
+}
+
+func TestTerminatingSystem(t *testing.T) {
+	ms := machines(t, "p", "q!req.q?rep.end", "q", "p?req.p!rep.end")
+	res, err := Run(ms, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Terminated {
+		t.Error("system did not terminate")
+	}
+	if res.Steps != 4 {
+		t.Errorf("took %d steps, want 4", res.Steps)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	// Example 2's unsafe double reordering.
+	ms := machines(t, "p", "q?l2.q!l1.end", "q", "p?l1.p!l2.end")
+	_, err := Run(ms, 100, 1)
+	var stuck *Stuck
+	if !errors.As(err, &stuck) {
+		t.Fatalf("err = %v, want Stuck", err)
+	}
+}
+
+func TestInfiniteProtocolExhaustsBudget(t *testing.T) {
+	ms := machines(t, "a", "mu t.b!v.b?v.t", "b", "mu t.a?v.a!v.t")
+	res, err := Run(ms, 1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Terminated {
+		t.Error("infinite protocol terminated")
+	}
+	if res.Steps != 1000 {
+		t.Errorf("steps = %d", res.Steps)
+	}
+}
+
+func TestQueueHighWaterMark(t *testing.T) {
+	// A sender that runs n ahead must show up in MaxQueue.
+	ms := machines(t, "s", "t!v.t!v.t!v.t!v.end", "t", "s?v.s?v.s?v.s?v.end")
+	// Seed chosen arbitrarily; the sender is always enabled, so across seeds
+	// the max queue varies but is at least 1.
+	res, err := Run(ms, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Terminated || res.MaxQueue < 1 || res.MaxQueue > 4 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(nil, 10, 1); err == nil {
+		t.Error("empty system accepted")
+	}
+	dup := machines(t, "p", "q!a.end", "p", "q!a.end")
+	if _, err := Run(dup, 10, 1); err == nil {
+		t.Error("duplicate role accepted")
+	}
+	ghost := machines(t, "p", "zz!a.end")
+	if _, err := Run(ghost, 10, 1); err == nil {
+		t.Error("unknown peer accepted")
+	}
+}
+
+// TestRegistryProtocolsExecute runs every Table 1 system (with optimised
+// endpoints applied) under many random schedules: a verified system must
+// never get stuck and must either terminate or still be running at budget.
+func TestRegistryProtocolsExecute(t *testing.T) {
+	for _, e := range protocols.Registry() {
+		ms := protocols.Machines(protocols.FSMs(e.System()))
+		for seed := int64(0); seed < 20; seed++ {
+			res, err := Run(ms, 2000, seed)
+			if err != nil {
+				t.Errorf("%s (seed %d): %v", e.Name, seed, err)
+				break
+			}
+			if e.InfiniteRec && res.Terminated && e.Name != "Client-Server Log" {
+				// Protocols flagged IR with no reachable end must not
+				// terminate (those with a quit branch may).
+				if !hasFinal(ms) {
+					t.Errorf("%s (seed %d): terminated but has no final states", e.Name, seed)
+				}
+			}
+		}
+	}
+}
+
+// TestRegistryUnoptimisedProtocolsExecute runs the plain projections too.
+func TestRegistryUnoptimisedProtocolsExecute(t *testing.T) {
+	for _, e := range protocols.Registry() {
+		ms := protocols.Machines(protocols.FSMs(e.Locals))
+		for seed := int64(0); seed < 10; seed++ {
+			if _, err := Run(ms, 2000, seed); err != nil {
+				t.Errorf("%s (seed %d): %v", e.Name, seed, err)
+				break
+			}
+		}
+	}
+}
+
+// TestUnrolledFamiliesExecute exercises the Fig. 7 families at execution
+// level: the AMR systems run without sticking and actually use the queues
+// (MaxQueue grows with the unroll depth).
+func TestUnrolledFamiliesExecute(t *testing.T) {
+	for _, n := range []int{1, 5, 10} {
+		res, err := Run(protocols.StreamingUnrolledSystem(n), 4000, 42)
+		if err != nil {
+			t.Fatalf("streaming %d: %v", n, err)
+		}
+		if res.MaxQueue < 1 {
+			t.Errorf("streaming %d: queues unused", n)
+		}
+		if _, err := Run(protocols.KBufferingSystem(n), 4000, 42); err != nil {
+			t.Fatalf("k-buffering %d: %v", n, err)
+		}
+	}
+	for _, n := range []int{2, 5, 9} {
+		if _, err := Run(protocols.RingNSystem(n), 4000, 42); err != nil {
+			t.Fatalf("ring %d: %v", n, err)
+		}
+	}
+}
+
+func hasFinal(ms []*fsm.FSM) bool {
+	for _, m := range ms {
+		for s := 0; s < m.NumStates(); s++ {
+			if m.IsFinal(fsm.State(s)) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,312 @@
+// Package soundbinary implements a sound algorithm for *binary* asynchronous
+// session subtyping in the style of Bravetti, Carbone, Lange, Yoshida and
+// Zavattaro (LMCS 17(1), 2021) — the "SoundBinary" baseline of §4.2.
+//
+// The checker simulates the candidate subtype against the supertype while
+// maintaining an explicit *input context*: a tree of the supertype's pending
+// external choices that the subtype has anticipated outputs past. Contexts
+// are copied and re-serialised at every step, which is what makes the tool
+// scale super-linearly in the number of anticipated messages and
+// exponentially under nested choice — the behaviour Fig. 7 measures.
+//
+// Unlike the multiparty algorithm in internal/core, this baseline supports
+// *unbounded* accumulation for two-party protocols: a periodic-growth witness
+// detects input contexts that grow by a repeating segment and concludes
+// coinductively (this is a simplification of the original paper's witness
+// trees; it covers chain-shaped contexts such as the Hospital example, and
+// falls back to a step budget otherwise). It rejects any protocol with more
+// than two participants.
+package soundbinary
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/fsm"
+	"repro/internal/types"
+)
+
+// ErrNotBinary is returned when a machine communicates with more than one
+// peer: the algorithm is defined for two-party sessions only.
+var ErrNotBinary = errors.New("soundbinary: protocol is not two-party")
+
+// DefaultBudget bounds the total number of simulation steps.
+const DefaultBudget = 2_000_000
+
+// Options configures the checker.
+type Options struct {
+	// Budget bounds the number of simulation steps; zero means DefaultBudget.
+	Budget int
+}
+
+// Result reports the verdict and the work performed.
+type Result struct {
+	OK    bool
+	Steps int
+}
+
+// Check reports whether sub is an asynchronous subtype of sup, both machines
+// describing one endpoint of a two-party session.
+func Check(sub, sup *fsm.FSM, opts Options) (Result, error) {
+	if err := binaryDirected(sub); err != nil {
+		return Result{}, err
+	}
+	if err := binaryDirected(sup); err != nil {
+		return Result{}, err
+	}
+	budget := opts.Budget
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	v := &checker{sub: sub, sup: sup, budget: budget, path: map[string]bool{}, growth: map[string]growth{}}
+	ok := v.visit(sub.Initial(), leaf(sup.Initial()))
+	return Result{OK: ok, Steps: v.steps}, nil
+}
+
+// CheckTypes is Check on local types.
+func CheckTypes(role types.Role, sub, sup types.Local, opts Options) (Result, error) {
+	msub, err := fsm.FromLocal(role, sub)
+	if err != nil {
+		return Result{}, err
+	}
+	msup, err := fsm.FromLocal(role, sup)
+	if err != nil {
+		return Result{}, err
+	}
+	return Check(msub, msup, opts)
+}
+
+func binaryDirected(m *fsm.FSM) error {
+	if !m.Directed() {
+		return fmt.Errorf("soundbinary: machine %s is not directed", m.Role())
+	}
+	var peer types.Role
+	for s := 0; s < m.NumStates(); s++ {
+		for _, t := range m.Transitions(fsm.State(s)) {
+			if peer == "" {
+				peer = t.Act.Peer
+			} else if t.Act.Peer != peer {
+				return fmt.Errorf("%w: machine %s talks to both %s and %s", ErrNotBinary, m.Role(), peer, t.Act.Peer)
+			}
+		}
+	}
+	return nil
+}
+
+// ctx is an input context: a tree of the supertype's pending external
+// choices. A leaf holds the supertype's continuation state.
+type ctx struct {
+	state    fsm.State // valid when leaf
+	children []ctxEdge // non-empty when an interior node
+}
+
+type ctxEdge struct {
+	label types.Label
+	child *ctx
+}
+
+func leaf(s fsm.State) *ctx { return &ctx{state: s} }
+
+func (c *ctx) isLeaf() bool { return len(c.children) == 0 }
+
+// key serialises the context canonically. This O(size) re-serialisation at
+// every step is deliberate: it reproduces the baseline's cost model.
+func (c *ctx) key() string {
+	var b strings.Builder
+	c.render(&b)
+	return b.String()
+}
+
+func (c *ctx) render(b *strings.Builder) {
+	if c.isLeaf() {
+		fmt.Fprintf(b, "#%d", c.state)
+		return
+	}
+	b.WriteByte('[')
+	for _, e := range c.children {
+		b.WriteString(string(e.label))
+		b.WriteByte(':')
+		e.child.render(b)
+		b.WriteByte(' ')
+	}
+	b.WriteByte(']')
+}
+
+// chain reports whether the context is a single path (each node has exactly
+// one child), returning the label word and the final leaf state.
+func (c *ctx) chain() (word []types.Label, end fsm.State, ok bool) {
+	cur := c
+	for !cur.isLeaf() {
+		if len(cur.children) != 1 {
+			return nil, 0, false
+		}
+		word = append(word, cur.children[0].label)
+		cur = cur.children[0].child
+	}
+	return word, cur.state, true
+}
+
+// growth records the last chain word seen for a (subtype state, leaf state)
+// pair and the segment by which it last grew.
+type growth struct {
+	word   string
+	period string
+}
+
+type checker struct {
+	sub, sup *fsm.FSM
+	budget   int
+	steps    int
+	path     map[string]bool
+	growth   map[string]growth
+}
+
+func (v *checker) visit(s fsm.State, c *ctx) bool {
+	v.steps++
+	if v.steps > v.budget {
+		return false
+	}
+	key := fmt.Sprintf("%d|%s", s, c.key())
+	if v.path[key] {
+		return true // exact repeat on the path: conclude coinductively
+	}
+
+	// Periodic-growth witness for chain contexts: if the same (subtype
+	// state, leaf) is revisited with the context grown by the same segment
+	// twice in a row, the accumulation is periodic and the simulation will
+	// repeat forever; conclude success.
+	if word, endState, isChain := c.chain(); isChain && len(word) > 0 {
+		gk := fmt.Sprintf("%d/%d", s, endState)
+		w := labelWord(word)
+		if prev, seen := v.growth[gk]; seen && strings.HasPrefix(w, prev.word) && len(w) > len(prev.word) {
+			u := w[len(prev.word):]
+			if prev.period == u {
+				return true
+			}
+			v.growth[gk] = growth{word: w, period: u}
+		} else if !seen {
+			v.growth[gk] = growth{word: w}
+		}
+	}
+
+	v.path[key] = true
+	defer delete(v.path, key)
+
+	ts := v.sub.Transitions(s)
+	if len(ts) == 0 {
+		return c.isLeaf() && v.sup.IsFinal(c.state)
+	}
+	if ts[0].Act.Dir == fsm.Recv {
+		return v.visitInput(ts, c)
+	}
+	return v.visitOutput(ts, c)
+}
+
+// visitInput handles a subtype external choice: the pending input is the root
+// of the context (or the supertype's own input state when the context is
+// empty); the subtype must offer every label the supertype may select.
+func (v *checker) visitInput(ts []fsm.Transition, c *ctx) bool {
+	if !c.isLeaf() {
+		for _, e := range c.children {
+			t, ok := findLabel(ts, e.label)
+			if !ok {
+				return false
+			}
+			if !v.visit(t.To, e.child) {
+				return false
+			}
+		}
+		return true
+	}
+	sup := v.sup.Transitions(c.state)
+	if len(sup) == 0 || sup[0].Act.Dir != fsm.Recv {
+		return false // cannot anticipate an input past the supertype's outputs
+	}
+	for _, st := range sup {
+		t, ok := findLabel(ts, st.Act.Label)
+		if !ok || !types.SubSort(st.Act.Sort, t.Act.Sort) {
+			return false
+		}
+		if !v.visit(t.To, leaf(st.To)) {
+			return false
+		}
+	}
+	return true
+}
+
+// visitOutput handles a subtype internal choice: each selected label must be
+// an output the supertype offers at *every* hole of the input context, after
+// pushing any further supertype inputs into the context.
+func (v *checker) visitOutput(ts []fsm.Transition, c *ctx) bool {
+	for _, t := range ts {
+		next, ok := v.outputAt(c, t.Act, map[fsm.State]bool{})
+		if !ok {
+			return false
+		}
+		if !v.visit(t.To, next) {
+			return false
+		}
+	}
+	return true
+}
+
+// outputAt rebuilds the context after the supertype performs the output act
+// at every hole. Supertype input states encountered on the way are pushed
+// into the context (this is where contexts grow). unfolding guards against
+// input-only loops, which can never offer the output.
+func (v *checker) outputAt(c *ctx, act fsm.Action, unfolding map[fsm.State]bool) (*ctx, bool) {
+	if !c.isLeaf() {
+		out := &ctx{children: make([]ctxEdge, len(c.children))}
+		for i, e := range c.children {
+			child, ok := v.outputAt(e.child, act, unfolding)
+			if !ok {
+				return nil, false
+			}
+			out.children[i] = ctxEdge{label: e.label, child: child}
+		}
+		return out, true
+	}
+	sup := v.sup.Transitions(c.state)
+	if len(sup) == 0 {
+		return nil, false // supertype finished; no output possible
+	}
+	if sup[0].Act.Dir == fsm.Recv {
+		if unfolding[c.state] {
+			return nil, false // input loop: the output is unreachable
+		}
+		unfolding[c.state] = true
+		out := &ctx{children: make([]ctxEdge, len(sup))}
+		for i, st := range sup {
+			child, ok := v.outputAt(leaf(st.To), act, unfolding)
+			if !ok {
+				return nil, false
+			}
+			out.children[i] = ctxEdge{label: st.Act.Label, child: child}
+		}
+		delete(unfolding, c.state)
+		return out, true
+	}
+	st, ok := findLabel(sup, act.Label)
+	if !ok || !types.SubSort(act.Sort, st.Act.Sort) {
+		return nil, false
+	}
+	return leaf(st.To), true
+}
+
+func findLabel(ts []fsm.Transition, l types.Label) (fsm.Transition, bool) {
+	for _, t := range ts {
+		if t.Act.Label == l {
+			return t, true
+		}
+	}
+	return fsm.Transition{}, false
+}
+
+func labelWord(word []types.Label) string {
+	parts := make([]string, len(word))
+	for i, l := range word {
+		parts[i] = string(l)
+	}
+	return strings.Join(parts, ".")
+}

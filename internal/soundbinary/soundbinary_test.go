@@ -1,0 +1,170 @@
+package soundbinary
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func check(t *testing.T, sub, sup string) bool {
+	t.Helper()
+	res, err := CheckTypes("self", types.MustParse(sub), types.MustParse(sup), Options{})
+	if err != nil {
+		t.Fatalf("CheckTypes(%q, %q): %v", sub, sup, err)
+	}
+	return res.OK
+}
+
+func TestIdentity(t *testing.T) {
+	for _, src := range []string{
+		"end",
+		"p!a.end",
+		"mu x.p?r.p!v.x",
+		"mu t.p?{d0.p!a0.t, d1.p!a1.t}",
+	} {
+		if !check(t, src, src) {
+			t.Errorf("T ≤ T failed for %s", src)
+		}
+	}
+}
+
+func TestExample2(t *testing.T) {
+	if !check(t, "p!l2.p?l1.end", "p?l1.p!l2.end") {
+		t.Error("safe output anticipation rejected")
+	}
+	if check(t, "p?l2.p!l1.end", "p!l1.p?l2.end") {
+		t.Error("unsafe input anticipation accepted")
+	}
+}
+
+func TestChoiceWidthSubtyping(t *testing.T) {
+	if !check(t, "p!{a.end}", "p!{a.end, b.end}") {
+		t.Error("output subset rejected")
+	}
+	if check(t, "p!{a.end, b.end}", "p!{a.end}") {
+		t.Error("output superset accepted")
+	}
+	if !check(t, "p?{a.end, b.end}", "p?{a.end}") {
+		t.Error("input superset rejected")
+	}
+	if check(t, "p?{a.end}", "p?{a.end, b.end}") {
+		t.Error("input subset accepted")
+	}
+}
+
+func TestUnrolledStreaming(t *testing.T) {
+	// The Fig. 7 streaming benchmark shape: the unrolled source against its
+	// projection.
+	sup := types.MustParse("mu x.p?ready.p!value.x")
+	sub := sup
+	for i := 0; i < 5; i++ {
+		sub = types.LSend("p", "value", types.Unit, sub)
+	}
+	res, err := CheckTypes("s", sub, sup, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Error("unrolled streaming rejected")
+	}
+}
+
+func TestHospitalUnboundedAccumulation(t *testing.T) {
+	// The Hospital example [7, §1]: the optimised patient defers unboundedly
+	// many acknowledgements. SoundBinary (alone among the three verifiers)
+	// accepts it — this is the ✔ in Table 1's last row.
+	sub := "mu t.h!{d.t, stop.mu u.h?{ok.u, done.end}}"
+	sup := "mu t.h!{d.h?ok.t, stop.h?done.end}"
+	if !check(t, sub, sup) {
+		t.Error("hospital subtyping rejected")
+	}
+}
+
+func TestHospitalUnsoundDualRejected(t *testing.T) {
+	// Swapping roles (receiving everything first) must be rejected: inputs
+	// cannot be anticipated past outputs.
+	sub := "mu t.h?{ok.t, done.h!stop.end}"
+	sup := "mu t.h!{d.h?ok.t, stop.h?done.end}"
+	if check(t, sub, sup) {
+		t.Error("unsound dual accepted")
+	}
+}
+
+func TestRejectsMultiparty(t *testing.T) {
+	sub := types.MustParse("p!a.q!b.end")
+	sup := types.MustParse("p!a.q!b.end")
+	if _, err := CheckTypes("self", sub, sup, Options{}); err == nil {
+		t.Error("multiparty type accepted by binary checker")
+	}
+}
+
+func TestLabelMismatch(t *testing.T) {
+	if check(t, "p!a.end", "p!b.end") {
+		t.Error("label mismatch accepted")
+	}
+	if check(t, "p?a.end", "p?b.end") {
+		t.Error("input label mismatch accepted")
+	}
+}
+
+func TestEndMismatch(t *testing.T) {
+	if check(t, "end", "p!a.end") {
+		t.Error("end ≤ output accepted")
+	}
+	if check(t, "p!a.end", "end") {
+		t.Error("output ≤ end accepted")
+	}
+}
+
+func TestSortSubtyping(t *testing.T) {
+	if !check(t, "p!l(nat).end", "p!l(int).end") {
+		t.Error("covariant output rejected")
+	}
+	if check(t, "p!l(int).end", "p!l(nat).end") {
+		t.Error("unsound output sort accepted")
+	}
+	if !check(t, "p?l(int).end", "p?l(nat).end") {
+		t.Error("contravariant input rejected")
+	}
+}
+
+func TestInputLoopBlocksOutput(t *testing.T) {
+	// The supertype only ever receives; an output can never be anticipated.
+	if check(t, "p!a.end", "mu x.p?r.x") {
+		t.Error("output anticipated past an input-only loop")
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	sub := types.MustParse("mu t.h!{d.t, stop.mu u.h?{ok.u, done.end}}")
+	sup := types.MustParse("mu t.h!{d.h?ok.t, stop.h?done.end}")
+	res, err := CheckTypes("p", sub, sup, Options{Budget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Error("budget 10 should be insufficient for hospital")
+	}
+	if res.Steps == 0 {
+		t.Error("steps not counted")
+	}
+}
+
+func TestStatsGrowWithUnrolls(t *testing.T) {
+	sup := types.MustParse("mu x.p?ready.p!value.x")
+	prev := 0
+	for _, n := range []int{5, 20, 40} {
+		sub := types.Local(sup)
+		for i := 0; i < n; i++ {
+			sub = types.LSend("p", "value", types.Unit, sub)
+		}
+		res, err := CheckTypes("s", sub, sup, Options{})
+		if err != nil || !res.OK {
+			t.Fatalf("unroll %d rejected (err=%v)", n, err)
+		}
+		if res.Steps <= prev {
+			t.Errorf("steps did not grow: n=%d steps=%d prev=%d", n, res.Steps, prev)
+		}
+		prev = res.Steps
+	}
+}

@@ -1,0 +1,107 @@
+package subsync
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+func check(t *testing.T, sub, sup string) bool {
+	t.Helper()
+	ok, err := Check(types.MustParse(sub), types.MustParse(sup))
+	if err != nil {
+		t.Fatalf("Check(%q, %q): %v", sub, sup, err)
+	}
+	return ok
+}
+
+func TestReflexivity(t *testing.T) {
+	for _, src := range []string{
+		"end",
+		"p!a.end",
+		"mu x.s!ready.s?copy.t?ready.t!copy.x",
+		"mu t.s?{d0.s!a0.t, d1.s!a1.t}",
+	} {
+		if !check(t, src, src) {
+			t.Errorf("T ≤ T failed for %s", src)
+		}
+	}
+}
+
+func TestWidth(t *testing.T) {
+	if !check(t, "p!{a.end}", "p!{a.end, b.end}") {
+		t.Error("output subset rejected")
+	}
+	if !check(t, "p?{a.end, b.end}", "p?{a.end}") {
+		t.Error("input superset rejected")
+	}
+	if check(t, "p!{a.end, b.end}", "p!{a.end}") {
+		t.Error("output superset accepted")
+	}
+	if check(t, "p?{a.end}", "p?{a.end, b.end}") {
+		t.Error("input subset accepted")
+	}
+}
+
+func TestSorts(t *testing.T) {
+	if !check(t, "p!l(nat).end", "p!l(int).end") {
+		t.Error("covariant output rejected")
+	}
+	if !check(t, "p?l(int).end", "p?l(nat).end") {
+		t.Error("contravariant input rejected")
+	}
+	if check(t, "p!l(int).end", "p!l(nat).end") {
+		t.Error("unsound output sort accepted")
+	}
+}
+
+func TestNoReordering(t *testing.T) {
+	// AMR is invisible to synchronous subtyping: the reordering accepted by
+	// the asynchronous algorithm is rejected here.
+	sub, sup := "p!l2.p?l1.end", "p?l1.p!l2.end"
+	if check(t, sub, sup) {
+		t.Error("synchronous subtyping accepted a reordering")
+	}
+	res, err := core.CheckTypes("self", types.MustParse(sub), types.MustParse(sup), core.Options{})
+	if err != nil || !res.OK {
+		t.Error("asynchronous subtyping should accept the reordering")
+	}
+}
+
+func TestAsyncExtendsSync(t *testing.T) {
+	// Whenever sync subtyping holds, async subtyping must also hold.
+	pairs := [][2]string{
+		{"p!{a.end}", "p!{a.end, b.end}"},
+		{"p?{a.end, b.end}", "p?{a.end}"},
+		{"mu x.p!v.x", "mu y.p!v.y"},
+		{"p!l(nat).end", "p!l(int).end"},
+	}
+	for _, pr := range pairs {
+		if !check(t, pr[0], pr[1]) {
+			t.Errorf("sync rejected %s ≤ %s", pr[0], pr[1])
+			continue
+		}
+		res, err := core.CheckTypes("self", types.MustParse(pr[0]), types.MustParse(pr[1]), core.Options{})
+		if err != nil || !res.OK {
+			t.Errorf("async rejected sync-valid pair %s ≤ %s", pr[0], pr[1])
+		}
+	}
+}
+
+func TestRecursionAcrossBinders(t *testing.T) {
+	// Differently named binders with identical behaviour are related.
+	if !check(t, "mu x.p!v.x", "mu y.p!v.y") {
+		t.Error("alpha-variant recursion rejected")
+	}
+	// Unfolded versus folded.
+	if !check(t, "p!v.mu x.p!v.x", "mu y.p!v.y") {
+		t.Error("unfolding rejected")
+	}
+}
+
+func TestIllFormedRejected(t *testing.T) {
+	if _, err := Check(types.Var{Name: "x"}, types.End{}); err == nil {
+		t.Error("unbound variable accepted")
+	}
+}

@@ -1,0 +1,189 @@
+package theory
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+func refines(t *testing.T, w, wp string) bool {
+	t.Helper()
+	ok, err := Refines(types.MustParse(w), types.MustParse(wp), 0)
+	if err != nil {
+		t.Fatalf("Refines(%q, %q): %v", w, wp, err)
+	}
+	return ok
+}
+
+func TestIsSISO(t *testing.T) {
+	if !IsSISO(types.MustParse("mu x.p?l.q!m.x")) {
+		t.Error("SISO type rejected")
+	}
+	if IsSISO(types.MustParse("p!{a.end, b.end}")) {
+		t.Error("branching type accepted")
+	}
+}
+
+func TestRefEnd(t *testing.T) {
+	if !refines(t, "end", "end") {
+		t.Error("end ≲ end failed")
+	}
+	if refines(t, "end", "p!l.end") || refines(t, "p!l.end", "end") {
+		t.Error("end related to an action")
+	}
+}
+
+func TestRefInOut(t *testing.T) {
+	if !refines(t, "p?l.q!m.end", "p?l.q!m.end") {
+		t.Error("identity failed")
+	}
+	if refines(t, "p?l.end", "p?m.end") {
+		t.Error("label mismatch accepted")
+	}
+	// Sort directions as in Fig. A.11.
+	if !refines(t, "p!l(nat).end", "p!l(int).end") {
+		t.Error("covariant output rejected")
+	}
+	if !refines(t, "p?l(int).end", "p?l(nat).end") {
+		t.Error("contravariant input rejected")
+	}
+	if refines(t, "p!l(int).end", "p!l(nat).end") {
+		t.Error("unsound output sort accepted")
+	}
+}
+
+func TestRefB(t *testing.T) {
+	// Example 2's safe reordering, derived via [ref-B].
+	if !refines(t, "p!l2.p?l1.end", "p?l1.p!l2.end") {
+		t.Error("output anticipation rejected")
+	}
+	// And the unsafe direction via (absence of) [ref-A].
+	if refines(t, "q?l2.q!l1.end", "q!l1.q?l2.end") {
+		t.Error("input anticipation past an output accepted")
+	}
+}
+
+func TestRefA(t *testing.T) {
+	// An input from p anticipated before an input from q.
+	if !refines(t, "p?a.q?b.end", "q?b.p?a.end") {
+		t.Error("input anticipation rejected")
+	}
+	// But not past an input from p itself.
+	if refines(t, "p?a.p?b.end", "p?b.p?a.end") {
+		t.Error("same-peer input reordering accepted")
+	}
+}
+
+func TestDoubleBufferingRefinement(t *testing.T) {
+	// Appendix B.2.1's second example: the optimised kernel refines the
+	// projection (both already SISO).
+	sub := "s!ready.mu x.s!ready.s?copy.t?ready.t!copy.x"
+	sup := "mu x.s!ready.s?copy.t?ready.t!copy.x"
+	if !refines(t, sub, sup) {
+		t.Error("double-buffering refinement rejected")
+	}
+}
+
+func TestForgottenActionRejected(t *testing.T) {
+	// Fig. A.14 / the Remark of Appendix B.2: without the act side condition
+	// T = μt.p?ℓ.t would wrongly refine q?ℓ′.T.
+	if refines(t, "mu t.p?l.t", "q?lp.mu t.p?l.t") {
+		t.Error("forgotten action accepted by the reference relation")
+	}
+}
+
+func TestRejectsNonSISO(t *testing.T) {
+	if _, err := Refines(types.MustParse("p!{a.end, b.end}"), types.MustParse("p!a.end"), 0); err == nil {
+		t.Error("branching type accepted")
+	}
+	if _, err := Refines(types.Var{Name: "x"}, types.End{}, 0); err == nil {
+		t.Error("ill-formed type accepted")
+	}
+}
+
+// genSISO generates a random closed SISO type.
+func genSISO(r *rand.Rand, depth int, vars []string) types.Local {
+	if depth <= 0 {
+		if len(vars) > 0 && r.Intn(2) == 0 {
+			return types.Var{Name: vars[r.Intn(len(vars))]}
+		}
+		return types.End{}
+	}
+	peers := []types.Role{"p", "q"}
+	labels := []types.Label{"a", "b"}
+	switch r.Intn(6) {
+	case 0:
+		return types.End{}
+	case 1:
+		name := "v" + string(rune('a'+len(vars)))
+		body := genSISOStep(r, depth-1, append(append([]string{}, vars...), name), peers, labels)
+		return types.Rec{Name: name, Body: body}
+	default:
+		return genSISOStep(r, depth-1, vars, peers, labels)
+	}
+}
+
+func genSISOStep(r *rand.Rand, depth int, vars []string, peers []types.Role, labels []types.Label) types.Local {
+	peer := peers[r.Intn(len(peers))]
+	label := labels[r.Intn(len(labels))]
+	cont := genSISO(r, depth-1, vars)
+	if r.Intn(2) == 0 {
+		return types.LSend(peer, label, types.Unit, cont)
+	}
+	return types.LRecv(peer, label, types.Unit, cont)
+}
+
+type sisoGen struct{ T types.Local }
+
+func (sisoGen) Generate(r *rand.Rand, size int) reflect.Value {
+	d := size
+	if d > 5 {
+		d = 5
+	}
+	return reflect.ValueOf(sisoGen{T: genSISO(r, d, nil)})
+}
+
+func TestQuickReferenceAgreesWithAlgorithm(t *testing.T) {
+	// Differential oracle: on the SISO fragment, whenever the reference
+	// relation derives w ≲ w′, the production algorithm must accept w ≤ w′
+	// (the algorithm is sound *and* subsumes ≲ on these shapes); and on
+	// identical types both must accept.
+	f := func(g sisoGen, h sisoGen) bool {
+		ref, err := Refines(g.T, h.T, 48)
+		if err != nil {
+			return false
+		}
+		res, err := core.CheckTypes("self", g.T, h.T, core.Options{Bound: 12})
+		if err != nil {
+			return false
+		}
+		if ref && !res.OK {
+			t.Logf("reference accepts but algorithm rejects:\n  sub=%s\n  sup=%s", g.T, h.T)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReferenceReflexive(t *testing.T) {
+	f := func(g sisoGen) bool {
+		ok, err := Refines(g.T, g.T, 64)
+		if err != nil {
+			return false
+		}
+		if !ok {
+			t.Logf("reflexivity failed for %s", g.T)
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

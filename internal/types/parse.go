@@ -1,0 +1,332 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a local type from the package's concrete syntax:
+//
+//	T ::= end | x | mu x . T | p ! Branches | p ? Branches
+//	Branches ::= { B , ... , B } | B
+//	B ::= label . T | label ( sort ) . T
+//
+// Examples (from the paper):
+//
+//	mu x. s!ready. s?copy. t?ready. t!copy. x     -- the double-buffering kernel
+//	t?ready. s!{value(i32).end, stop.end}          -- choice
+//
+// A single-branch choice may omit the braces. Whitespace is insignificant.
+func Parse(src string) (Local, error) {
+	p := &parser{src: src}
+	t, err := p.local()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, p.errorf("trailing input %q", p.src[p.pos:])
+	}
+	return t, nil
+}
+
+// MustParse is Parse but panics on error; intended for tests and for protocol
+// tables built from literals.
+func MustParse(src string) Local {
+	t, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// ParseGlobal parses a global type:
+//
+//	G ::= end | x | mu x . G | p -> q : Branches
+//	Branches ::= { B , ... , B } | B
+//	B ::= label . G | label ( sort ) . G
+//
+// Example: mu x. k->s:ready. s->k:value. t->k:ready. k->t:value. x
+func ParseGlobal(src string) (Global, error) {
+	p := &parser{src: src}
+	g, err := p.global()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, p.errorf("trailing input %q", p.src[p.pos:])
+	}
+	return g, nil
+}
+
+// MustParseGlobal is ParseGlobal but panics on error.
+func MustParseGlobal(src string) Global {
+	g, err := ParseGlobal(src)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("types: parse error at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		break
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) eat(c byte) bool {
+	p.skipSpace()
+	if p.peek() == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(c byte) error {
+	if !p.eat(c) {
+		return p.errorf("expected %q", string(c))
+	}
+	return nil
+}
+
+func isIdent(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '\''
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && isIdent(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errorf("expected identifier")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) local() (Local, error) {
+	p.skipSpace()
+	save := p.pos
+	id, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	switch id {
+	case "end":
+		return End{}, nil
+	case "mu", "rec":
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect('.'); err != nil {
+			return nil, err
+		}
+		body, err := p.local()
+		if err != nil {
+			return nil, err
+		}
+		return Rec{Name: name, Body: body}, nil
+	}
+	p.skipSpace()
+	switch p.peek() {
+	case '!':
+		p.pos++
+		branches, err := p.branches()
+		if err != nil {
+			return nil, err
+		}
+		return Send{Peer: Role(id), Branches: branches}, nil
+	case '?':
+		p.pos++
+		branches, err := p.branches()
+		if err != nil {
+			return nil, err
+		}
+		return Recv{Peer: Role(id), Branches: branches}, nil
+	}
+	// Plain recursion variable.
+	p.pos = save
+	name, _ := p.ident()
+	return Var{Name: name}, nil
+}
+
+func (p *parser) branches() ([]Branch, error) {
+	p.skipSpace()
+	if p.eat('{') {
+		var out []Branch
+		for {
+			b, err := p.branch()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, b)
+			if p.eat(',') {
+				continue
+			}
+			if err := p.expect('}'); err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+	}
+	b, err := p.branch()
+	if err != nil {
+		return nil, err
+	}
+	return []Branch{b}, nil
+}
+
+func (p *parser) branch() (Branch, error) {
+	label, err := p.ident()
+	if err != nil {
+		return Branch{}, err
+	}
+	sort := Unit
+	if p.eat('(') {
+		p.skipSpace()
+		if !p.eat(')') {
+			s, err := p.ident()
+			if err != nil {
+				return Branch{}, err
+			}
+			sort = Sort(s)
+			if err := p.expect(')'); err != nil {
+				return Branch{}, err
+			}
+		}
+	}
+	if err := p.expect('.'); err != nil {
+		return Branch{}, err
+	}
+	cont, err := p.local()
+	if err != nil {
+		return Branch{}, err
+	}
+	return Branch{Label: Label(label), Sort: sort, Cont: cont}, nil
+}
+
+func (p *parser) global() (Global, error) {
+	p.skipSpace()
+	save := p.pos
+	id, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	switch id {
+	case "end":
+		return GEnd{}, nil
+	case "mu", "rec":
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect('.'); err != nil {
+			return nil, err
+		}
+		body, err := p.global()
+		if err != nil {
+			return nil, err
+		}
+		return GRec{Name: name, Body: body}, nil
+	}
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], "->") {
+		p.pos += 2
+		to, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(':'); err != nil {
+			return nil, err
+		}
+		branches, err := p.gbranches()
+		if err != nil {
+			return nil, err
+		}
+		return Comm{From: Role(id), To: Role(to), Branches: branches}, nil
+	}
+	p.pos = save
+	name, _ := p.ident()
+	return GVar{Name: name}, nil
+}
+
+func (p *parser) gbranches() ([]GBranch, error) {
+	p.skipSpace()
+	if p.eat('{') {
+		var out []GBranch
+		for {
+			b, err := p.gbranch()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, b)
+			if p.eat(',') {
+				continue
+			}
+			if err := p.expect('}'); err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+	}
+	b, err := p.gbranch()
+	if err != nil {
+		return nil, err
+	}
+	return []GBranch{b}, nil
+}
+
+func (p *parser) gbranch() (GBranch, error) {
+	label, err := p.ident()
+	if err != nil {
+		return GBranch{}, err
+	}
+	sort := Unit
+	if p.eat('(') {
+		p.skipSpace()
+		if !p.eat(')') {
+			s, err := p.ident()
+			if err != nil {
+				return GBranch{}, err
+			}
+			sort = Sort(s)
+			if err := p.expect(')'); err != nil {
+				return GBranch{}, err
+			}
+		}
+	}
+	if err := p.expect('.'); err != nil {
+		return GBranch{}, err
+	}
+	cont, err := p.global()
+	if err != nil {
+		return GBranch{}, err
+	}
+	return GBranch{Label: Label(label), Sort: sort, Cont: cont}, nil
+}

@@ -1,0 +1,124 @@
+package types
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genLocal generates a random closed, well-formed local type. depth bounds the
+// tree height; vars is the set of guarded recursion variables in scope.
+func genLocal(r *rand.Rand, depth int, vars []string) Local {
+	if depth <= 0 {
+		if len(vars) > 0 && r.Intn(2) == 0 {
+			return Var{Name: vars[r.Intn(len(vars))]}
+		}
+		return End{}
+	}
+	roles := []Role{"p", "q", "r"}
+	labels := []Label{"a", "b", "c", "d"}
+	sorts := []Sort{Unit, I32, Nat, Int}
+	switch r.Intn(5) {
+	case 0:
+		if len(vars) > 0 {
+			return Var{Name: vars[r.Intn(len(vars))]}
+		}
+		return End{}
+	case 1:
+		name := "x" + string(rune('0'+len(vars)))
+		// The body must guard the new variable: force a communication by
+		// generating a choice whose continuations may use it.
+		body := genChoice(r, depth-1, append(append([]string{}, vars...), name), roles, labels, sorts)
+		return Rec{Name: name, Body: body}
+	default:
+		return genChoice(r, depth-1, vars, roles, labels, sorts)
+	}
+}
+
+func genChoice(r *rand.Rand, depth int, vars []string, roles []Role, labels []Label, sorts []Sort) Local {
+	peer := roles[r.Intn(len(roles))]
+	n := 1 + r.Intn(3)
+	used := map[Label]bool{}
+	var branches []Branch
+	for i := 0; i < n; i++ {
+		l := labels[r.Intn(len(labels))]
+		if used[l] {
+			continue
+		}
+		used[l] = true
+		branches = append(branches, Branch{
+			Label: l,
+			Sort:  sorts[r.Intn(len(sorts))],
+			Cont:  genLocal(r, depth-1, vars),
+		})
+	}
+	if r.Intn(2) == 0 {
+		return Send{Peer: peer, Branches: branches}
+	}
+	return Recv{Peer: peer, Branches: branches}
+}
+
+// localGen adapts genLocal for testing/quick.
+type localGen struct{ T Local }
+
+func (localGen) Generate(r *rand.Rand, size int) reflect.Value {
+	d := size
+	if d > 6 {
+		d = 6
+	}
+	return reflect.ValueOf(localGen{T: genLocal(r, d, nil)})
+}
+
+func TestQuickGeneratedTypesValidate(t *testing.T) {
+	f := func(g localGen) bool {
+		return ValidateLocal(g.T) == nil
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickParsePrintRoundTrip(t *testing.T) {
+	f := func(g localGen) bool {
+		printed := g.T.String()
+		parsed, err := Parse(printed)
+		if err != nil {
+			t.Logf("parse of %q failed: %v", printed, err)
+			return false
+		}
+		return EqualLocal(g.T, parsed)
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnfoldPreservesValidity(t *testing.T) {
+	f := func(g localGen) bool {
+		return ValidateLocal(Unfold(g.T)) == nil
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNormalizeIdempotent(t *testing.T) {
+	f := func(g localGen) bool {
+		once := NormalizeLocal(g.T)
+		return EqualLocal(once, NormalizeLocal(once))
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubstIdentity(t *testing.T) {
+	// Substituting a variable that does not occur free is the identity.
+	f := func(g localGen) bool {
+		return EqualLocal(SubstLocal(g.T, "zz_not_used", End{}), g.T)
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}

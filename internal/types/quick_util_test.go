@@ -1,0 +1,7 @@
+package types
+
+import "testing/quick"
+
+// quickConfig returns the shared testing/quick configuration: enough cases to
+// exercise structure without dominating test time.
+func quickConfig() *quick.Config { return &quick.Config{MaxCount: 200} }
