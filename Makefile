@@ -1,0 +1,36 @@
+# Tier-1 verification and the perf trajectory for the session runtime.
+#
+#   make verify   build + full test suite (the tier-1 gate)
+#   make race     the substrate stress tests under the race detector
+#   make bench    channel + session + Session.Run benchmarks with -benchmem,
+#                 raw output to stderr, parsed JSON to BENCH_channel.json
+#                 (compare against the numbers recorded in CHANGES.md)
+
+GO ?= go
+# bash + pipefail: a failing benchmark run must fail `make bench`, not let
+# the benchjson stage mask it and overwrite BENCH_channel.json.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+# The head-to-head families: the substrate tables (BenchmarkSendRecv/*,
+# BenchmarkPingPong/*), batched paths, endpoint hot paths, monitor cost and
+# the Session.Run end-to-end streaming experiment. The pre-PR single-name
+# benchmarks (BenchmarkQueuePingPong, ...) duplicate table entries and are
+# excluded so BENCH_channel.json holds one entry per data point. (No '/' in
+# the pattern: go test splits -bench patterns on '/' into per-level regexes.)
+BENCH_PATTERN ?= BenchmarkSendRecv|BenchmarkPingPong|BenchmarkRingBatch|BenchmarkNetwork|BenchmarkSessionRunStreaming|BenchmarkMonitor
+BENCH_PKGS ?= ./internal/channel ./internal/session ./internal/bench
+
+.PHONY: verify race bench
+
+verify:
+	$(GO) build ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 600s ./internal/channel ./internal/session
+
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -timeout 1800s $(BENCH_PKGS) \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_channel.json
+	@echo "wrote BENCH_channel.json"

@@ -1,0 +1,74 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// array on stdout, one object per benchmark result:
+//
+//	[{"name": "BenchmarkPingPong/ring", "n": 3122941,
+//	  "metrics": {"ns/op": 358.6, "B/op": 0, "allocs/op": 0}}, ...]
+//
+// Custom metrics reported via b.ReportMetric (e.g. "msgs/us") are included.
+// Non-benchmark lines (goos/goarch headers, PASS/ok) are skipped, so the
+// raw output of `go test -bench . -benchmem ./...` can be piped straight
+// through. Used by `make bench` to write BENCH_channel.json, the perf
+// trajectory file future PRs compare against.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name    string             `json:"name"`
+	N       int64              `json:"n"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	results := []result{} // encode as [] (not null) when no benchmarks parse
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine decodes one `go test -bench` result line:
+//
+//	BenchmarkName[-P] <N> <value> <unit> [<value> <unit>]...
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: fields[0], N: n, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	if len(r.Metrics) == 0 {
+		return result{}, false
+	}
+	return r, true
+}

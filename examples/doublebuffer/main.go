@@ -36,10 +36,22 @@ func main() {
 	}
 	fmt.Println("verified: optimised kernel ≤ projected kernel")
 
-	single := run(g, false)
-	double := run(g, true)
-	fmt.Printf("single buffering: %8.1f values/ms\n", rate(single))
-	fmt.Printf("double buffering: %8.1f values/ms (%.2fx)\n", rate(double), single.Seconds()/double.Seconds())
+	// Run both kernels on both substrates: the mutex-queue baseline and the
+	// lock-free SPSC ring default. The AMR speedup (single vs double) and
+	// the substrate speedup (queue vs ring) compose.
+	substrates := []struct {
+		name string
+		mk   func(roles ...types.Role) *session.Network
+	}{
+		{"queue", session.NewQueueNetwork},
+		{"ring", session.NewNetwork},
+	}
+	for _, sub := range substrates {
+		single := run(g, false, sub.mk)
+		double := run(g, true, sub.mk)
+		fmt.Printf("%-5s single buffering: %8.1f values/ms\n", sub.name, rate(single))
+		fmt.Printf("%-5s double buffering: %8.1f values/ms (%.2fx)\n", sub.name, rate(double), single.Seconds()/double.Seconds())
+	}
 }
 
 func rate(d time.Duration) float64 {
@@ -47,11 +59,12 @@ func rate(d time.Duration) float64 {
 	return total / (d.Seconds() * 1e3)
 }
 
-// run moves `iterations` buffers through the kernel and returns the elapsed
-// time. Buffers travel as single messages carrying a slice; source and sink
-// both spend a little simulated computation per buffer, which is where the
-// optimised kernel's overlap pays off.
-func run(g types.Global, optimised bool) time.Duration {
+// run moves `iterations` buffers through the kernel on the given network
+// substrate and returns the elapsed time. Buffers travel as single messages
+// carrying a slice; source and sink both spend a little simulated
+// computation per buffer, which is where the optimised kernel's overlap
+// pays off.
+func run(g types.Global, optimised bool, mkNet func(roles ...types.Role) *session.Network) time.Duration {
 	sess, err := session.TopDown(g, nil, core.Options{})
 	if err != nil {
 		log.Fatal(err)
@@ -61,7 +74,7 @@ func run(g types.Global, optimised bool) time.Duration {
 	// For benchmarking we run the processes over raw (unmonitored) endpoints
 	// — the protocol was verified above; this matches the Rust framework,
 	// where conformance costs nothing at run time.
-	net := session.NewNetwork("k", "s", "t")
+	net := mkNet("k", "s", "t")
 	kernel, source, sink := net.Endpoint("k"), net.Endpoint("s"), net.Endpoint("t")
 
 	start := time.Now()

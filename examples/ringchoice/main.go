@@ -29,6 +29,14 @@ func main() {
 	}
 	fmt.Println("verified: {a, optimised b, c} is 2-multiparty compatible")
 
+	// 2-MC guarantees deadlock-freedom on a 2-bounded network, so run the
+	// session on exactly that substrate: lock-free SPSC rings of logical
+	// capacity 2 (session.NewBoundedNetwork). The monitored endpoints below
+	// therefore exercise the bounded ring fast path end to end.
+	sess.Rewire(func(roles ...types.Role) *session.Network {
+		return session.NewBoundedNetwork(2, roles...)
+	})
+
 	// Run a bounded number of rounds: a feeds increments around the ring,
 	// b relays each as add or sub (alternating), c applies them to an
 	// accumulator it reports back to a.

@@ -69,6 +69,34 @@ func TestFFTAllRuntimes(t *testing.T) {
 	}
 }
 
+func TestSessionStreamingBothSubstrates(t *testing.T) {
+	for _, sub := range []NetworkSubstrate{RingSubstrate, QueueSubstrate} {
+		got, err := SessionStreaming(sub, 40)
+		if err != nil {
+			t.Errorf("%s: %v", sub, err)
+		}
+		if got != 40 {
+			t.Errorf("%s: received %d values, want 40", sub, got)
+		}
+	}
+}
+
+// BenchmarkSessionRunStreaming is the Session.Run end-to-end head-to-head:
+// the full monitored runtime (verification cached, one FSM step per action)
+// moving 100 values through the streaming protocol, per substrate.
+func BenchmarkSessionRunStreaming(b *testing.B) {
+	for _, sub := range []NetworkSubstrate{RingSubstrate, QueueSubstrate} {
+		b.Run(sub.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SessionStreaming(sub, 100); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func TestVerifyStreamingAllVerifiers(t *testing.T) {
 	for _, v := range []Verifier{RumpsteakSubtyping, SoundBinary, KMC} {
 		for _, n := range []int{0, 3, 10} {

@@ -15,8 +15,9 @@ import (
 	"sync"
 
 	"repro/internal/baseline"
-	"repro/internal/channel"
+	"repro/internal/core"
 	"repro/internal/fft"
+	"repro/internal/session"
 	"repro/internal/types"
 )
 
@@ -56,36 +57,36 @@ func (r Runtime) String() string {
 	}
 }
 
-// rsNetwork builds the persistent unbounded queues the Rumpsteak-analogue
-// uses. The raw network (no monitor) is used for benchmarking: the protocols
-// are verified once, not re-checked per message, matching the Rust framework
-// where conformance costs nothing at run time.
+// rsNetwork is the persistent network the Rumpsteak-analogue uses: raw
+// (unmonitored) session endpoints over the default lock-free SPSC ring
+// substrate — persistent channels, no per-interaction allocation, matching
+// the Rust framework where conformance costs nothing at run time. Each
+// process grabs its endpoint once (ep) and drives it directly.
 type rsNetwork struct {
-	queues map[[2]types.Role]*channel.Queue
+	net *session.Network
 }
 
 func newRSNetwork(roles ...types.Role) *rsNetwork {
-	n := &rsNetwork{queues: map[[2]types.Role]*channel.Queue{}}
-	for _, a := range roles {
-		for _, b := range roles {
-			if a != b {
-				n.queues[[2]types.Role{a, b}] = channel.NewQueue()
-			}
-		}
+	return &rsNetwork{net: session.NewNetwork(roles...)}
+}
+
+// ep returns the (unmonitored) endpoint a process owns for the whole run.
+func (n *rsNetwork) ep(role types.Role) *session.Endpoint {
+	return n.net.Endpoint(role)
+}
+
+func mustSend(e *session.Endpoint, to types.Role, label types.Label, v any) {
+	if err := e.Send(to, label, v); err != nil {
+		panic(fmt.Sprintf("bench: send %s->%s: %v", e.Role(), to, err))
 	}
-	return n
 }
 
-func (n *rsNetwork) send(from, to types.Role, label types.Label, v any) {
-	n.queues[[2]types.Role{from, to}].Send(channel.Message{Label: label, Value: v})
-}
-
-func (n *rsNetwork) recv(from, to types.Role) channel.Message {
-	m, err := n.queues[[2]types.Role{from, to}].Recv()
+func mustRecvFrom(e *session.Endpoint, from types.Role) (types.Label, any) {
+	label, v, err := e.Receive(from)
 	if err != nil {
-		panic(fmt.Sprintf("bench: recv %s->%s: %v", from, to, err))
+		panic(fmt.Sprintf("bench: recv %s->%s: %v", from, e.Role(), err))
 	}
-	return m
+	return label, v
 }
 
 // Streaming runs the streaming protocol once: the sink requests values until
@@ -184,10 +185,11 @@ func mustRecv(e *baseline.MeshEndpoint, from types.Role) (types.Label, any, erro
 	return label, v, err
 }
 
-// streamingRumpsteak runs the protocol over persistent unbounded queues.
+// streamingRumpsteak runs the protocol over the persistent ring network.
 // With unroll = u > 0, the source sends its first u values before waiting for
 // readys, consuming the outstanding readys before stopping — the verified
-// AMR of protocols.OptimisedStreaming generalised to u unrolls.
+// AMR of protocols.OptimisedStreaming generalised to u unrolls. The unrolled
+// run is a same-label burst, so it goes through the batched SendN fast path.
 func streamingRumpsteak(n, unroll int) (int, error) {
 	if unroll > n {
 		unroll = n
@@ -198,29 +200,36 @@ func streamingRumpsteak(n, unroll int) (int, error) {
 	received := 0
 	go func() { // sink: unchanged by the source's AMR
 		defer wg.Done()
+		e := net.ep("t")
 		for {
-			net.send("t", "s", "ready", nil)
-			m := net.recv("s", "t")
-			if m.Label == "stop" {
+			mustSend(e, "s", "ready", nil)
+			label, _ := mustRecvFrom(e, "s")
+			if label == "stop" {
 				return
 			}
 			received++
 		}
 	}()
 	// source
-	for i := 0; i < unroll; i++ {
-		net.send("s", "t", "value", i)
+	e := net.ep("s")
+	if unroll > 0 {
+		burst := make([]any, unroll)
+		for i := range burst {
+			burst[i] = i
+		}
+		if err := e.SendN("t", "value", burst); err != nil {
+			return 0, err
+		}
 	}
 	for i := unroll; i < n; i++ {
-		net.recv("t", "s") // ready
-		net.send("s", "t", "value", i)
+		mustRecvFrom(e, "t") // ready
+		mustSend(e, "t", "value", i)
 	}
 	// Drain the readys matching the unrolled sends, then the final ready.
-	for i := 0; i < unroll; i++ {
-		net.recv("t", "s")
+	for i := 0; i < unroll+1; i++ {
+		mustRecvFrom(e, "t")
 	}
-	net.recv("t", "s")
-	net.send("s", "t", "stop", nil)
+	mustSend(e, "t", "stop", nil)
 	wg.Wait()
 	if received != n {
 		return received, fmt.Errorf("bench: sink received %d of %d", received, n)
@@ -349,56 +358,157 @@ func doubleBufferingMesh(n, iters int) (int, error) {
 	return moved, nil
 }
 
-// doubleBufferingRumpsteak runs the kernel over persistent queues; when
-// optimised it issues the second ready immediately (Fig. 4b), letting the
-// source fill the second buffer while the sink drains the first.
+// doubleBufferingRumpsteak runs the kernel over the persistent ring
+// network; when optimised it issues the second ready immediately (Fig. 4b),
+// letting the source fill the second buffer while the sink drains the
+// first. The n-value buffer transfers are same-label runs, driven through
+// the batched SendN/ReceiveN endpoint operations.
 func doubleBufferingRumpsteak(n, iters int, optimised bool) (int, error) {
 	net := newRSNetwork("k", "s", "t")
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() { // source
 		defer wg.Done()
+		e := net.ep("s")
+		buf := make([]any, n)
+		for v := range buf {
+			buf[v] = v
+		}
 		for it := 0; it < iters; it++ {
-			net.recv("k", "s") // ready
-			for v := 0; v < n; v++ {
-				net.send("s", "k", "value", v)
+			mustRecvFrom(e, "k") // ready
+			if err := e.SendN("k", "value", buf); err != nil {
+				panic(err)
 			}
 		}
 	}()
 	moved := 0
 	go func() { // sink
 		defer wg.Done()
+		e := net.ep("t")
+		buf := make([]any, n)
 		for it := 0; it < iters; it++ {
-			net.send("t", "k", "ready", nil)
-			for v := 0; v < n; v++ {
-				net.recv("k", "t")
-				moved++
+			mustSend(e, "k", "ready", nil)
+			if err := e.ReceiveN("k", "value", buf); err != nil {
+				panic(err)
 			}
+			moved += n
 		}
 	}()
 	// kernel
+	e := net.ep("k")
 	if optimised {
-		net.send("k", "s", "ready", nil) // anticipate the second buffer
+		mustSend(e, "s", "ready", nil) // anticipate the second buffer
 	}
+	buf := make([]any, n)
 	for it := 0; it < iters; it++ {
-		if optimised {
-			if it+1 < iters {
-				net.send("k", "s", "ready", nil)
-			}
-		} else {
-			net.send("k", "s", "ready", nil)
+		if !optimised || it+1 < iters {
+			mustSend(e, "s", "ready", nil)
 		}
-		buf := make([]any, 0, n)
-		for v := 0; v < n; v++ {
-			buf = append(buf, net.recv("s", "k").Value)
+		// Errors panic (as in mustSend/mustRecvFrom): returning early would
+		// race the sink's moved counter and leak the worker goroutines.
+		if err := e.ReceiveN("s", "value", buf); err != nil {
+			panic(fmt.Sprintf("bench: kernel receive: %v", err))
 		}
-		net.recv("t", "k") // sink ready
-		for _, value := range buf {
-			net.send("k", "t", "value", value)
+		mustRecvFrom(e, "t") // sink ready
+		if err := e.SendN("t", "value", buf); err != nil {
+			panic(fmt.Sprintf("bench: kernel send: %v", err))
 		}
 	}
 	wg.Wait()
 	return moved, nil
+}
+
+// NetworkSubstrate selects the session-network substrate for the
+// Session.Run end-to-end experiments: the lock-free ring default against
+// the mutex-queue baseline.
+type NetworkSubstrate int
+
+const (
+	// RingSubstrate: lock-free SPSC rings (session.NewNetwork, the default).
+	RingSubstrate NetworkSubstrate = iota
+	// QueueSubstrate: mutex+cond queues (session.NewQueueNetwork).
+	QueueSubstrate
+)
+
+func (s NetworkSubstrate) String() string {
+	if s == QueueSubstrate {
+		return "queue"
+	}
+	return "ring"
+}
+
+func (s NetworkSubstrate) network(roles ...types.Role) *session.Network {
+	if s == QueueSubstrate {
+		return session.NewQueueNetwork(roles...)
+	}
+	return session.NewNetwork(roles...)
+}
+
+// streamSess caches the verified streaming session so SessionStreaming
+// measures the runtime (Session.Run on a fresh network per call), not
+// projection and subtyping. The mutex serialises whole runs: each call
+// rewires the shared cached session, so concurrent calls must not overlap.
+var streamSess struct {
+	mu   sync.Mutex
+	sess *session.Session
+	err  error
+}
+
+// SessionStreaming runs the streaming protocol end-to-end under the fully
+// monitored session runtime — TopDown-verified FSMs, Session.Run, one
+// monitor step per action — over the chosen substrate, returning the number
+// of values the sink received. This is the Session.Run head-to-head behind
+// the ring-vs-queue numbers in CHANGES.md. Calls are serialised (the
+// verified session is shared and rewired per call).
+func SessionStreaming(sub NetworkSubstrate, n int) (int, error) {
+	streamSess.mu.Lock()
+	defer streamSess.mu.Unlock()
+	if streamSess.sess == nil && streamSess.err == nil {
+		g := types.MustParseGlobal("mu x.t->s:ready.s->t:{value.x, stop.end}")
+		streamSess.sess, streamSess.err = session.TopDown(g, nil, core.Options{})
+	}
+	if streamSess.err != nil {
+		return 0, streamSess.err
+	}
+	s := streamSess.sess.Rewire(sub.network)
+	received := 0
+	err := s.Run(map[types.Role]func(*session.Endpoint) error{
+		"s": func(e *session.Endpoint) error {
+			for i := 0; ; i++ {
+				if _, err := e.ReceiveLabel("t", "ready"); err != nil {
+					return err
+				}
+				if i == n {
+					return e.Send("t", "stop", nil)
+				}
+				if err := e.Send("t", "value", i); err != nil {
+					return err
+				}
+			}
+		},
+		"t": func(e *session.Endpoint) error {
+			for {
+				if err := e.Send("s", "ready", nil); err != nil {
+					return err
+				}
+				label, _, err := e.Receive("s")
+				if err != nil {
+					return err
+				}
+				if label == "stop" {
+					return nil
+				}
+				received++
+			}
+		},
+	})
+	if err != nil {
+		return received, err
+	}
+	if received != n {
+		return received, fmt.Errorf("bench: session sink received %d of %d", received, n)
+	}
+	return received, nil
 }
 
 // FFTSequential runs the RustFFT-analogue: the row-wise 8-point transform of
@@ -481,11 +591,13 @@ func fftRumpsteak(cols [][]complex128, amr bool) (int, error) {
 		wg.Add(1)
 		go func(j int) {
 			defer wg.Done()
+			e := net.ep(roles[j])
 			send := func(stage, to int, col []complex128) {
-				net.send(roles[j], roles[to], "col", col)
+				mustSend(e, roles[to], "col", col)
 			}
 			recv := func(stage, from int) []complex128 {
-				return net.recv(roles[from], roles[j]).Value.([]complex128)
+				_, v := mustRecvFrom(e, roles[from])
+				return v.([]complex128)
 			}
 			out[j] = fftWorker(j, cols[j], send, recv, amr)
 		}(j)

@@ -1,13 +1,25 @@
 // Package channel provides the communication substrates used by the session
-// runtimes:
+// runtimes. Substrate selection:
 //
-//   - Queue: an unbounded FIFO with non-blocking sends — the "asynchronous
-//     queue" of the paper's semantics and of the Rumpsteak runtime;
-//   - Bounded: a FIFO with capacity k, matching the k-MC execution model;
-//   - Rendezvous: a synchronous channel where the sender blocks until the
-//     receiver takes the message, matching the Sesh/MultiCrusty baselines.
+//	substrate   bounds     locking            producers  paper semantics modelled
+//	---------   ------     -------            ---------  -----------------------
+//	RingQueue   unbounded  lock-free SPSC     single     asynchronous queue (Rumpsteak) — default
+//	Ring        k          lock-free SPSC     single     k-bounded queue (k-MC execution model)
+//	Queue       unbounded  mutex + cond       multi      asynchronous queue, MPMC baseline
+//	Bounded     k          mutex + cond       multi      k-bounded queue, MPMC baseline
+//	Rendezvous  0          native go channel  multi      synchronous channel (Sesh, MultiCrusty)
 //
-// All types are safe for concurrent use by one or more senders and receivers.
+// RingQueue and Ring exploit the session-network invariant that every
+// ordered role pair has exactly one sender and one receiver: their hot path
+// is a slot write plus one atomic publication — no locks and no steady-state
+// allocation (see ring.go for the waiting and close protocol). Queue and
+// Bounded remain the mutex-based baselines for comparison (and for callers
+// that need multiple concurrent senders); Rendezvous models the synchronous
+// baselines of the paper's evaluation.
+//
+// All substrates share drain-on-close semantics: after Close, buffered
+// messages are still received in order, then receives return ErrClosed;
+// sends on a closed substrate fail with ErrClosed.
 package channel
 
 import (
@@ -39,6 +51,21 @@ type Receiver interface {
 	Recv() (Message, error)
 	// TryRecv returns immediately; ok reports whether a message was taken.
 	TryRecv() (msg Message, ok bool, err error)
+}
+
+// BatchSender is implemented by substrates that can publish a run of
+// messages with amortised synchronisation. SendN sends all of ms in order
+// and returns how many were sent (short only on ErrClosed).
+type BatchSender interface {
+	SendN(ms []Message) (int, error)
+}
+
+// BatchReceiver is implemented by substrates that can consume a run of
+// messages with amortised synchronisation. RecvN blocks until at least one
+// message is available, fills dst with up to len(dst) messages, and returns
+// how many.
+type BatchReceiver interface {
+	RecvN(dst []Message) (int, error)
 }
 
 // Queue is an unbounded FIFO. Send never blocks; Recv blocks until a message
@@ -129,9 +156,21 @@ func (q *Queue) Close() {
 }
 
 // Bounded is a FIFO with a fixed capacity: sends block while full. It models
-// the k-bounded queues of the k-MC semantics.
+// the k-bounded queues of the k-MC semantics (MPMC mutex baseline; the
+// lock-free SPSC equivalent is Ring).
+//
+// Close follows the same drain semantics as Queue: a closed-but-nonempty
+// queue keeps delivering buffered messages in order before receives report
+// ErrClosed, sends on a closed queue return ErrClosed (they do not panic),
+// and senders blocked on a full queue are woken by Close with ErrClosed.
 type Bounded struct {
-	ch chan Message
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	buf      []Message // ring of len(buf) == capacity
+	head     int
+	n        int
+	closed   bool
 }
 
 // NewBounded returns a queue with capacity k (k ≥ 1).
@@ -139,44 +178,82 @@ func NewBounded(k int) *Bounded {
 	if k < 1 {
 		k = 1
 	}
-	return &Bounded{ch: make(chan Message, k)}
+	b := &Bounded{buf: make([]Message, k)}
+	b.notFull = sync.NewCond(&b.mu)
+	b.notEmpty = sync.NewCond(&b.mu)
+	return b
 }
 
-// Send blocks while the queue is full. Like a native Go channel, sending
-// after Close panics; the session runtimes close queues only after all
-// senders have finished.
+// Send blocks while the queue is full; it returns ErrClosed if the queue is
+// (or becomes, while blocked) closed.
 func (b *Bounded) Send(m Message) error {
-	b.ch <- m
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.n == len(b.buf) && !b.closed {
+		b.notFull.Wait()
+	}
+	if b.closed {
+		return ErrClosed
+	}
+	b.buf[(b.head+b.n)%len(b.buf)] = m
+	b.n++
+	b.notEmpty.Signal()
 	return nil
 }
 
-// Recv blocks until a message is available.
+// Recv blocks until a message is available; once the queue is closed and
+// drained it returns ErrClosed.
 func (b *Bounded) Recv() (Message, error) {
-	m, ok := <-b.ch
-	if !ok {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.n == 0 && !b.closed {
+		b.notEmpty.Wait()
+	}
+	if b.n == 0 {
 		return Message{}, ErrClosed
 	}
-	return m, nil
+	return b.pop(), nil
 }
 
-// TryRecv returns immediately.
+// TryRecv returns immediately; a closed-but-nonempty queue still delivers.
 func (b *Bounded) TryRecv() (Message, bool, error) {
-	select {
-	case m, ok := <-b.ch:
-		if !ok {
-			return Message{}, false, ErrClosed
-		}
-		return m, true, nil
-	default:
-		return Message{}, false, nil
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.n > 0 {
+		return b.pop(), true, nil
 	}
+	if b.closed {
+		return Message{}, false, ErrClosed
+	}
+	return Message{}, false, nil
+}
+
+// pop assumes b.mu held and b.n > 0.
+func (b *Bounded) pop() Message {
+	m := b.buf[b.head]
+	b.buf[b.head] = Message{} // release the payload for GC
+	b.head = (b.head + 1) % len(b.buf)
+	b.n--
+	b.notFull.Signal()
+	return m
 }
 
 // Len returns the number of buffered messages.
-func (b *Bounded) Len() int { return len(b.ch) }
+func (b *Bounded) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
 
-// Close closes the queue. Buffered messages may still be received.
-func (b *Bounded) Close() { close(b.ch) }
+// Close marks the queue closed, waking blocked senders (ErrClosed) and
+// receivers (which drain the buffer first).
+func (b *Bounded) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	b.notFull.Broadcast()
+	b.notEmpty.Broadcast()
+}
 
 // Rendezvous is a synchronous channel: Send blocks until a receiver takes the
 // message, as in the synchronous baselines (Sesh, MultiCrusty).

@@ -1,6 +1,13 @@
 // Package session is the Go analogue of the Rumpsteak runtime (§2 of the
 // paper): roles communicate asynchronously over per-ordered-pair unbounded
-// FIFO queues; processes are goroutines driving one endpoint each.
+// FIFO channels; processes are goroutines driving one endpoint each.
+//
+// Because every ordered role pair has exactly one sender and one receiver,
+// the default communication substrate is the lock-free SPSC ring of package
+// channel (channel.RingQueue; channel.Ring for bounded networks): the
+// send/receive hot path is a dense-table route lookup, a slot write and one
+// atomic publication — no locks and no steady-state allocation. See Network
+// for substrate selection and NewQueueNetwork for the mutex baseline.
 //
 // Where the Rust framework uses the type checker to force each process to
 // conform to its verified FSM, Go has no affine types, so conformance is
@@ -20,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/channel"
 	"repro/internal/core"
@@ -56,76 +64,182 @@ type route interface {
 	Close()
 }
 
-// Network connects a set of roles with one FIFO queue per ordered pair.
-// Queues are persistent across the whole session, mirroring Rumpsteak's
-// reusable channels (no per-interaction allocation). The default network is
-// unbounded — the paper's asynchronous semantics; NewBoundedNetwork gives the
-// k-bounded semantics of the k-MC model instead.
+// Network connects a set of roles with one FIFO channel per ordered pair.
+// Channels are persistent across the whole session, mirroring Rumpsteak's
+// reusable channels (no per-interaction allocation).
+//
+// Routes live in a dense table indexed by small-integer role ids (a
+// network-local interner assigns each role its index at construction), so
+// the send/receive hot path is an index computation instead of a
+// map[[2]Role] lookup.
+//
+// Substrate selection (see package channel for the full table):
+//
+//   - NewNetwork: unbounded lock-free SPSC rings (channel.RingQueue) — the
+//     paper's asynchronous semantics on the fast-path substrate; the default.
+//   - NewBoundedNetwork: k-bounded SPSC rings (channel.Ring) — the k-MC
+//     execution model, with backpressure at exactly k messages.
+//   - NewQueueNetwork: unbounded mutex queues (channel.Queue) — the MPMC
+//     baseline the rings are benchmarked against.
+//
+// The SPSC networks rely on the session discipline for their single-producer
+// single-consumer contract: route (a, b) is written only by a's process and
+// read only by b's. To keep that contract enforceable, Endpoint is memoized
+// per role — repeated calls return the same handle, whose exclusive
+// ownership linearity (TrySession) then guards — so two goroutines cannot
+// obtain independent producer handles onto one ring.
 type Network struct {
 	roles  []types.Role
-	queues map[[2]types.Role]route
+	index  map[types.Role]int // nil for small networks (linear scan wins)
+	routes []route            // row-major: routes[from*len(roles)+to]; nil diagonal
+
+	mu  sync.Mutex
+	eps map[types.Role]*Endpoint // memoized per-role endpoints
 }
 
-// NewNetwork creates a network of unbounded queues connecting the roles.
+// NewNetwork creates a network of unbounded lock-free rings connecting the
+// roles — the default substrate.
 func NewNetwork(roles ...types.Role) *Network {
+	return newNetwork(roles, func() route { return channel.NewRingQueue() })
+}
+
+// NewQueueNetwork creates a network of unbounded mutex+cond queues: the
+// MPMC baseline substrate (the pre-ring default), kept for head-to-head
+// comparison and for callers that need multiple senders per route.
+func NewQueueNetwork(roles ...types.Role) *Network {
 	return newNetwork(roles, func() route { return channel.NewQueue() })
 }
 
-// NewBoundedNetwork creates a network whose queues hold at most k messages:
-// sends block when a queue is full, exactly the execution model k-MC
+// NewBoundedNetwork creates a network whose channels hold at most k messages:
+// sends block when a channel is full, exactly the execution model k-MC
 // verifies. A system that is k-MC runs deadlock-free on a k-bounded network.
+// Channels are lock-free SPSC rings with logical capacity exactly k.
 func NewBoundedNetwork(k int, roles ...types.Role) *Network {
-	return newNetwork(roles, func() route { return channel.NewBounded(k) })
+	return newNetwork(roles, func() route { return channel.NewRing(k) })
 }
 
+// internThreshold is the role count above which the interner uses a map;
+// below it a linear scan over the roles slice is faster (and allocation
+// free at construction).
+const internThreshold = 8
+
 func newNetwork(roles []types.Role, mk func() route) *Network {
-	n := &Network{roles: roles, queues: map[[2]types.Role]route{}}
-	for _, a := range roles {
-		for _, b := range roles {
-			if a != b {
-				n.queues[[2]types.Role{a, b}] = mk()
+	k := len(roles)
+	n := &Network{roles: roles, routes: make([]route, k*k)}
+	if k > internThreshold {
+		n.index = make(map[types.Role]int, k)
+		for i, r := range roles {
+			n.index[r] = i
+		}
+	}
+	for i := range roles {
+		for j := range roles {
+			if i != j {
+				n.routes[i*k+j] = mk()
 			}
 		}
 	}
 	return n
 }
 
+// roleIndex returns the interned id of a role, or -1 if unknown.
+func (n *Network) roleIndex(r types.Role) int {
+	if n.index != nil {
+		if i, ok := n.index[r]; ok {
+			return i
+		}
+		return -1
+	}
+	for i, x := range n.roles {
+		if x == r {
+			return i
+		}
+	}
+	return -1
+}
+
 // Roles returns the connected roles.
 func (n *Network) Roles() []types.Role { return append([]types.Role(nil), n.roles...) }
 
 func (n *Network) queue(from, to types.Role) (route, error) {
-	q, ok := n.queues[[2]types.Role{from, to}]
-	if !ok {
+	i, j := n.roleIndex(from), n.roleIndex(to)
+	if i < 0 || j < 0 || i == j {
 		return nil, fmt.Errorf("session: no route %s -> %s", from, to)
 	}
-	return q, nil
+	return n.routes[i*len(n.roles)+j], nil
 }
 
-// closeAll closes every queue, releasing any blocked receiver with
+// closeAll closes every route, releasing any blocked sender or receiver with
 // channel.ErrClosed. Used to tear a session down after a process faults,
 // so sibling processes do not block forever on a message that will never
 // arrive.
 func (n *Network) closeAll() {
-	for _, q := range n.queues {
-		q.Close()
+	for _, q := range n.routes {
+		if q != nil {
+			q.Close()
+		}
 	}
 }
 
-// Endpoint returns an unmonitored endpoint for role — protocol conformance is
-// then the caller's responsibility, as in the bottom-up workflow before
+// Endpoint returns the unmonitored endpoint for role — protocol conformance
+// is then the caller's responsibility, as in the bottom-up workflow before
 // verification. Monitored endpoints are obtained from a Session.
+//
+// Calls for the same role return the same endpoint: an endpoint is the
+// role's single handle on its SPSC routes, so handing out two independent
+// producer handles would void the rings' one-sender contract. Exclusive use
+// of the one handle is the caller's (or TrySession's) responsibility, as
+// before.
 func (n *Network) Endpoint(role types.Role) *Endpoint {
-	return &Endpoint{role: role, net: n}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if e, ok := n.eps[role]; ok {
+		return e
+	}
+	e := &Endpoint{role: role, net: n}
+	e.resolveRoutes()
+	if n.eps == nil {
+		n.eps = make(map[types.Role]*Endpoint)
+	}
+	n.eps[role] = e
+	return e
 }
 
 // Endpoint is one participant's handle on the network. Endpoints are not safe
 // for concurrent use: a session owns its endpoint exclusively (linearity).
 type Endpoint struct {
-	role   types.Role
-	net    *Network
-	mon    *Monitor
-	inUse  bool
+	role types.Role
+	net  *Network
+	// out and in are the endpoint's rows/columns of the network's dense
+	// route table, resolved once at creation so the hot path is a bounds
+	// check and an index instead of a map lookup. They are nil when the
+	// role is unknown to the network (all operations then fail in queue()).
+	out     []route // out[j]: route role -> roles[j]
+	in      []route // in[j]:  route roles[j] -> role
+	scratch []channel.Message
+	mon     *Monitor
+	// inUse is the linearity guard. It is a CAS, not a plain flag: with
+	// memoized endpoints it is the enforcement of the SPSC rings'
+	// single-producer contract, so two concurrent TrySessions must not both
+	// get past it.
+	inUse  atomic.Bool
 	closed bool
+}
+
+// resolveRoutes caches the endpoint's route slices. Called at creation;
+// also lazily from the hot paths so hand-constructed Endpoint literals
+// (tests, benchmarks) keep working.
+func (e *Endpoint) resolveRoutes() {
+	i := e.net.roleIndex(e.role)
+	if i < 0 {
+		return
+	}
+	k := len(e.net.roles)
+	e.out = e.net.routes[i*k : (i+1)*k]
+	e.in = make([]route, k)
+	for j := range e.in {
+		e.in[j] = e.net.routes[j*k+i]
+	}
 }
 
 // Role returns the endpoint's role.
@@ -134,10 +248,38 @@ func (e *Endpoint) Role() types.Role { return e.role }
 // Monitor returns the endpoint's monitor, or nil when unmonitored.
 func (e *Endpoint) Monitor() *Monitor { return e.mon }
 
-// Send delivers label(value) to the given role. It never blocks (asynchronous
-// semantics): the message is appended to the to-queue. With a monitor
-// attached, the action must be allowed by the FSM and a non-nil payload must
-// inhabit the declared sort.
+// outRoute resolves the route towards a peer on the fast path, falling back
+// to the error-reporting lookup for unknown peers or lazy endpoints.
+func (e *Endpoint) outRoute(to types.Role) (route, error) {
+	if e.out == nil {
+		e.resolveRoutes()
+	}
+	if j := e.net.roleIndex(to); j >= 0 && e.out != nil {
+		if q := e.out[j]; q != nil {
+			return q, nil
+		}
+	}
+	return e.net.queue(e.role, to)
+}
+
+// inRoute resolves the route from a peer, symmetric to outRoute.
+func (e *Endpoint) inRoute(from types.Role) (route, error) {
+	if e.in == nil {
+		e.resolveRoutes()
+	}
+	if j := e.net.roleIndex(from); j >= 0 && e.in != nil {
+		if q := e.in[j]; q != nil {
+			return q, nil
+		}
+	}
+	return e.net.queue(from, e.role)
+}
+
+// Send delivers label(value) to the given role. It never blocks on the
+// default unbounded substrate (asynchronous semantics); on a bounded network
+// it blocks while the route is full. With a monitor attached, the action
+// must be allowed by the FSM and a non-nil payload must inhabit the declared
+// sort.
 func (e *Endpoint) Send(to types.Role, label types.Label, value any) error {
 	if e.mon != nil {
 		sort, err := e.mon.stepSort(fsm.Action{Dir: fsm.Send, Peer: to, Label: label})
@@ -148,7 +290,7 @@ func (e *Endpoint) Send(to types.Role, label types.Label, value any) error {
 			return &SortError{Role: e.role, Act: fsm.Action{Dir: fsm.Send, Peer: to, Label: label, Sort: sort}, Value: value}
 		}
 	}
-	q, err := e.net.queue(e.role, to)
+	q, err := e.outRoute(to)
 	if err != nil {
 		return err
 	}
@@ -160,7 +302,7 @@ func (e *Endpoint) Send(to types.Role, label types.Label, value any) error {
 // the FSM's expected inputs — an unexpected label faults the session rather
 // than being silently consumed.
 func (e *Endpoint) Receive(from types.Role) (types.Label, any, error) {
-	q, err := e.net.queue(from, e.role)
+	q, err := e.inRoute(from)
 	if err != nil {
 		return "", nil, err
 	}
@@ -174,6 +316,138 @@ func (e *Endpoint) Receive(from types.Role) (types.Label, any, error) {
 		}
 	}
 	return m.Label, m.Value, nil
+}
+
+// SendN delivers len(values) messages, all labelled label, to the given role
+// — the batched counterpart of Send for the runs of same-label messages the
+// paper's message-reordering optimisation creates (an unrolled source sends
+// u values back to back; see cmd/fig6). The monitor is amortised: once the
+// matched transition is a self-loop the FSM scan is skipped for the rest of
+// the run (payload sorts are still checked), and substrates implementing
+// channel.BatchSender publish the run with one atomic store per free window
+// rather than one per message.
+func (e *Endpoint) SendN(to types.Role, label types.Label, values []any) error {
+	if len(values) == 0 {
+		return nil
+	}
+	if e.mon != nil {
+		// Validate the whole batch up front; on rejection, rewind the
+		// monitor so it never runs ahead of a channel that carried nothing
+		// (SendN is all-or-nothing at validation time).
+		start := e.mon.cur
+		act := fsm.Action{Dir: fsm.Send, Peer: to, Label: label}
+		var sort types.Sort
+		selfLoop := false
+		for _, v := range values {
+			if !selfLoop {
+				prev := e.mon.cur
+				s, err := e.mon.stepSort(act)
+				if err != nil {
+					e.mon.cur = start
+					return err
+				}
+				sort = s
+				selfLoop = e.mon.cur == prev
+			}
+			if !sortAccepts(sort, v) {
+				e.mon.cur = start
+				act.Sort = sort
+				return &SortError{Role: e.role, Act: act, Value: v}
+			}
+		}
+	}
+	q, err := e.outRoute(to)
+	if err != nil {
+		return err
+	}
+	ms := e.scratchFor(len(values))
+	for i, v := range values {
+		ms[i] = channel.Message{Label: label, Value: v}
+	}
+	defer e.releaseScratch(ms)
+	if bs, ok := q.(channel.BatchSender); ok {
+		_, err := bs.SendN(ms)
+		return err
+	}
+	for _, m := range ms {
+		if err := q.Send(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReceiveN receives exactly len(dst) messages from the given role, all of
+// which must carry the label want, storing their payloads into dst. Like
+// SendN it amortises the monitor over self-loop runs and drains substrates
+// implementing channel.BatchReceiver in whole available windows.
+func (e *Endpoint) ReceiveN(from types.Role, want types.Label, dst []any) error {
+	if len(dst) == 0 {
+		return nil
+	}
+	q, err := e.inRoute(from)
+	if err != nil {
+		return err
+	}
+	ms := e.scratchFor(len(dst))
+	defer e.releaseScratch(ms)
+	br, batched := q.(channel.BatchReceiver)
+	act := fsm.Action{Dir: fsm.Recv, Peer: from, Label: want}
+	selfLoop := false
+	got := 0
+	for got < len(dst) {
+		n := 0
+		if batched {
+			n, err = br.RecvN(ms[got:])
+			if err != nil {
+				return err
+			}
+		} else {
+			m, err := q.Recv()
+			if err != nil {
+				return err
+			}
+			ms[got] = m
+			n = 1
+		}
+		// Validate each window as it arrives — a protocol deviation
+		// mid-batch must fault immediately, not leave the receiver blocked
+		// waiting for messages a misbehaving peer will never send.
+		for i := got; i < got+n; i++ {
+			m := ms[i]
+			if m.Label != want {
+				return fmt.Errorf("session: role %s expected label %s from %s, got %s (message %d of batch)", e.role, want, from, m.Label, i)
+			}
+			if e.mon != nil && !selfLoop {
+				prev := e.mon.cur
+				if err := e.mon.step(act); err != nil {
+					return err
+				}
+				selfLoop = e.mon.cur == prev
+			}
+			dst[i] = m.Value
+		}
+		got += n
+	}
+	return nil
+}
+
+// scratchFor returns a reusable []channel.Message of length n, growing the
+// endpoint's scratch buffer on first use so steady-state batches do not
+// allocate.
+func (e *Endpoint) scratchFor(n int) []channel.Message {
+	if cap(e.scratch) < n {
+		e.scratch = make([]channel.Message, n)
+	}
+	return e.scratch[:n]
+}
+
+// releaseScratch drops payload references so batches do not pin their
+// values beyond the call.
+func (e *Endpoint) releaseScratch(ms []channel.Message) {
+	for i := range ms {
+		ms[i] = channel.Message{}
+	}
 }
 
 // ReceiveLabel receives from the given role and checks the label, returning
@@ -235,11 +509,10 @@ func (m *Monitor) reset() { m.cur = m.fsm.Initial() }
 // their processes run forever or return an error (for benchmarks, a sentinel
 // such as ErrStopped).
 func TrySession(e *Endpoint, f func(*Endpoint) error) error {
-	if e.inUse {
+	if !e.inUse.CompareAndSwap(false, true) {
 		return ErrLinearity
 	}
-	e.inUse = true
-	defer func() { e.inUse = false }()
+	defer e.inUse.Store(false)
 	if e.mon != nil {
 		e.mon.reset()
 	}
@@ -262,6 +535,9 @@ var ErrStopped = errors.New("session: process stopped deliberately")
 type Session struct {
 	net  *Network
 	fsms map[types.Role]*fsm.FSM
+
+	mu  sync.Mutex
+	eps map[types.Role]*Endpoint // memoized monitored endpoints
 }
 
 // TopDown builds a session via the top-down workflow (Fig. 1a): the global
@@ -340,17 +616,48 @@ func newSession(fsms map[types.Role]*fsm.FSM) *Session {
 // Roles returns the session's participants.
 func (s *Session) Roles() []types.Role { return s.net.Roles() }
 
+// Rewire replaces the session's network with one built by mk over the same
+// roles, and returns the session. Verification is untouched — the point is
+// to run one verified protocol on a different substrate: a BottomUp session
+// checked with k-MC can Rewire to a k-bounded network (the execution model
+// the check guarantees deadlock-freedom for), and benchmarks Rewire between
+// the ring default and NewQueueNetwork for head-to-head comparison.
+// Endpoints handed out before the call keep the old network; the session's
+// memoized endpoints are dropped so the next Endpoint/Run resolves routes
+// on the new substrate.
+func (s *Session) Rewire(mk func(roles ...types.Role) *Network) *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.net = mk(s.net.roles...)
+	s.eps = nil
+	return s
+}
+
 // FSM returns the verified machine for a role, or nil if the role is
 // unknown.
 func (s *Session) FSM(role types.Role) *fsm.FSM { return s.fsms[role] }
 
-// Endpoint returns the monitored endpoint for role.
+// Endpoint returns the monitored endpoint for role. Like Network.Endpoint,
+// calls for the same role return the same endpoint (one handle per role —
+// the SPSC single-producer contract); TrySession guards its exclusive use
+// and resets the monitor between sessions.
 func (s *Session) Endpoint(role types.Role) (*Endpoint, error) {
 	m, ok := s.fsms[role]
 	if !ok {
 		return nil, fmt.Errorf("session: unknown role %s", role)
 	}
-	return &Endpoint{role: role, net: s.net, mon: NewMonitor(m)}, nil
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ep, ok := s.eps[role]; ok {
+		return ep, nil
+	}
+	ep := &Endpoint{role: role, net: s.net, mon: NewMonitor(m)}
+	ep.resolveRoutes()
+	if s.eps == nil {
+		s.eps = make(map[types.Role]*Endpoint)
+	}
+	s.eps[role] = ep
+	return ep, nil
 }
 
 // Run executes one process per role concurrently, each under TrySession, and

@@ -26,6 +26,96 @@ func BenchmarkSendRecvUnmonitored(b *testing.B) {
 	}
 }
 
+// networks lists the substrate choices for head-to-head endpoint
+// benchmarks: the lock-free ring default against the mutex-queue baseline.
+var networks = map[string]func(roles ...types.Role) *Network{
+	"ring":  NewNetwork,
+	"queue": NewQueueNetwork,
+}
+
+// BenchmarkNetworkSendRecv is the endpoint hot path (dense route table +
+// substrate) with no cross-goroutine scheduling, per substrate.
+func BenchmarkNetworkSendRecv(b *testing.B) {
+	for name, mk := range networks {
+		b.Run(name, func(b *testing.B) {
+			net := mk("a", "b")
+			ea, eb := net.Endpoint("a"), net.Endpoint("b")
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := ea.Send("b", "ping", nil); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := eb.Receive("a"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNetworkPingPong is the 2-role ping-pong workload of the paper's
+// microbenchmarks: a full round trip between two processes, per substrate —
+// the head-to-head behind the Ring-vs-Queue acceptance numbers.
+func BenchmarkNetworkPingPong(b *testing.B) {
+	for name, mk := range networks {
+		b.Run(name, func(b *testing.B) {
+			net := mk("a", "b")
+			ea, eb := net.Endpoint("a"), net.Endpoint("b")
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for {
+					if _, _, err := eb.Receive("a"); err != nil {
+						return
+					}
+					if err := eb.Send("a", "pong", nil); err != nil {
+						return
+					}
+				}
+			}()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ea.Send("b", "ping", nil); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := ea.Receive("b"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			net.closeAll()
+			<-done
+		})
+	}
+}
+
+// BenchmarkNetworkSendRecvN measures the batched endpoint operations over a
+// 64-message same-label run (the shape the paper's message-reordering
+// optimisation produces), per substrate.
+func BenchmarkNetworkSendRecvN(b *testing.B) {
+	for name, mk := range networks {
+		b.Run(name, func(b *testing.B) {
+			net := mk("a", "b")
+			ea, eb := net.Endpoint("a"), net.Endpoint("b")
+			const run = 64
+			values := make([]any, run)
+			dst := make([]any, run)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ea.SendN("b", "v", values); err != nil {
+					b.Fatal(err)
+				}
+				if err := eb.ReceiveN("a", "v", dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)*run/float64(b.Elapsed().Nanoseconds())*1e3, "msgs/us")
+		})
+	}
+}
+
 func BenchmarkSendRecvMonitored(b *testing.B) {
 	net := NewNetwork("a", "b")
 	ma := fsm.MustFromLocal("a", types.MustParse("mu t.b!ping.t"))

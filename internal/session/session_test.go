@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fsm"
@@ -339,6 +340,153 @@ func TestRunPropagatesProtocolViolation(t *testing.T) {
 	var pe *ProtocolError
 	if !errors.As(err, &pe) {
 		t.Errorf("error %v does not wrap ProtocolError", err)
+	}
+}
+
+func TestQueueNetworkRouting(t *testing.T) {
+	// The mutex baseline substrate behaves identically to the ring default.
+	n := NewQueueNetwork("a", "b")
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	if err := a.Send("b", "hello", 7); err != nil {
+		t.Fatal(err)
+	}
+	label, value, err := b.Receive("a")
+	if err != nil || label != "hello" || value.(int) != 7 {
+		t.Fatalf("Receive = %v %v %v", label, value, err)
+	}
+}
+
+func TestSendNReceiveNUnmonitored(t *testing.T) {
+	nets := map[string]*Network{
+		"ring":    NewNetwork("a", "b"),
+		"queue":   NewQueueNetwork("a", "b"),
+		"bounded": NewBoundedNetwork(3, "a", "b"), // batch > capacity: chunked
+	}
+	for name, n := range nets {
+		t.Run(name, func(t *testing.T) {
+			a, b := n.Endpoint("a"), n.Endpoint("b")
+			values := make([]any, 10)
+			for i := range values {
+				values[i] = i
+			}
+			done := make(chan error, 1)
+			go func() { done <- a.SendN("b", "v", values) }()
+			dst := make([]any, 10)
+			if err := b.ReceiveN("a", "v", dst); err != nil {
+				t.Fatal(err)
+			}
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range dst {
+				if v.(int) != i {
+					t.Fatalf("dst[%d] = %v", i, v)
+				}
+			}
+			// Wrong expected label surfaces as an error, not silence.
+			a.Send("b", "other", nil)
+			if err := b.ReceiveN("a", "v", dst[:1]); err == nil {
+				t.Error("wrong label accepted by ReceiveN")
+			}
+		})
+	}
+}
+
+func TestSendNReceiveNMonitored(t *testing.T) {
+	// Self-loop protocol: the monitor's FSM scan is amortised over the run,
+	// but payload sorts are still checked per message.
+	ma := fsm.MustFromLocal("a", types.MustParse("mu t.b!v(i32).t"))
+	mb := fsm.MustFromLocal("b", types.MustParse("mu t.a?v(i32).t"))
+	n := NewNetwork("a", "b")
+	ea := &Endpoint{role: "a", net: n, mon: NewMonitor(ma)}
+	eb := &Endpoint{role: "b", net: n, mon: NewMonitor(mb)}
+
+	values := make([]any, 8)
+	for i := range values {
+		values[i] = int32(i)
+	}
+	if err := ea.SendN("b", "v", values); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]any, 8)
+	if err := eb.ReceiveN("a", "v", dst); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dst {
+		if v.(int32) != int32(i) {
+			t.Fatalf("dst[%d] = %v", i, v)
+		}
+	}
+	// A sort violation mid-batch is caught even on the amortised path.
+	bad := []any{int32(0), "not an i32", int32(2)}
+	err := ea.SendN("b", "v", bad)
+	var se *SortError
+	if !errors.As(err, &se) {
+		t.Errorf("SendN with bad payload = %v, want SortError", err)
+	}
+	// A label the FSM does not allow is rejected before anything is sent.
+	if err := ea.SendN("b", "nope", values[:2]); err == nil {
+		t.Error("SendN with disallowed label accepted")
+	}
+	// A rejected batch rewinds the monitor: no messages went out, so a
+	// legitimate send afterwards must still be allowed (no state skew).
+	if err := ea.Send("b", "v", int32(9)); err != nil {
+		t.Errorf("send after rejected batch = %v (monitor ran ahead of channel)", err)
+	}
+}
+
+func TestReceiveNFaultsPromptlyMidBatch(t *testing.T) {
+	// A protocol deviation inside a batch must surface as soon as the
+	// deviating message arrives — not leave the receiver blocked waiting
+	// for the rest of a batch a misbehaving peer will never send.
+	n := NewNetwork("a", "b")
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	a.Send("b", "v", 0)
+	a.Send("b", "other", 1) // deviation; nothing follows
+	errc := make(chan error, 1)
+	go func() {
+		dst := make([]any, 4) // asks for more than will ever arrive
+		errc <- b.ReceiveN("a", "v", dst)
+	}()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Error("mid-batch wrong label accepted")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ReceiveN hung on mid-batch protocol deviation")
+	}
+}
+
+func TestRewireBoundedNetwork(t *testing.T) {
+	// A 1-MC system rewired onto a 1-bounded ring network must still run to
+	// completion (the execution-level counterpart of the k-MC guarantee).
+	p := fsm.MustFromLocal("p", types.MustParse("q!req.q?rep.end"))
+	q := fsm.MustFromLocal("q", types.MustParse("p?req.p!rep.end"))
+	s, err := BottomUp(1, p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Rewire(func(roles ...types.Role) *Network {
+		return NewBoundedNetwork(1, roles...)
+	})
+	err = s.Run(map[types.Role]func(*Endpoint) error{
+		"p": func(e *Endpoint) error {
+			if err := e.Send("q", "req", nil); err != nil {
+				return err
+			}
+			_, err := e.ReceiveLabel("q", "rep")
+			return err
+		},
+		"q": func(e *Endpoint) error {
+			if _, err := e.ReceiveLabel("p", "req"); err != nil {
+				return err
+			}
+			return e.Send("p", "rep", nil)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 
