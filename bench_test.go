@@ -9,6 +9,7 @@
 //	BenchmarkFig7Ring             Fig. 7 (3): verification time vs participants
 //	BenchmarkFig7KBuffering       Fig. 7 (4): verification time vs buffers
 //	BenchmarkTable1               Table 1: full expressiveness classification
+//	BenchmarkOptimiseRegistry     automatic AMR derivation across the registry
 //
 // Sub-benchmark names carry the series (tool or runtime) and the x value, so
 // `go test -bench Fig7Ring -benchmem` prints one row per plotted point. The
@@ -20,6 +21,8 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/optimise"
+	"repro/internal/protocols"
 )
 
 // fig6Point runs one runtime benchmark configuration under b.N.
@@ -138,6 +141,24 @@ func BenchmarkTable1(b *testing.B) {
 		rows := bench.Table1()
 		if len(rows) != 17 {
 			b.Fatalf("expected 17 rows, got %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkOptimiseRegistry measures the automatic optimiser end to end —
+// candidate search plus certification — over every role of every Table 1
+// protocol (uncached: the per-entry memo in protocols.AutoOptimised is
+// bypassed by calling the optimiser directly).
+func BenchmarkOptimiseRegistry(b *testing.B) {
+	reg := protocols.Registry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range reg {
+			for r, l := range e.Locals {
+				if _, err := optimise.Optimise(r, l, optimise.Options{}); err != nil {
+					b.Fatalf("%s/%s: %v", e.Name, r, err)
+				}
+			}
 		}
 	}
 }

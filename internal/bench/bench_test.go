@@ -2,9 +2,14 @@ package bench
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/channel"
+	"repro/internal/session"
+	"repro/internal/types"
 )
 
 func TestStreamingAllRuntimes(t *testing.T) {
@@ -66,6 +71,82 @@ func TestFFTAllRuntimes(t *testing.T) {
 	}
 	if got, err := FFTSequential(64); err != nil || got != 64 {
 		t.Errorf("sequential: %d %v", got, err)
+	}
+}
+
+// TestMisWiredRunReturnsError pins the errgroup contract of the benchmark
+// harness: a failed operation inside a worker goroutine must fail the single
+// experiment with context — not panic and tear down the whole `go test
+// -bench` or cmd/fig6 process — and must release sibling processes blocked
+// on routes that will never deliver.
+func TestMisWiredRunReturnsError(t *testing.T) {
+	net := newRSNetwork("a", "b")
+	done := make(chan error, 1)
+	go func() {
+		done <- net.run(map[types.Role]func(*session.Endpoint) error{
+			// Mis-wired: sends to a role outside the network.
+			"a": func(e *session.Endpoint) error {
+				return e.Send("z", "ping", nil)
+			},
+			// Blocks on a message that will never arrive; the teardown must
+			// release it with ErrClosed rather than leaking the goroutine.
+			"b": func(e *session.Endpoint) error {
+				_, _, err := e.Receive("a")
+				return err
+			},
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("mis-wired run reported success")
+		}
+		if !strings.Contains(err.Error(), "role a") || !strings.Contains(err.Error(), "no route") {
+			t.Errorf("error lacks context: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("mis-wired run deadlocked instead of returning an error")
+	}
+}
+
+// TestRunFirstErrorWins pins which error surfaces: the faulting process's
+// own error, not the ErrClosed its siblings observe during teardown.
+func TestRunFirstErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	net := newRSNetwork("a", "b")
+	err := net.run(map[types.Role]func(*session.Endpoint) error{
+		"a": func(e *session.Endpoint) error { return boom },
+		"b": func(e *session.Endpoint) error {
+			_, _, err := e.Receive("a")
+			return err
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("first error = %v, want %v", err, boom)
+	}
+	if errors.Is(err, channel.ErrClosed) {
+		t.Fatalf("teardown error shadowed the faulting process: %v", err)
+	}
+}
+
+// TestAutoSchedulesDerived confirms the RumpsteakAuto column actually
+// consults the optimiser: the streaming unroll is read off the derived type,
+// and the double-buffering and FFT schedules certify.
+func TestAutoSchedulesDerived(t *testing.T) {
+	u, err := autoStreamingUnroll(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u < 1 || u > 5 {
+		t.Errorf("derived streaming unroll %d outside (0, 5]", u)
+	}
+	opt, err := autoDoubleBufferingOptimised()
+	if err != nil || !opt {
+		t.Errorf("double-buffering anticipation not derived: %v", err)
+	}
+	amr, err := autoFFTAllSendFirst()
+	if err != nil || !amr {
+		t.Errorf("FFT all-send-first schedule not certified: %v", err)
 	}
 }
 

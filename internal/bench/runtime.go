@@ -21,7 +21,9 @@ import (
 	"repro/internal/types"
 )
 
-// Runtime identifies one of the five runtime designs compared in Fig. 6.
+// Runtime identifies one of the runtime designs compared in Fig. 6: the
+// paper's five, plus the RumpsteakAuto column running the machine-derived
+// (internal/optimise) endpoints instead of the hand-written ones.
 type Runtime int
 
 const (
@@ -33,12 +35,19 @@ const (
 	Ferrite
 	// Rumpsteak: multiparty, asynchronous, persistent queues.
 	Rumpsteak
-	// RumpsteakOpt: Rumpsteak running the AMR-optimised protocol.
+	// RumpsteakOpt: Rumpsteak running the hand-written AMR-optimised
+	// protocol, as transcribed from the paper.
 	RumpsteakOpt
+	// RumpsteakAuto: Rumpsteak running the AMR endpoints derived and
+	// certified by the automatic optimiser — the schedule is read off the
+	// derived types (see auto.go), so Fig. 6 compares hand-written against
+	// machine-derived reordering head to head.
+	RumpsteakAuto
 )
 
-// Runtimes lists the designs in the paper's legend order.
-var Runtimes = []Runtime{Sesh, MultiCrusty, Ferrite, Rumpsteak, RumpsteakOpt}
+// Runtimes lists the designs in the paper's legend order (the derived-AMR
+// column last).
+var Runtimes = []Runtime{Sesh, MultiCrusty, Ferrite, Rumpsteak, RumpsteakOpt, RumpsteakAuto}
 
 func (r Runtime) String() string {
 	switch r {
@@ -52,6 +61,8 @@ func (r Runtime) String() string {
 		return "rumpsteak"
 	case RumpsteakOpt:
 		return "rumpsteak-opt"
+	case RumpsteakAuto:
+		return "rumpsteak-auto"
 	default:
 		return "unknown"
 	}
@@ -75,18 +86,34 @@ func (n *rsNetwork) ep(role types.Role) *session.Endpoint {
 	return n.net.Endpoint(role)
 }
 
-func mustSend(e *session.Endpoint, to types.Role, label types.Label, v any) {
-	if err := e.Send(to, label, v); err != nil {
-		panic(fmt.Sprintf("bench: send %s->%s: %v", e.Role(), to, err))
+// run executes one process per role concurrently over the network's raw
+// endpoints and returns the first error, errgroup-style. On error the
+// network is torn down (Network.Close), so sibling processes blocked on a
+// route that will never deliver fail promptly with channel.ErrClosed instead
+// of deadlocking. This replaces the old panic-in-worker helpers, where one
+// failed send inside a goroutine killed the whole `go test -bench` or
+// cmd/fig6 process with an unrecoverable crash; a mis-wired run now fails
+// the single experiment with context.
+func (n *rsNetwork) run(procs map[types.Role]func(*session.Endpoint) error) error {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var first error
+	for role, f := range procs {
+		wg.Add(1)
+		go func(role types.Role, f func(*session.Endpoint) error) {
+			defer wg.Done()
+			if err := f(n.ep(role)); err != nil {
+				mu.Lock()
+				if first == nil {
+					first = fmt.Errorf("bench: role %s: %w", role, err)
+					n.net.Close()
+				}
+				mu.Unlock()
+			}
+		}(role, f)
 	}
-}
-
-func mustRecvFrom(e *session.Endpoint, from types.Role) (types.Label, any) {
-	label, v, err := e.Receive(from)
-	if err != nil {
-		panic(fmt.Sprintf("bench: recv %s->%s: %v", from, e.Role(), err))
-	}
-	return label, v
+	wg.Wait()
+	return first
 }
 
 // Streaming runs the streaming protocol once: the sink requests values until
@@ -103,6 +130,12 @@ func Streaming(rt Runtime, n, unroll int) (int, error) {
 		return streamingRumpsteak(n, 0)
 	case RumpsteakOpt:
 		return streamingRumpsteak(n, unroll)
+	case RumpsteakAuto:
+		u, err := autoStreamingUnroll(unroll)
+		if err != nil {
+			return 0, err
+		}
+		return streamingRumpsteak(n, u)
 	default:
 		return 0, fmt.Errorf("bench: unknown runtime %v", rt)
 	}
@@ -155,7 +188,9 @@ func streamingMesh(n int) (int, error) {
 		e := m.Endpoint("t")
 		for {
 			e.Send("s", "ready", nil)
-			label, _, _ := mustRecv(e, "s")
+			// Mesh endpoints error only on unknown peers; the mesh is
+			// statically wired over {s, t}.
+			label, _, _ := e.Recv("s")
 			if label == "stop" {
 				return
 			}
@@ -177,14 +212,6 @@ func streamingMesh(n int) (int, error) {
 	return received, nil
 }
 
-func mustRecv(e *baseline.MeshEndpoint, from types.Role) (types.Label, any, error) {
-	label, v, err := e.Recv(from)
-	if err != nil {
-		panic(err)
-	}
-	return label, v, err
-}
-
 // streamingRumpsteak runs the protocol over the persistent ring network.
 // With unroll = u > 0, the source sends its first u values before waiting for
 // readys, consuming the outstanding readys before stopping — the verified
@@ -195,42 +222,54 @@ func streamingRumpsteak(n, unroll int) (int, error) {
 		unroll = n
 	}
 	net := newRSNetwork("s", "t")
-	var wg sync.WaitGroup
-	wg.Add(1)
 	received := 0
-	go func() { // sink: unchanged by the source's AMR
-		defer wg.Done()
-		e := net.ep("t")
-		for {
-			mustSend(e, "s", "ready", nil)
-			label, _ := mustRecvFrom(e, "s")
-			if label == "stop" {
-				return
+	err := net.run(map[types.Role]func(*session.Endpoint) error{
+		"t": func(e *session.Endpoint) error { // sink: unchanged by the source's AMR
+			for {
+				if err := e.Send("s", "ready", nil); err != nil {
+					return err
+				}
+				label, _, err := e.Receive("s")
+				if err != nil {
+					return err
+				}
+				if label == "stop" {
+					return nil
+				}
+				received++
 			}
-			received++
-		}
-	}()
-	// source
-	e := net.ep("s")
-	if unroll > 0 {
-		burst := make([]any, unroll)
-		for i := range burst {
-			burst[i] = i
-		}
-		if err := e.SendN("t", "value", burst); err != nil {
-			return 0, err
-		}
+		},
+		"s": func(e *session.Endpoint) error { // source
+			if unroll > 0 {
+				burst := make([]any, unroll)
+				for i := range burst {
+					burst[i] = i
+				}
+				if err := e.SendN("t", "value", burst); err != nil {
+					return err
+				}
+			}
+			for i := unroll; i < n; i++ {
+				if _, _, err := e.Receive("t"); err != nil { // ready
+					return err
+				}
+				if err := e.Send("t", "value", i); err != nil {
+					return err
+				}
+			}
+			// Drain the readys matching the unrolled sends, then the final
+			// ready.
+			for i := 0; i < unroll+1; i++ {
+				if _, _, err := e.Receive("t"); err != nil {
+					return err
+				}
+			}
+			return e.Send("t", "stop", nil)
+		},
+	})
+	if err != nil {
+		return received, err
 	}
-	for i := unroll; i < n; i++ {
-		mustRecvFrom(e, "t") // ready
-		mustSend(e, "t", "value", i)
-	}
-	// Drain the readys matching the unrolled sends, then the final ready.
-	for i := 0; i < unroll+1; i++ {
-		mustRecvFrom(e, "t")
-	}
-	mustSend(e, "t", "stop", nil)
-	wg.Wait()
 	if received != n {
 		return received, fmt.Errorf("bench: sink received %d of %d", received, n)
 	}
@@ -253,6 +292,12 @@ func DoubleBuffering(rt Runtime, n int) (int, error) {
 		return doubleBufferingRumpsteak(n, iters, false)
 	case RumpsteakOpt:
 		return doubleBufferingRumpsteak(n, iters, true)
+	case RumpsteakAuto:
+		opt, err := autoDoubleBufferingOptimised()
+		if err != nil {
+			return 0, err
+		}
+		return doubleBufferingRumpsteak(n, iters, opt)
 	default:
 		return 0, fmt.Errorf("bench: unknown runtime %v", rt)
 	}
@@ -365,56 +410,66 @@ func doubleBufferingMesh(n, iters int) (int, error) {
 // the batched SendN/ReceiveN endpoint operations.
 func doubleBufferingRumpsteak(n, iters int, optimised bool) (int, error) {
 	net := newRSNetwork("k", "s", "t")
-	var wg sync.WaitGroup
-	wg.Add(2)
-	go func() { // source
-		defer wg.Done()
-		e := net.ep("s")
-		buf := make([]any, n)
-		for v := range buf {
-			buf[v] = v
-		}
-		for it := 0; it < iters; it++ {
-			mustRecvFrom(e, "k") // ready
-			if err := e.SendN("k", "value", buf); err != nil {
-				panic(err)
-			}
-		}
-	}()
 	moved := 0
-	go func() { // sink
-		defer wg.Done()
-		e := net.ep("t")
-		buf := make([]any, n)
-		for it := 0; it < iters; it++ {
-			mustSend(e, "k", "ready", nil)
-			if err := e.ReceiveN("k", "value", buf); err != nil {
-				panic(err)
+	err := net.run(map[types.Role]func(*session.Endpoint) error{
+		"s": func(e *session.Endpoint) error { // source
+			buf := make([]any, n)
+			for v := range buf {
+				buf[v] = v
 			}
-			moved += n
-		}
-	}()
-	// kernel
-	e := net.ep("k")
-	if optimised {
-		mustSend(e, "s", "ready", nil) // anticipate the second buffer
+			for it := 0; it < iters; it++ {
+				if _, _, err := e.Receive("k"); err != nil { // ready
+					return err
+				}
+				if err := e.SendN("k", "value", buf); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		"t": func(e *session.Endpoint) error { // sink
+			buf := make([]any, n)
+			for it := 0; it < iters; it++ {
+				if err := e.Send("k", "ready", nil); err != nil {
+					return err
+				}
+				if err := e.ReceiveN("k", "value", buf); err != nil {
+					return err
+				}
+				moved += n
+			}
+			return nil
+		},
+		"k": func(e *session.Endpoint) error { // kernel
+			if optimised {
+				// Anticipate the second buffer (Fig. 4b).
+				if err := e.Send("s", "ready", nil); err != nil {
+					return err
+				}
+			}
+			buf := make([]any, n)
+			for it := 0; it < iters; it++ {
+				if !optimised || it+1 < iters {
+					if err := e.Send("s", "ready", nil); err != nil {
+						return err
+					}
+				}
+				if err := e.ReceiveN("s", "value", buf); err != nil {
+					return err
+				}
+				if _, _, err := e.Receive("t"); err != nil { // sink ready
+					return err
+				}
+				if err := e.SendN("t", "value", buf); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return moved, err
 	}
-	buf := make([]any, n)
-	for it := 0; it < iters; it++ {
-		if !optimised || it+1 < iters {
-			mustSend(e, "s", "ready", nil)
-		}
-		// Errors panic (as in mustSend/mustRecvFrom): returning early would
-		// race the sink's moved counter and leak the worker goroutines.
-		if err := e.ReceiveN("s", "value", buf); err != nil {
-			panic(fmt.Sprintf("bench: kernel receive: %v", err))
-		}
-		mustRecvFrom(e, "t") // sink ready
-		if err := e.SendN("t", "value", buf); err != nil {
-			panic(fmt.Sprintf("bench: kernel send: %v", err))
-		}
-	}
-	wg.Wait()
 	return moved, nil
 }
 
@@ -536,6 +591,12 @@ func FFTParallel(rt Runtime, n int) (int, error) {
 		return fftRumpsteak(cols, false)
 	case RumpsteakOpt:
 		return fftRumpsteak(cols, true)
+	case RumpsteakAuto:
+		amr, err := autoFFTAllSendFirst()
+		if err != nil {
+			return 0, err
+		}
+		return fftRumpsteak(cols, amr)
 	default:
 		return 0, fmt.Errorf("bench: unknown runtime %v", rt)
 	}
@@ -557,26 +618,34 @@ func randomMatrix(n int) [][]complex128 {
 }
 
 // fftWorker runs process j's three butterfly stages, exchanging columns via
-// the provided send/recv functions.
-func fftWorker(j int, col []complex128, send func(stage, to int, col []complex128), recv func(stage, from int) []complex128, amr bool) []complex128 {
+// the provided send/recv functions, propagating any exchange error.
+func fftWorker(j int, col []complex128, send func(stage, to int, col []complex128) error, recv func(stage, from int) ([]complex128, error), amr bool) ([]complex128, error) {
 	cur := col
 	for si, span := range fft.Stages(8) {
 		p := fft.Partner(j, span)
 		var theirs []complex128
+		var err error
 		if amr || j < p {
 			// Optimised: everyone sends first. Plain: lower index sends
 			// first (the global-type order), upper receives then replies.
-			send(si, p, cur)
-			theirs = recv(si, p)
+			if err = send(si, p, cur); err != nil {
+				return nil, err
+			}
+			theirs, err = recv(si, p)
 		} else {
-			theirs = recv(si, p)
-			send(si, p, cur)
+			if theirs, err = recv(si, p); err != nil {
+				return nil, err
+			}
+			err = send(si, p, cur)
+		}
+		if err != nil {
+			return nil, err
 		}
 		next := make([]complex128, len(cur))
 		fft.StageOutput(8, j, span, cur, theirs, next)
 		cur = next
 	}
-	return cur
+	return cur, nil
 }
 
 func fftRumpsteak(cols [][]complex128, amr bool) (int, error) {
@@ -585,24 +654,36 @@ func fftRumpsteak(cols [][]complex128, amr bool) (int, error) {
 		roles[j] = types.Role(fmt.Sprintf("w%d", j))
 	}
 	net := newRSNetwork(roles...)
-	var wg sync.WaitGroup
 	out := make([][]complex128, 8)
+	procs := map[types.Role]func(*session.Endpoint) error{}
 	for j := 0; j < 8; j++ {
-		wg.Add(1)
-		go func(j int) {
-			defer wg.Done()
-			e := net.ep(roles[j])
-			send := func(stage, to int, col []complex128) {
-				mustSend(e, roles[to], "col", col)
+		j := j
+		procs[roles[j]] = func(e *session.Endpoint) error {
+			send := func(stage, to int, col []complex128) error {
+				return e.Send(roles[to], "col", col)
 			}
-			recv := func(stage, from int) []complex128 {
-				_, v := mustRecvFrom(e, roles[from])
-				return v.([]complex128)
+			recv := func(stage, from int) ([]complex128, error) {
+				_, v, err := e.Receive(roles[from])
+				if err != nil {
+					return nil, err
+				}
+				col, ok := v.([]complex128)
+				if !ok {
+					return nil, fmt.Errorf("bench: fft %s received %T, want column", roles[j], v)
+				}
+				return col, nil
 			}
-			out[j] = fftWorker(j, cols[j], send, recv, amr)
-		}(j)
+			res, err := fftWorker(j, cols[j], send, recv, amr)
+			if err != nil {
+				return err
+			}
+			out[j] = res
+			return nil
+		}
 	}
-	wg.Wait()
+	if err := net.run(procs); err != nil {
+		return 0, err
+	}
 	return len(cols[0]), nil
 }
 
@@ -613,27 +694,34 @@ func fftMesh(cols [][]complex128) (int, error) {
 	}
 	m := baseline.NewMesh(false, roles...)
 	var wg sync.WaitGroup
+	errs := make([]error, 8)
 	for j := 0; j < 8; j++ {
 		wg.Add(1)
 		go func(j int) {
 			defer wg.Done()
 			e := m.Endpoint(roles[j])
-			send := func(stage, to int, col []complex128) {
-				e.Send(roles[to], "col", col)
+			send := func(stage, to int, col []complex128) error {
+				return e.Send(roles[to], "col", col)
 			}
-			recv := func(stage, from int) []complex128 {
+			recv := func(stage, from int) ([]complex128, error) {
 				v, err := e.RecvLabel(roles[from], "col")
 				if err != nil {
-					panic(err)
+					return nil, err
 				}
-				return v.([]complex128)
+				return v.([]complex128), nil
 			}
 			// Synchronous mesh cannot have both partners send first (both
-			// would block); keep the ordered schedule.
-			fftWorker(j, cols[j], send, recv, false)
+			// would block); keep the ordered schedule. Errors are unreachable
+			// on the statically wired mesh but recorded for uniformity.
+			_, errs[j] = fftWorker(j, cols[j], send, recv, false)
 		}(j)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
 	return len(cols[0]), nil
 }
 

@@ -175,6 +175,10 @@ type Table1Row struct {
 	Rumpsteak   Cell
 	KMCCell     Cell
 	SoundBin    Cell
+	// AutoAMR reports that the automatic optimiser derived a certified AMR
+	// improvement for at least one role of the entry — the machine-derived
+	// counterpart of the AMR feature column.
+	AutoAMR bool
 }
 
 // Table1 computes the expressiveness table. Framework columns (Sesh, Ferrite,
@@ -190,7 +194,7 @@ func Table1() []Table1Row {
 }
 
 func table1Row(e protocols.Entry) Table1Row {
-	row := Table1Row{Entry: e}
+	row := Table1Row{Entry: e, AutoAMR: len(e.AutoOptimised()) > 0}
 
 	// Binary frameworks guarantee deadlock-freedom only for two parties and
 	// cannot express AMR (it breaks duality); multiparty protocols are

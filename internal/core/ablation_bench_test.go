@@ -1,9 +1,10 @@
-package core
+package core_test
 
 import (
 	"fmt"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/protocols"
 	"repro/internal/types"
 )
@@ -37,9 +38,9 @@ func BenchmarkAblationFailFast(b *testing.B) {
 	for _, c := range cases {
 		for _, failFast := range []bool{true, false} {
 			b.Run(fmt.Sprintf("%s/failfast=%v", c.name, failFast), func(b *testing.B) {
-				opts := Options{Bound: c.bound, NoFailFast: !failFast}
+				opts := core.Options{Bound: c.bound, NoFailFast: !failFast}
 				for i := 0; i < b.N; i++ {
-					if _, err := CheckTypes("k", c.sub, c.sup, opts); err != nil {
+					if _, err := core.CheckTypes("k", c.sub, c.sup, opts); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -63,7 +64,7 @@ func BenchmarkAblationBound(b *testing.B) {
 	for _, bound := range []int{10, 20, 40, 80} {
 		b.Run(fmt.Sprintf("bound=%d", bound), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := CheckTypes("k", sub, sup, Options{Bound: bound})
+				res, err := core.CheckTypes("k", sub, sup, core.Options{Bound: bound})
 				if err != nil || !res.OK {
 					b.Fatal("check failed")
 				}
@@ -83,7 +84,7 @@ func BenchmarkSubtypePaperExamples(b *testing.B) {
 		sub, sup := types.MustParse(c.sub), types.MustParse(c.sup)
 		b.Run(c.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := CheckTypes("self", sub, sup, Options{})
+				res, err := core.CheckTypes("self", sub, sup, core.Options{})
 				if err != nil || !res.OK {
 					b.Fatal("check failed")
 				}

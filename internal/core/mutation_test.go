@@ -1,8 +1,9 @@
-package core
+package core_test
 
 import (
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/fsm"
 	"repro/internal/kmc"
 	"repro/internal/protocols"
@@ -70,7 +71,7 @@ func TestMutatedKernelRejectedAndDeadlocks(t *testing.T) {
 	// the value before announcing readiness.
 	e := protocols.DoubleBuffering()
 	bad := types.MustParse("mu x.s?value.s!ready.t?ready.t!value.x")
-	res, err := CheckTypes("k", bad, e.Locals["k"], Options{})
+	res, err := core.CheckTypes("k", bad, e.Locals["k"], core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestUnsafeInputAnticipationMutantsRejected(t *testing.T) {
 			if err := types.ValidateLocal(mutant); err != nil {
 				continue
 			}
-			res, err := CheckTypes(r, mutant, orig, Options{Bound: 6})
+			res, err := core.CheckTypes(r, mutant, orig, core.Options{Bound: 6})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", e.Name, r, err)
 			}
@@ -170,7 +171,7 @@ func TestSafeOutputAnticipationMutantsAccepted(t *testing.T) {
 				continue
 			}
 			total++
-			res, err := CheckTypes(r, mutant, orig, Options{Bound: 8})
+			res, err := core.CheckTypes(r, mutant, orig, core.Options{Bound: 8})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", e.Name, r, err)
 			}

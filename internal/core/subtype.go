@@ -49,6 +49,15 @@ type Stats struct {
 	Visits     int // number of visit steps (proof-tree nodes explored)
 	Reductions int // number of prefix reduction steps applied
 	MaxPrefix  int // high-water mark of live prefix length
+	// MaxSendAhead is the deepest output anticipation observed: the largest
+	// number of pending supertype actions a subtype send overtook when its
+	// reduction matched (the entries the reordering sequence B(p) skipped).
+	// It is 0 when the candidate performs no reordering, 1 for a single
+	// hoisted send, and grows with the unroll depth of a pipelined source —
+	// the static counterpart of the queue high-water mark that
+	// sim.Result.MaxQueue observes dynamically, and the lookahead score the
+	// optimiser ranks AMR candidates by.
+	MaxSendAhead int
 }
 
 // Result is the outcome of a subtyping check.
@@ -312,7 +321,7 @@ func (v *visitor) reduce() bool {
 			return true
 		}
 		h := l.head()
-		idx, blocked := findMatch(r, h)
+		idx, skipped, blocked := findMatch(r, h)
 		if blocked {
 			if v.failFast {
 				return false
@@ -323,6 +332,9 @@ func (v *visitor) reduce() bool {
 			return true // cannot reduce yet; more supertype actions may arrive
 		}
 		v.stats.Reductions++
+		if h.Dir == fsm.Send && skipped > v.stats.MaxSendAhead {
+			v.stats.MaxSendAhead = skipped
+		}
 		l.popHead()
 		r.removeAt(idx)
 	}
@@ -331,13 +343,16 @@ func (v *visitor) reduce() bool {
 // findMatch scans the supertype prefix for the first live transition matching
 // head h, skipping exactly the transitions the reordering sequences A(p) and
 // B(p) permit. It returns the match index, or -1 if the scan ran off the end,
-// and blocked = true if an unskippable transition was found first.
+// the number of live transitions skipped before the match (the anticipation
+// depth feeding Stats.MaxSendAhead), and blocked = true if an unskippable
+// transition was found first.
 //
 //	h = p?ℓ: skip receives not from p (A(p)); blockers are any send, and any
 //	         receive from p that does not match.
 //	h = p!ℓ: skip all receives and sends not to p (B(p)); blockers are sends
 //	         to p that do not match.
-func findMatch(r *prefix, h fsm.Action) (int, bool) {
+func findMatch(r *prefix, h fsm.Action) (int, int, bool) {
+	skipped := 0
 	for i := r.start; i < len(r.entries); i++ {
 		e := &r.entries[i]
 		if e.removed {
@@ -346,19 +361,20 @@ func findMatch(r *prefix, h fsm.Action) (int, bool) {
 		a := e.act
 		if a.Dir == h.Dir && a.Peer == h.Peer {
 			if a.Label == h.Label && sortOK(h, a) {
-				return i, false
+				return i, skipped, false
 			}
 			// Same peer and direction but a different label (or an
 			// incompatible sort): this can never be skipped by A/B.
-			return -1, true
+			return -1, skipped, true
 		}
 		if h.Dir == fsm.Recv && a.Dir == fsm.Send {
-			return -1, true // sends block input anticipation
+			return -1, skipped, true // sends block input anticipation
 		}
 		// Otherwise skippable: a receive (any peer ≠ p for inputs, any peer
 		// for outputs) or, for outputs, a send to a different peer.
+		skipped++
 	}
-	return -1, false
+	return -1, skipped, false
 }
 
 // sortOK checks payload-sort compatibility between the subtype's action h and

@@ -1,0 +1,216 @@
+// Package optimise derives asynchronous message-reordering (AMR)
+// optimisations automatically. The paper verifies *hand-written* reorderings
+// with the asynchronous subtyping algorithm of internal/core; this package
+// closes the loop: given a role's projected local type it searches the space
+// of AMR rewrites — hoisting outputs past preceding inputs, pipelining loop
+// sends up to a given unroll depth, straightening self-loops — scores every
+// candidate by a static lookahead metric (core.Stats.MaxSendAhead, the depth
+// of output anticipation in the certificate derivation, which is what
+// sim.Result.MaxQueue observes dynamically), and certifies every candidate
+// with core.Check against the original. An uncertified rewrite is never
+// returned: the subtype checker acts as the compiler pass's verifier.
+package optimise
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+// Options configures the search.
+type Options struct {
+	// MaxUnroll bounds the cumulative loop-pipelining depth per candidate
+	// (the recursion-unrolling parameter d). Zero means DefaultMaxUnroll.
+	MaxUnroll int
+	// MaxPasses bounds how many rewrite steps may be composed (a candidate
+	// at pass p is p single rewrites away from the original). Zero means
+	// DefaultMaxPasses.
+	MaxPasses int
+	// MaxCandidates bounds the total number of distinct candidates explored.
+	// Zero means DefaultMaxCandidates.
+	MaxCandidates int
+	// Bound overrides the core recursion-unrolling bound used for
+	// certification. Zero derives a bound from MaxUnroll.
+	Bound int
+	// Trace records the certificate derivation of every certified candidate
+	// (core.Options.Trace) — the machine-checked counterpart of the paper's
+	// worked derivation trees, printed by cmd/optimise.
+	Trace bool
+}
+
+// Search defaults: deep enough to reproduce every hand-written optimisation
+// in the protocol registry (the FFT workers need three composed hoists).
+const (
+	DefaultMaxUnroll     = 2
+	DefaultMaxPasses     = 4
+	DefaultMaxCandidates = 256
+)
+
+func (o Options) withDefaults() Options {
+	if o.MaxUnroll <= 0 {
+		o.MaxUnroll = DefaultMaxUnroll
+	}
+	if o.MaxPasses <= 0 {
+		o.MaxPasses = DefaultMaxPasses
+	}
+	if o.MaxCandidates <= 0 {
+		o.MaxCandidates = DefaultMaxCandidates
+	}
+	if o.Bound <= 0 {
+		// Pipelined candidates need roughly one extra revisit per hoisted
+		// copy before the derivation cycle closes.
+		o.Bound = core.DefaultBound + 2*o.MaxUnroll + 2
+	}
+	return o
+}
+
+// Candidate is one certified rewrite.
+type Candidate struct {
+	// Type is the rewritten (or original) local type.
+	Type types.Local
+	// Lookahead is the candidate's static lookahead score: the deepest
+	// output anticipation in its certificate (core.Stats.MaxSendAhead).
+	Lookahead int
+	// Cert is the successful core.Check result certifying Type against the
+	// original (including the derivation trace when Options.Trace is set).
+	Cert core.Result
+	// Steps lists the rewrites that produced the candidate, in order; empty
+	// for the original type.
+	Steps []string
+	// Unrolls is the cumulative pipelining depth of the candidate.
+	Unrolls int
+}
+
+// Result is the outcome of an optimisation run.
+type Result struct {
+	Role     types.Role
+	Original types.Local
+	// Baseline is the lookahead of the original against itself (0 for any
+	// reordering-free type; kept explicit so callers need not special-case).
+	Baseline int
+	// Best is the highest-scoring certified candidate; it is the original
+	// itself when no rewrite both certifies and improves the lookahead.
+	Best Candidate
+	// Improved reports that Best strictly beats the baseline lookahead.
+	Improved bool
+	// Considered counts the distinct candidates generated (certified or not).
+	Considered int
+	// Certified lists every certified candidate, best first (deterministic:
+	// ties broken towards fewer unrolls, then fewer steps, then the
+	// α-canonical rendering).
+	Certified []Candidate
+}
+
+// derived is a search node: a candidate plus its derivation.
+type derived struct {
+	t       types.Local
+	steps   []string
+	unrolls int
+}
+
+// Optimise searches for the best certified AMR rewrite of orig for the given
+// role. It never fails to produce a Best candidate: the original type is
+// always in the certified set (reflexivity), so an empty search or a
+// completely uncertifiable candidate pool degrades to "no optimisation".
+func Optimise(role types.Role, orig types.Local, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if err := types.ValidateLocal(orig); err != nil {
+		return Result{}, fmt.Errorf("optimise: %w", err)
+	}
+	orig = types.NormalizeLocal(orig)
+
+	res := Result{Role: role, Original: orig}
+
+	baseline, err := core.CheckTypes(role, orig, orig, core.Options{Bound: opts.Bound, Trace: opts.Trace})
+	if err != nil {
+		return Result{}, fmt.Errorf("optimise: baseline check: %w", err)
+	}
+	if !baseline.OK {
+		// A type that is not even a subtype of itself within the bound has
+		// no certifiable rewrites either.
+		return Result{}, fmt.Errorf("optimise: role %s: original type failed its reflexive certificate (bound %d)", role, opts.Bound)
+	}
+	res.Baseline = baseline.Stats.MaxSendAhead
+
+	// Breadth-first search over composed rewrites, deduplicated by
+	// α-canonical rendering so differently named but equivalent derivations
+	// collapse.
+	seen := map[string]bool{canonKey(orig): true}
+	frontier := []derived{{t: orig}}
+	var pool []derived
+	for pass := 0; pass < opts.MaxPasses && len(frontier) > 0 && len(pool) < opts.MaxCandidates; pass++ {
+		var next []derived
+		for _, cur := range frontier {
+			var moves []rewrite
+			moves = append(moves, hoists(cur.t)...)
+			if room := opts.MaxUnroll - cur.unrolls; room > 0 {
+				moves = append(moves, pipelines(cur.t, room)...)
+			}
+			for _, mv := range moves {
+				cand := straighten(mv.t)
+				key := canonKey(cand)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				d := derived{
+					t:       cand,
+					steps:   append(append([]string(nil), cur.steps...), mv.desc),
+					unrolls: cur.unrolls + mv.unrolls,
+				}
+				next = append(next, d)
+				pool = append(pool, d)
+				if len(pool) >= opts.MaxCandidates {
+					break
+				}
+			}
+			if len(pool) >= opts.MaxCandidates {
+				break
+			}
+		}
+		frontier = next
+	}
+	res.Considered = len(pool)
+
+	// Certify. Candidates that are not well-formed (a rewrite can in
+	// principle produce a non-contractive shape) or not asynchronous
+	// subtypes of the original are discarded — an uncertified rewrite is a
+	// bug, never an output.
+	res.Certified = []Candidate{{Type: orig, Lookahead: res.Baseline, Cert: baseline}}
+	for _, d := range pool {
+		if types.ValidateLocal(d.t) != nil {
+			continue
+		}
+		cert, err := core.CheckTypes(role, d.t, orig, core.Options{Bound: opts.Bound, Trace: opts.Trace})
+		if err != nil || !cert.OK {
+			continue
+		}
+		res.Certified = append(res.Certified, Candidate{
+			Type:      d.t,
+			Lookahead: cert.Stats.MaxSendAhead,
+			Cert:      cert,
+			Steps:     d.steps,
+			Unrolls:   d.unrolls,
+		})
+	}
+	sort.SliceStable(res.Certified, func(i, j int) bool {
+		a, b := res.Certified[i], res.Certified[j]
+		if a.Lookahead != b.Lookahead {
+			return a.Lookahead > b.Lookahead
+		}
+		if a.Unrolls != b.Unrolls {
+			return a.Unrolls < b.Unrolls
+		}
+		if len(a.Steps) != len(b.Steps) {
+			return len(a.Steps) < len(b.Steps)
+		}
+		return canonKey(a.Type) < canonKey(b.Type)
+	})
+	res.Best = res.Certified[0]
+	res.Improved = res.Best.Lookahead > res.Baseline
+	return res, nil
+}
+
+func canonKey(t types.Local) string { return types.AlphaCanonicalLocal(t).String() }

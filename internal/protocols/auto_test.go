@@ -1,0 +1,113 @@
+package protocols
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// TestAutoReproducesOrBeatsHandWritten is the cross-check closing the loop
+// between the hand-transcribed Optimised tables and the automatic optimiser:
+// for every registry entry with a hand-written AMR table, and for every role
+// in it whose hand-written rewrite the bounded algorithm itself certifies,
+// the derived endpoint must certify too and reach at least the hand-written
+// lookahead (subtype-equivalent or strictly deeper anticipation). Entries
+// whose hand-written rewrite is beyond the bounded algorithm (Hospital needs
+// unbounded anticipation — Table 1's point) are exempt from the comparison
+// but must still never make the optimiser emit an uncertified rewrite.
+func TestAutoReproducesOrBeatsHandWritten(t *testing.T) {
+	for _, e := range Registry() {
+		if len(e.Optimised) == 0 {
+			continue
+		}
+		auto := e.AutoOptimised()
+		for r, hand := range e.Optimised {
+			handCert, err := core.CheckTypes(r, hand, e.Locals[r], core.Options{Bound: 16})
+			if err != nil {
+				t.Fatalf("%s/%s: hand-written check: %v", e.Name, r, err)
+			}
+			derived, ok := auto[r]
+			if !handCert.OK {
+				// Hand-written beyond the bounded algorithm: the optimiser
+				// must not have pretended otherwise.
+				if ok {
+					cert, err := core.CheckTypes(r, derived, e.Locals[r], core.Options{Bound: 16})
+					if err != nil || !cert.OK {
+						t.Errorf("%s/%s: derived endpoint %s is not certified", e.Name, r, derived)
+					}
+				}
+				continue
+			}
+			if !ok {
+				t.Errorf("%s/%s: hand-written optimisation certifies (lookahead %d) but the optimiser derived nothing",
+					e.Name, r, handCert.Stats.MaxSendAhead)
+				continue
+			}
+			cert, err := core.CheckTypes(r, derived, e.Locals[r], core.Options{Bound: 16})
+			if err != nil || !cert.OK {
+				t.Errorf("%s/%s: derived endpoint %s does not certify: ok=%v err=%v", e.Name, r, derived, cert.OK, err)
+				continue
+			}
+			if cert.Stats.MaxSendAhead < handCert.Stats.MaxSendAhead {
+				t.Errorf("%s/%s: derived lookahead %d below hand-written %d (derived %s)",
+					e.Name, r, cert.Stats.MaxSendAhead, handCert.Stats.MaxSendAhead, derived)
+			}
+		}
+	}
+}
+
+// TestAutoSystemsStayLive executes every machine-optimised system under the
+// asynchronous simulator: a certified swap must never introduce a deadlock
+// or an orphan message, for any schedule.
+func TestAutoSystemsStayLive(t *testing.T) {
+	seeds := []int64{1, 7, 42}
+	for _, e := range Registry() {
+		if len(e.AutoOptimised()) == 0 {
+			continue
+		}
+		machines := Machines(FSMs(e.AutoSystem()))
+		if _, err := sim.HighWater(machines, 4000, seeds); err != nil {
+			t.Errorf("%s: auto-optimised system: %v", e.Name, err)
+		}
+	}
+}
+
+// TestAutoRunsAheadDynamically confirms the static lookahead score means
+// what it claims: the derived streaming source drives the source→sink queue
+// strictly higher than the projection does, under identical schedules.
+func TestAutoRunsAheadDynamically(t *testing.T) {
+	e := Streaming()
+	auto := e.AutoOptimised()
+	if _, ok := auto[types.Role("s")]; !ok {
+		t.Fatal("no derived source for the streaming protocol")
+	}
+	seeds := []int64{1, 2, 3, 4, 5}
+	before, err := sim.HighWater(Machines(FSMs(e.Locals)), 4000, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := sim.HighWater(Machines(FSMs(e.AutoSystem())), 4000, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after <= before {
+		t.Errorf("derived source queue high-water %d not above projection's %d", after, before)
+	}
+}
+
+// TestAutoOptimisedCached pins the memoisation contract: repeated calls for
+// the same entry return the identical derived map.
+func TestAutoOptimisedCached(t *testing.T) {
+	a := Streaming().AutoOptimised()
+	b := Streaming().AutoOptimised()
+	if len(a) != len(b) {
+		t.Fatalf("cache returned different maps: %v vs %v", a, b)
+	}
+	for r, l := range a {
+		if b[r] == nil || b[r].String() != l.String() {
+			t.Errorf("cache mismatch for role %s", r)
+		}
+	}
+}

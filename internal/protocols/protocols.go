@@ -8,8 +8,10 @@ package protocols
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/fsm"
+	"repro/internal/optimise"
 	"repro/internal/types"
 )
 
@@ -45,6 +47,54 @@ func (e Entry) System() map[types.Role]types.Local {
 		out[r] = l
 	}
 	for r, l := range e.Optimised {
+		out[r] = l
+	}
+	return out
+}
+
+// autoCache memoises machine-derived optimisations per entry name: every
+// Registry() call rebuilds Entry values, but the derivation for a named
+// protocol is deterministic, so it runs once per process.
+var autoCache sync.Map // string -> map[types.Role]types.Local
+
+// AutoOptimised returns the machine-derived AMR endpoints for the entry: for
+// every role, internal/optimise searches hoisting/pipelining rewrites of the
+// projected local type and certifies candidates with the asynchronous
+// subtyping algorithm; roles appear in the map only when a certified rewrite
+// strictly improves the static lookahead. The result is derived once per
+// entry name and cached — the automatic counterpart of the hand-written
+// Optimised tables (and, for every registry entry, at least as deep a
+// lookahead; see the cross-check in auto_test.go).
+func (e Entry) AutoOptimised() map[types.Role]types.Local {
+	if v, ok := autoCache.Load(e.Name); ok {
+		return v.(map[types.Role]types.Local)
+	}
+	out := map[types.Role]types.Local{}
+	for r, l := range e.Locals {
+		res, err := optimise.Optimise(r, l, optimise.Options{})
+		if err != nil {
+			// The registry is static data (as in FSMs): a type that cannot
+			// even pass its reflexive certificate is a malformed entry, not
+			// a missing optimisation — failing silently here would print as
+			// an empty Auto cell in Table 1.
+			panic(fmt.Sprintf("protocols: deriving %s/%s: %v", e.Name, r, err))
+		}
+		if res.Improved {
+			out[r] = res.Best.Type
+		}
+	}
+	actual, _ := autoCache.LoadOrStore(e.Name, out)
+	return actual.(map[types.Role]types.Local)
+}
+
+// AutoSystem returns the endpoint types of the machine-optimised system:
+// Locals overridden by AutoOptimised.
+func (e Entry) AutoSystem() map[types.Role]types.Local {
+	out := map[types.Role]types.Local{}
+	for r, l := range e.Locals {
+		out[r] = l
+	}
+	for r, l := range e.AutoOptimised() {
 		out[r] = l
 	}
 	return out

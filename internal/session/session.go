@@ -181,6 +181,13 @@ func (n *Network) closeAll() {
 	}
 }
 
+// Close tears the network down: every route is closed, so any process
+// blocked on a message that will never arrive fails promptly with
+// channel.ErrClosed instead of hanging. Session.Run does this automatically
+// when a process faults; callers driving raw endpoints (benchmark harnesses,
+// bottom-up experiments) use Close for the same first-error teardown.
+func (n *Network) Close() { n.closeAll() }
+
 // Endpoint returns the unmonitored endpoint for role — protocol conformance
 // is then the caller's responsibility, as in the bottom-up workflow before
 // verification. Monitored endpoints are obtained from a Session.

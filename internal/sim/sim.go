@@ -117,6 +117,28 @@ func Run(machines []*fsm.FSM, steps int, seed int64) (Result, error) {
 	return res, nil
 }
 
+// HighWater runs the system once per seed and returns the largest queue
+// high-water mark observed across all runs — the dynamic counterpart of the
+// optimiser's static lookahead score (core.Stats.MaxSendAhead). Infinite
+// protocols exhaust the step budget rather than terminating; a stuck run is
+// an error, as in Run.
+func HighWater(machines []*fsm.FSM, steps int, seeds []int64) (int, error) {
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	max := 0
+	for _, seed := range seeds {
+		res, err := Run(machines, steps, seed)
+		if err != nil {
+			return max, err
+		}
+		if res.MaxQueue > max {
+			max = res.MaxQueue
+		}
+	}
+	return max, nil
+}
+
 func describe(machines []*fsm.FSM, states []fsm.State, queues [][]types.Label) string {
 	out := ""
 	for mi, m := range machines {

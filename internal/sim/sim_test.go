@@ -153,3 +153,35 @@ func hasFinal(ms []*fsm.FSM) bool {
 	}
 	return false
 }
+
+func TestHighWater(t *testing.T) {
+	// The 2-unrolled streaming source holds up to 3 values in flight; the
+	// plain one at most 1. HighWater reports the max across seeds.
+	plain := machines(t,
+		"s", "mu x.t?ready.t!value.x",
+		"t", "mu x.s!ready.s?value.x")
+	unrolled := machines(t,
+		"s", "t!value.t!value.mu x.t?ready.t!value.x",
+		"t", "mu x.s!ready.s?value.x")
+	seeds := []int64{1, 2, 3}
+	before, err := HighWater(plain, 2000, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := HighWater(unrolled, 2000, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after <= before {
+		t.Errorf("unrolled high-water %d not above plain %d", after, before)
+	}
+	// Defaults to one seed when none given.
+	if _, err := HighWater(plain, 100, nil); err != nil {
+		t.Error(err)
+	}
+	// A stuck system surfaces its error.
+	stuck := machines(t, "a", "b?go.end", "b", "a?go.end")
+	if _, err := HighWater(stuck, 100, seeds); err == nil {
+		t.Error("stuck system reported no error")
+	}
+}

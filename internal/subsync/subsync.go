@@ -26,13 +26,25 @@ func Check(sub, sup types.Local) (bool, error) {
 }
 
 type checker struct {
-	// seen holds pairs assumed related, keyed by their printed forms; the
-	// relation is coinductive so assuming a revisited pair is sound.
+	// seen holds pairs assumed related, keyed by the printed forms of their
+	// α-canonical representatives; the relation is coinductive so assuming a
+	// revisited pair is sound. Canonical keys make α-variant recursions
+	// (μx.….x versus μy.….y) hit the same hypothesis: keyed on the raw
+	// String() they would never match, re-exploring every α-renamed revisit
+	// (worst case exponentially) and diverging from the α-blind core
+	// algorithm on renamed inputs.
 	seen map[[2]string]bool
+	// visits counts hypothesis-table probes, for the α-invariance
+	// regression test.
+	visits int
 }
 
 func (c *checker) visit(sub, sup types.Local) bool {
-	key := [2]string{sub.String(), sup.String()}
+	c.visits++
+	key := [2]string{
+		types.AlphaCanonicalLocal(sub).String(),
+		types.AlphaCanonicalLocal(sup).String(),
+	}
 	if c.seen[key] {
 		return true
 	}

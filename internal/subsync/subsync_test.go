@@ -16,6 +16,92 @@ func check(t *testing.T, sub, sup string) bool {
 	return ok
 }
 
+// rename suffixes every binder and bound variable, producing an α-variant.
+func rename(t types.Local, suffix string) types.Local {
+	switch t := t.(type) {
+	case types.End:
+		return t
+	case types.Var:
+		return types.Var{Name: t.Name + suffix}
+	case types.Rec:
+		return types.Rec{Name: t.Name + suffix, Body: rename(t.Body, suffix)}
+	case types.Send:
+		return types.Send{Peer: t.Peer, Branches: renameBranches(t.Branches, suffix)}
+	case types.Recv:
+		return types.Recv{Peer: t.Peer, Branches: renameBranches(t.Branches, suffix)}
+	}
+	return t
+}
+
+func renameBranches(bs []types.Branch, suffix string) []types.Branch {
+	out := make([]types.Branch, len(bs))
+	for i, b := range bs {
+		out[i] = types.Branch{Label: b.Label, Sort: b.Sort, Cont: rename(b.Cont, suffix)}
+	}
+	return out
+}
+
+// countedCheck runs the checker directly, returning the verdict and the
+// number of hypothesis-table probes.
+func countedCheck(t *testing.T, sub, sup types.Local) (bool, int) {
+	t.Helper()
+	if err := types.ValidateLocal(sub); err != nil {
+		t.Fatal(err)
+	}
+	c := &checker{seen: map[[2]string]bool{}}
+	ok := c.visit(sub, sup)
+	return ok, c.visits
+}
+
+// TestAlphaInvariance is the regression test for the coinductive memo's
+// keying: α-renaming the inputs must change neither the verdict nor the
+// amount of work — with the memo keyed on raw String() forms, α-variant
+// recursions (μx.….x versus μy.….y) never hit the hypothesis and are
+// re-explored.
+func TestAlphaInvariance(t *testing.T) {
+	cases := []struct {
+		sub, sup string
+		want     bool
+	}{
+		{"mu x.p!a.x", "mu y.p!a.y", true},
+		{"mu x.s!ready.s?copy.x", "mu q.s!ready.s?copy.q", true},
+		{"mu t.s?{d0.s!a0.t, d1.s!a1.t}", "mu u.s?{d0.s!a0.u, d1.s!a1.u}", true},
+		{"mu x.p!a.x", "mu y.p!b.y", false},
+	}
+	for _, c := range cases {
+		sub, sup := types.MustParse(c.sub), types.MustParse(c.sup)
+		got, visits := countedCheck(t, sub, sup)
+		if got != c.want {
+			t.Errorf("Check(%q, %q) = %v, want %v", c.sub, c.sup, got, c.want)
+		}
+		gotR, visitsR := countedCheck(t, rename(sub, "_r"), rename(sup, "_rr"))
+		if gotR != got {
+			t.Errorf("α-renaming changed the verdict of (%q, %q): %v vs %v", c.sub, c.sup, got, gotR)
+		}
+		if visitsR != visits {
+			t.Errorf("α-renaming changed the work on (%q, %q): %d vs %d visits", c.sub, c.sup, visits, visitsR)
+		}
+	}
+}
+
+// TestAlphaVariantBranchesShareHypothesis pins the memo hit itself: a type
+// with two α-variant recursive branches must cost exactly as much as the
+// same type with identically named branches, because the second branch's
+// pair is already in the hypothesis table.
+func TestAlphaVariantBranchesShareHypothesis(t *testing.T) {
+	same := types.MustParse("p!{a.mu x.q?go.p!a.x, b.mu x.q?go.p!a.x}")
+	variant := types.MustParse("p!{a.mu x.q?go.p!a.x, b.mu y.q?go.p!a.y}")
+	sup := types.MustParse("p!{a.mu z.q?go.p!a.z, b.mu w.q?go.p!a.w}")
+	okSame, visitsSame := countedCheck(t, same, sup)
+	okVar, visitsVar := countedCheck(t, variant, sup)
+	if !okSame || !okVar {
+		t.Fatalf("expected both checks to hold: same=%v variant=%v", okSame, okVar)
+	}
+	if visitsVar != visitsSame {
+		t.Errorf("α-variant branches re-explored: %d visits vs %d for identical names", visitsVar, visitsSame)
+	}
+}
+
 func TestReflexivity(t *testing.T) {
 	for _, src := range []string{
 		"end",

@@ -65,6 +65,73 @@ func TestAlphaEqualGlobal(t *testing.T) {
 	}
 }
 
+func TestAlphaCanonicalLocal(t *testing.T) {
+	cases := []struct {
+		a, b string
+		same bool
+	}{
+		{"mu x.p!a.x", "mu y.p!a.y", true},
+		{"mu x.mu y.p!{a.x, b.y}", "mu u.mu v.p!{a.u, b.v}", true},
+		{"mu x.mu y.p!{a.x, b.y}", "mu u.mu v.p!{a.v, b.u}", false},
+		{"mu x.p!a.mu x.p!b.x", "mu y.p!a.mu z.p!b.z", true},
+		{"p!a.end", "p!a(unit).end", true},
+		{"mu x.p!a.x", "mu y.p!b.y", false},
+	}
+	for _, c := range cases {
+		ka := AlphaCanonicalLocal(MustParse(c.a)).String()
+		kb := AlphaCanonicalLocal(MustParse(c.b)).String()
+		if (ka == kb) != c.same {
+			t.Errorf("canonical keys of %q and %q: %q vs %q, want same=%v", c.a, c.b, ka, kb, c.same)
+		}
+	}
+}
+
+func TestAlphaCanonicalPreservesMeaning(t *testing.T) {
+	// The canonical form is α-equivalent to the input and idempotent.
+	for _, src := range []string{
+		"mu x.p!a.x",
+		"mu x.p!a.mu y.q?b.p!{c.x, d.y}",
+		"mu x.p!a.mu x.p!b.x",
+	} {
+		orig := MustParse(src)
+		canon := AlphaCanonicalLocal(orig)
+		if !AlphaEqualLocal(orig, canon) {
+			t.Errorf("canonical form of %q not α-equal: %s", src, canon)
+		}
+		if again := AlphaCanonicalLocal(canon); again.String() != canon.String() {
+			t.Errorf("canonicalisation of %q not idempotent: %s vs %s", src, canon, again)
+		}
+	}
+}
+
+func TestQuickAlphaCanonicalAgreesWithAlphaEqual(t *testing.T) {
+	// Canonical-key equality coincides with α-equivalence (checked on a type
+	// against a consistently renamed copy of itself).
+	var rename func(t Local, suffix string) Local
+	rename = func(t Local, suffix string) Local {
+		switch t := t.(type) {
+		case End:
+			return t
+		case Var:
+			return Var{Name: t.Name + suffix}
+		case Rec:
+			return Rec{Name: t.Name + suffix, Body: rename(t.Body, suffix)}
+		case Send:
+			return Send{Peer: t.Peer, Branches: renameBranches(t.Branches, suffix, rename)}
+		case Recv:
+			return Recv{Peer: t.Peer, Branches: renameBranches(t.Branches, suffix, rename)}
+		}
+		return t
+	}
+	f := func(g localGen) bool {
+		r := rename(g.T, "_c")
+		return AlphaCanonicalLocal(g.T).String() == AlphaCanonicalLocal(r).String()
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestQuickAlphaRefinesEqual(t *testing.T) {
 	// Structural equality implies α-equivalence.
 	f := func(g localGen) bool {
