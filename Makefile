@@ -1,10 +1,16 @@
 # Tier-1 verification and the perf trajectory for the session runtime.
 #
-#   make verify   build + full test suite (the tier-1 gate)
-#   make race     the substrate stress tests under the race detector
-#   make bench    channel + session + Session.Run benchmarks with -benchmem,
-#                 raw output to stderr, parsed JSON to BENCH_channel.json
-#                 (compare against the numbers recorded in CHANGES.md)
+#   make verify         build + full test suite (the tier-1 gate)
+#   make race           the substrate stress tests under the race detector
+#   make bench          channel + session + Session.Run benchmarks with
+#                       -benchmem, raw output to stderr, parsed JSON to
+#                       BENCH_channel.json (compare against CHANGES.md)
+#   make bench-codegen  generated-API vs monitored head-to-heads (send/recv
+#                       microbench + end-to-end streaming), parsed JSON to
+#                       BENCH_codegen.json
+#   make generate       regenerate the sessgen packages (examples/gen)
+#   make drift          the CI gate: regenerated sources must match what is
+#                       checked in, and the tree must be gofmt-clean
 
 GO ?= go
 # bash + pipefail: a failing benchmark run must fail `make bench`, not let
@@ -21,7 +27,14 @@ SHELL := /bin/bash
 BENCH_PATTERN ?= BenchmarkSendRecv|BenchmarkPingPong|BenchmarkRingBatch|BenchmarkNetwork|BenchmarkSessionRunStreaming|BenchmarkMonitor
 BENCH_PKGS ?= ./internal/channel ./internal/session ./internal/bench
 
-.PHONY: verify race bench
+# The codegen head-to-head: the monitor-free generated-API hot path against
+# the monitored endpoint (BenchmarkSendRecvMonitored vs Unchecked, raw
+# Unmonitored as the route-lookup baseline) and the end-to-end streaming
+# pair (BenchmarkGenRunStreaming vs BenchmarkSessionRunStreaming).
+CODEGEN_BENCH_PATTERN ?= BenchmarkSendRecvMonitored|BenchmarkSendRecvUnchecked|BenchmarkSendRecvUnmonitored|BenchmarkGenRunStreaming|BenchmarkSessionRunStreaming
+CODEGEN_BENCH_PKGS ?= ./internal/session ./internal/bench
+
+.PHONY: verify race bench bench-codegen generate drift
 
 verify:
 	$(GO) build ./...
@@ -34,3 +47,17 @@ bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -timeout 1800s $(BENCH_PKGS) \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_channel.json
 	@echo "wrote BENCH_channel.json"
+
+bench-codegen:
+	$(GO) test -run '^$$' -bench '$(CODEGEN_BENCH_PATTERN)' -benchmem -timeout 1800s $(CODEGEN_BENCH_PKGS) \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_codegen.json
+	@echo "wrote BENCH_codegen.json"
+
+generate:
+	$(GO) generate ./...
+
+drift: generate
+	git diff --exit-code -- examples/gen
+	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:" $$fmtout; exit 1; fi
+	@echo "no drift: generated sources match, tree is gofmt-clean"

@@ -1,10 +1,14 @@
 // Command fig6 regenerates the three runtime-throughput plots of Fig. 6:
 // streaming, double buffering and FFT, across the paper's five runtime
-// designs plus the rumpsteak-auto column — the Rumpsteak analogue driving
-// the schedule of the *machine-derived* AMR endpoints (internal/optimise)
-// instead of the hand-written ones, expected within noise of rumpsteak-opt —
-// and the sequential FFT baseline. Output is a CSV (or aligned table) with
-// one column per design — the same series the paper plots.
+// designs plus two columns of ours: rumpsteak-auto — the Rumpsteak analogue
+// driving the schedule of the *machine-derived* AMR endpoints
+// (internal/optimise) instead of the hand-written ones, expected within
+// noise of rumpsteak-opt — and rumpsteak-gen — the sessgen-generated typed
+// state-pattern APIs (examples/gen), which enforce conformance in the type
+// system and therefore run with no per-message monitor at all (streaming and
+// double buffering only; FFT's column payloads are not a scalar sort). The
+// sequential FFT baseline closes the figure. Output is a CSV (or aligned
+// table) with one column per design — the same series the paper plots.
 //
 // Usage:
 //
@@ -84,7 +88,8 @@ func streaming(reps int) ([]bench.Series, error) {
 		// Warm one-time setup (the rumpsteak-auto derivation is memoised on
 		// first use) outside the timed region; the derivation is keyed by
 		// the unroll budget, so warm with the same budget the series uses.
-		if _, err := bench.Streaming(rt, 1, 5); err != nil {
+		// (n=5: the generated streaming schedule needs at least two values.)
+		if _, err := bench.Streaming(rt, 5, 5); err != nil {
 			return nil, err
 		}
 		s := bench.Series{Name: rt.String()}
@@ -129,7 +134,9 @@ func doubleBuffer(reps int) ([]bench.Series, error) {
 func fftSeries(reps int) ([]bench.Series, error) {
 	xs := []int{1000, 2000, 3000, 4000, 5000}
 	var out []bench.Series
-	for _, rt := range bench.Runtimes {
+	// No rumpsteak-gen column here: FFT's column payloads are not a scalar
+	// sort, so no typed package is generated (see bench.FFTRuntimes).
+	for _, rt := range bench.FFTRuntimes {
 		if _, err := bench.FFTParallel(rt, 8); err != nil { // warm derivation
 			return nil, err
 		}

@@ -1,9 +1,11 @@
 // Command kmc is the command-line front end to the k-multiparty
 // compatibility checker (§2.2, §4.2). A system is given as alternating
-// role / local-type arguments, or by naming a Table 1 protocol:
+// role / local-type arguments, by naming a Table 1 protocol, or as a
+// user-supplied Scribble .scr file whose projections form the system:
 //
 //	kmc -k 2 p 'q!l1.q?l2.end' q 'p!l2.p?l1.end'
 //	kmc -protocol "Optimised Double Buffering" -k 2
+//	kmc -scribble protocol.scr -upto -k 4
 package main
 
 import (
@@ -14,7 +16,9 @@ import (
 
 	"repro/internal/fsm"
 	"repro/internal/kmc"
+	"repro/internal/project"
 	"repro/internal/protocols"
+	"repro/internal/scribble"
 	"repro/internal/types"
 )
 
@@ -24,16 +28,35 @@ func main() {
 	k := flag.Int("k", 1, "queue bound (with -upto, the largest bound tried)")
 	upto := flag.Bool("upto", false, "try k = 1..k until the system is compatible")
 	proto := flag.String("protocol", "", "check a named Table 1 protocol's executed system")
+	scr := flag.String("scribble", "", "check the projections of a Scribble protocol file")
 	flag.Parse()
 
+	if *proto != "" && *scr != "" {
+		log.Fatal("give either -protocol or -scribble, not both")
+	}
 	var machines []*fsm.FSM
-	if *proto != "" {
-		entry, ok := findProtocol(*proto)
+	switch {
+	case *proto != "":
+		entry, ok := protocols.Find(*proto)
 		if !ok {
 			log.Fatalf("unknown protocol %q; see cmd/table1 for the registry", *proto)
 		}
 		machines = protocols.Machines(protocols.FSMs(entry.System()))
-	} else {
+	case *scr != "":
+		data, err := os.ReadFile(*scr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := scribble.Parse(string(data))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fsms, err := project.ProjectFSMs(p.Global)
+		if err != nil {
+			log.Fatalf("projecting %s: %v", p.Name, err)
+		}
+		machines = protocols.Machines(fsms)
+	default:
 		args := flag.Args()
 		if len(args) == 0 || len(args)%2 != 0 {
 			log.Fatal("expected alternating role and local-type arguments")
@@ -69,13 +92,4 @@ func main() {
 	}
 	fmt.Printf("REJECTED at k=%d: %s\n", usedK, res.Violation.Error())
 	os.Exit(1)
-}
-
-func findProtocol(name string) (protocols.Entry, bool) {
-	for _, e := range protocols.Registry() {
-		if e.Name == name {
-			return e, true
-		}
-	}
-	return protocols.Entry{}, false
 }

@@ -1,10 +1,12 @@
 // Command project plays the role of the νScr toolchain (§2.1): it parses a
-// Scribble protocol description (or a global-type literal) and prints the
-// projection for each role, as a local type or as a Graphviz DOT machine.
+// Scribble protocol description, a global-type literal or a Table 1
+// registry name, and prints the projection for each role, as a local type
+// or as a Graphviz DOT machine.
 //
 //	project -scribble protocol.scr
 //	project -global 'mu x.k->s:ready.s->k:value.t->k:ready.k->t:value.x'
 //	project -global '...' -role k -dot
+//	project -protocol "double buffering"
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 
 	"repro/internal/fsm"
 	"repro/internal/project"
+	"repro/internal/protocols"
 	"repro/internal/scribble"
 	"repro/internal/types"
 )
@@ -24,14 +27,33 @@ func main() {
 	log.SetPrefix("project: ")
 	scribbleFile := flag.String("scribble", "", "Scribble protocol file")
 	global := flag.String("global", "", "global type literal")
+	proto := flag.String("protocol", "", "Table 1 registry protocol name")
 	role := flag.String("role", "", "project only this role (default: all)")
 	dot := flag.Bool("dot", false, "emit Graphviz DOT machines instead of local types")
 	flag.Parse()
 
+	sources := 0
+	for _, s := range []string{*scribbleFile, *global, *proto} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources > 1 {
+		log.Fatal("give exactly one of -scribble, -global or -protocol")
+	}
+
 	var g types.Global
 	switch {
-	case *scribbleFile != "" && *global != "":
-		log.Fatal("give either -scribble or -global, not both")
+	case *proto != "":
+		entry, ok := protocols.Find(*proto)
+		if !ok {
+			log.Fatalf("unknown protocol %q; see cmd/table1 for the registry", *proto)
+		}
+		if entry.Global == nil {
+			log.Fatalf("protocol %s has no global type (bottom-up only); its endpoint types are in the registry", entry.Name)
+		}
+		fmt.Printf("// protocol %s\n", entry.Name)
+		g = entry.Global
 	case *scribbleFile != "":
 		data, err := os.ReadFile(*scribbleFile)
 		if err != nil {
@@ -50,7 +72,7 @@ func main() {
 			log.Fatal(err)
 		}
 	default:
-		log.Fatal("missing -scribble or -global")
+		log.Fatal("missing -scribble, -global or -protocol")
 	}
 
 	roles := types.Roles(g)

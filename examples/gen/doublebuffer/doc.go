@@ -1,0 +1,11 @@
+// Package doublebuffer is the sessgen-generated typed endpoint API for the
+// double-buffering protocol of Listing 1, generated from the plain
+// projections (-optimised none): the canonical kernel/source/sink schedule,
+// with every send and receive running monitor-free because the generated
+// state types already enforce conformance (see DESIGN.md).
+//
+// Regenerate with go generate; CI fails if the checked-in source drifts
+// from the generator's output.
+package doublebuffer
+
+//go:generate go run repro/cmd/sessgen -protocol doublebuffering -optimised none -o . -pkg doublebuffer

@@ -1,0 +1,12 @@
+// Package elevator is the sessgen-generated typed endpoint API for the
+// three-party elevator control loop (after [6, 43]), generated from the
+// plain projections (-optimised none): the panel issues up/down calls, the
+// controller branches on them (a generated one-shot sum type) and cycles the
+// door, all monitor-free because the generated state types already enforce
+// conformance (see DESIGN.md).
+//
+// Regenerate with go generate; CI fails if the checked-in source drifts
+// from the generator's output.
+package elevator
+
+//go:generate go run repro/cmd/sessgen -protocol elevator -optimised none -o .

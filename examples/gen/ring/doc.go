@@ -1,0 +1,11 @@
+// Package ring is the sessgen-generated typed endpoint API for the
+// three-participant ring protocol of [11], generated from the plain
+// projections (-optimised none): a token circulates a→b→c→a forever, with
+// every hop running monitor-free because the generated state types already
+// enforce conformance (see DESIGN.md).
+//
+// Regenerate with go generate; CI fails if the checked-in source drifts
+// from the generator's output.
+package ring
+
+//go:generate go run repro/cmd/sessgen -protocol ring -optimised none -o .

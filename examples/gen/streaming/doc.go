@@ -1,0 +1,13 @@
+// Package streaming is the sessgen-generated typed endpoint API for the
+// streaming protocol of §2.1, generated from the *automatically derived*
+// AMR-optimised source endpoint (internal/optimise; -optimised auto): the
+// source pipelines value sends ahead of their readys exactly as deep as the
+// certified derived type allows, and the generated Go types make any other
+// schedule unrepresentable. All sends and receives run monitor-free (see
+// DESIGN.md, "The three API tiers").
+//
+// Regenerate with go generate; CI fails if the checked-in source drifts
+// from the generator's output.
+package streaming
+
+//go:generate go run repro/cmd/sessgen -protocol streaming -optimised auto -o .

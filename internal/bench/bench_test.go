@@ -56,7 +56,13 @@ func TestDoubleBufferingAllRuntimes(t *testing.T) {
 }
 
 func TestFFTAllRuntimes(t *testing.T) {
-	for _, rt := range Runtimes {
+	// The generated-API column has no FFT package (the column payloads are
+	// not a scalar sort), so the FFT experiments run FFTRuntimes; requesting
+	// the column anyway must fail loudly, not silently downgrade.
+	if _, err := FFTParallel(RumpsteakGen, 8); err == nil {
+		t.Error("FFTParallel(RumpsteakGen) should report the missing generated package")
+	}
+	for _, rt := range FFTRuntimes {
 		rt := rt
 		t.Run(rt.String(), func(t *testing.T) {
 			t.Parallel()
@@ -175,6 +181,20 @@ func BenchmarkSessionRunStreaming(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkGenRunStreaming is the generated-API counterpart of
+// BenchmarkSessionRunStreaming: the same streaming protocol moving 100
+// values end to end, but with conformance enforced by the sessgen-generated
+// state types instead of the runtime monitor — no FSM step, no sort check,
+// route-bound sends. The pair is the headline number of BENCH_codegen.json.
+func BenchmarkGenRunStreaming(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenStreaming(100); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,278 @@
+package bench
+
+// This file is the RumpsteakGen column of Fig. 6: the same protocols as the
+// Rumpsteak analogue, but driven through the typed state-pattern APIs that
+// cmd/sessgen generates (examples/gen/...). Conformance is enforced by the
+// generated types at compile time, so the runtime performs no per-message
+// monitor step — the head-to-head against the fully monitored Session runs
+// (SessionStreaming and BenchmarkSessionRunStreaming) isolates exactly what
+// the paper's static-safety story buys on the hot path. Note two deliberate
+// differences from the raw Rumpsteak columns: the generated code follows the
+// verified FSM message by message (no SendN/ReceiveN batching of same-label
+// runs), and the streaming schedule is whatever the checked-in generated
+// package encodes (the derived AMR type pipelines two values ahead of their
+// readys and one in the loop), not the unroll parameter.
+
+import (
+	"fmt"
+
+	gendb "repro/examples/gen/doublebuffer"
+	genelev "repro/examples/gen/elevator"
+	genring "repro/examples/gen/ring"
+	genstreaming "repro/examples/gen/streaming"
+)
+
+// GenStreaming runs the streaming protocol once over the generated
+// monitor-free API, returning the number of values the sink received. The
+// generated source encodes the derived AMR schedule, which hoists two value
+// sends ahead of the loop, so n must be at least 2.
+func GenStreaming(n int) (int, error) {
+	if n < 2 {
+		return 0, fmt.Errorf("bench: the generated streaming source pipelines 2 values ahead of its readys; need n >= 2, got %d", n)
+	}
+	net := genstreaming.NewNetwork()
+	received := 0
+	err := genstreaming.Run(net, genstreaming.Procs{
+		S: func(s genstreaming.S0) (genstreaming.SEnd, error) {
+			s1, err := s.SendValue(0)
+			if err != nil {
+				return genstreaming.SEnd{}, err
+			}
+			loop, err := s1.SendValue(1)
+			if err != nil {
+				return genstreaming.SEnd{}, err
+			}
+			for i := 2; i < n; i++ {
+				s4, err := loop.SendValue(int32(i))
+				if err != nil {
+					return genstreaming.SEnd{}, err
+				}
+				loop, err = s4.RecvReady()
+				if err != nil {
+					return genstreaming.SEnd{}, err
+				}
+			}
+			s5, err := loop.SendStop()
+			if err != nil {
+				return genstreaming.SEnd{}, err
+			}
+			// Drain the readys matching the pipelined sends, then the final
+			// ready — the End value is only reachable through all three.
+			s6, err := s5.RecvReady()
+			if err != nil {
+				return genstreaming.SEnd{}, err
+			}
+			s7, err := s6.RecvReady()
+			if err != nil {
+				return genstreaming.SEnd{}, err
+			}
+			return s7.RecvReady()
+		},
+		T: func(t genstreaming.T0) (genstreaming.TEnd, error) {
+			for {
+				t2, err := t.SendReady()
+				if err != nil {
+					return genstreaming.TEnd{}, err
+				}
+				b, err := t2.Branch()
+				if err != nil {
+					return genstreaming.TEnd{}, err
+				}
+				if b.Label == genstreaming.LabelStop {
+					return b.StopNext, nil
+				}
+				received++
+				t = b.ValueNext
+			}
+		},
+	})
+	if err != nil {
+		return received, err
+	}
+	if received != n {
+		return received, fmt.Errorf("bench: generated sink received %d of %d", received, n)
+	}
+	return received, nil
+}
+
+// GenDoubleBuffering runs the double-buffering protocol over the generated
+// API for two iterations of n values each (2n loop turns of the verified
+// FSM, one value per turn), returning the values moved end to end.
+func GenDoubleBuffering(n int) (int, error) {
+	const iters = 2
+	turns := iters * n
+	net := gendb.NewNetwork()
+	moved := 0
+	err := gendb.Run(net, gendb.Procs{
+		K: func(k gendb.K0) error {
+			for i := 0; i < turns; i++ {
+				k2, err := k.SendReady()
+				if err != nil {
+					return err
+				}
+				k3, err := k2.RecvValue()
+				if err != nil {
+					return err
+				}
+				k4, err := k3.RecvReady()
+				if err != nil {
+					return err
+				}
+				if k, err = k4.SendValue(); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		S: func(s gendb.S0) error {
+			for i := 0; i < turns; i++ {
+				s2, err := s.RecvReady()
+				if err != nil {
+					return err
+				}
+				if s, err = s2.SendValue(); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		T: func(t gendb.T0) error {
+			for i := 0; i < turns; i++ {
+				t2, err := t.SendReady()
+				if err != nil {
+					return err
+				}
+				if t, err = t2.RecvValue(); err != nil {
+					return err
+				}
+				moved++
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return moved, err
+	}
+	return moved, nil
+}
+
+// GenRing circulates the ring token for laps rounds over the generated API
+// and returns the completed lap count.
+func GenRing(laps int) (int, error) {
+	net := genring.NewNetwork()
+	done := 0
+	err := genring.Run(net, genring.Procs{
+		A: func(a genring.A0) error {
+			for i := 0; i < laps; i++ {
+				a2, err := a.SendV()
+				if err != nil {
+					return err
+				}
+				if a, err = a2.RecvV(); err != nil {
+					return err
+				}
+				done++
+			}
+			return nil
+		},
+		B: func(b genring.B0) error {
+			for i := 0; i < laps; i++ {
+				b2, err := b.RecvV()
+				if err != nil {
+					return err
+				}
+				if b, err = b2.SendV(); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		C: func(c genring.C0) error {
+			for i := 0; i < laps; i++ {
+				c2, err := c.RecvV()
+				if err != nil {
+					return err
+				}
+				if c, err = c2.SendV(); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return done, err
+	}
+	return done, nil
+}
+
+// GenElevator drives the elevator control loop for calls panel presses
+// (alternating up and down) over the generated API, returning the number of
+// door cycles the door actually performed.
+func GenElevator(calls int) (int, error) {
+	net := genelev.NewNetwork()
+	opens := 0
+	err := genelev.Run(net, genelev.Procs{
+		P: func(p genelev.P0) error {
+			var err error
+			for i := 0; i < calls; i++ {
+				if i%2 == 0 {
+					p, err = p.SendUp()
+				} else {
+					p, err = p.SendDown()
+				}
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		E: func(e genelev.E0) error {
+			for i := 0; i < calls; i++ {
+				b, err := e.Branch()
+				if err != nil {
+					return err
+				}
+				switch b.Label {
+				case genelev.LabelUp:
+					e3, err := b.UpNext.SendOpen()
+					if err != nil {
+						return err
+					}
+					if e, err = e3.RecvDone(); err != nil {
+						return err
+					}
+				case genelev.LabelDown:
+					e5, err := b.DownNext.SendOpen()
+					if err != nil {
+						return err
+					}
+					if e, err = e5.RecvDone(); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+		D: func(d genelev.D0) error {
+			for i := 0; i < calls; i++ {
+				d2, err := d.RecvOpen()
+				if err != nil {
+					return err
+				}
+				if d, err = d2.SendDone(); err != nil {
+					return err
+				}
+				opens++
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return opens, err
+	}
+	if opens != calls {
+		return opens, fmt.Errorf("bench: door opened %d of %d times", opens, calls)
+	}
+	return opens, nil
+}

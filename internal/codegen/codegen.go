@@ -1,0 +1,660 @@
+// Package codegen is the Go analogue of Rumpsteak's code generation
+// pipeline (§2.1 of the paper, Fig. 1a "generate"): given a protocol — a
+// Scribble description or a registry entry — it projects every role, builds
+// the verified FSM (optionally the automatically AMR-optimised one from
+// internal/optimise) and emits a compilable Go package whose types encode
+// the machine in the state pattern:
+//
+//   - one struct type per FSM state, each carrying a one-shot stamp
+//     (genrt.St) so a state value is consumed by the transition it performs;
+//   - Send* methods that consume the state and return the next state;
+//   - branching receives returning a one-shot sum value discriminated by
+//     label, whose not-taken continuations are permanently consumed;
+//   - an End terminal type whose reachability encodes protocol completion
+//     (the generated runner demands the live End value back).
+//
+// Because every action a generated state value offers is, by construction, a
+// transition of the verified machine, the emitted code drives the
+// monitor-free unchecked endpoint primitives of package session
+// (session.UncheckedForCodegen via genrt): no per-message FSM step, no sort
+// check — the same "conformance costs nothing at run time" property the Rust
+// framework gets from its type checker. What Go cannot check statically,
+// affine use of state values, remains a cheap integer-compare guard at run
+// time. See DESIGN.md ("The three API tiers").
+//
+// The command-line front end is cmd/sessgen; the checked-in packages under
+// examples/gen are regenerated with go:generate and gated against drift in
+// CI.
+package codegen
+
+import (
+	"bytes"
+	"fmt"
+	"go/format"
+	"go/token"
+	"sort"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/fsm"
+	"repro/internal/optimise"
+	"repro/internal/project"
+	"repro/internal/protocols"
+	"repro/internal/scribble"
+	"repro/internal/types"
+)
+
+// Mode selects which machine is generated per role.
+type Mode int
+
+const (
+	// ModePlain generates from the projected (or registry Locals) endpoint
+	// types as written.
+	ModePlain Mode = iota
+	// ModeAuto generates from the automatically derived and certified
+	// AMR-optimised endpoints (internal/optimise); roles the optimiser does
+	// not improve keep their plain machine.
+	ModeAuto
+	// ModeHand generates from the hand-written Optimised tables of the
+	// registry entry (registry protocols only).
+	ModeHand
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeHand:
+		return "hand"
+	default:
+		return "none"
+	}
+}
+
+// ParseMode parses the sessgen -optimised flag value.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "none", "plain", "":
+		return ModePlain, nil
+	case "auto":
+		return ModeAuto, nil
+	case "hand":
+		return ModeHand, nil
+	}
+	return ModePlain, fmt.Errorf("codegen: unknown optimisation mode %q (want none, auto or hand)", s)
+}
+
+// Options configures generation.
+type Options struct {
+	// Package is the emitted package name; required.
+	Package string
+	// Mode is recorded in the generated header (the machine selection itself
+	// happens in FromEntry/FromScribble; Generate takes machines as given).
+	Mode Mode
+}
+
+// FromEntry generates the package for a registry protocol, selecting
+// machines per opts.Mode.
+func FromEntry(e protocols.Entry, opts Options) ([]byte, error) {
+	var locals map[types.Role]types.Local
+	switch opts.Mode {
+	case ModeAuto:
+		locals = e.AutoSystem()
+	case ModeHand:
+		// Generating "hand-optimised" machines from an entry that has none
+		// would silently emit the plain projections under an optimised=hand
+		// header; fail loudly instead.
+		if len(e.Optimised) == 0 {
+			return nil, fmt.Errorf("codegen: %s has no hand-written optimised endpoints; use mode none or auto", e.Name)
+		}
+		locals = e.System()
+	default:
+		locals = e.Locals
+	}
+	fsms := map[types.Role]*fsm.FSM{}
+	for r, l := range locals {
+		m, err := fsm.FromLocal(r, l)
+		if err != nil {
+			return nil, fmt.Errorf("codegen: machine for %s/%s: %w", e.Name, r, err)
+		}
+		fsms[r] = m
+	}
+	return Generate(e.Name, fsms, opts)
+}
+
+// FromScribble generates the package for a parsed Scribble protocol: every
+// role is projected, and with ModeAuto each projection is run through the
+// optimiser (certified improvements only). ModeHand has no meaning for a
+// bare protocol description.
+func FromScribble(p *scribble.Protocol, opts Options) ([]byte, error) {
+	if opts.Mode == ModeHand {
+		return nil, fmt.Errorf("codegen: mode hand needs a registry entry with hand-written optimised endpoints")
+	}
+	fsms := map[types.Role]*fsm.FSM{}
+	for _, r := range p.Roles {
+		l, err := project.Project(p.Global, r)
+		if err != nil {
+			return nil, fmt.Errorf("codegen: projecting %s onto %s: %w", p.Name, r, err)
+		}
+		if opts.Mode == ModeAuto {
+			res, err := optimise.Optimise(r, l, optimise.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("codegen: optimising %s/%s: %w", p.Name, r, err)
+			}
+			if res.Improved {
+				l = res.Best.Type
+			}
+		}
+		m, err := fsm.FromLocal(r, l)
+		if err != nil {
+			return nil, fmt.Errorf("codegen: machine for %s/%s: %w", p.Name, r, err)
+		}
+		fsms[r] = m
+	}
+	return Generate(p.Name, fsms, opts)
+}
+
+// Generate emits the typed state-pattern package for the given verified
+// machines. Machines must be directed (the shape of machines derived from
+// local session types); output is deterministic and gofmt-formatted.
+func Generate(proto string, fsms map[types.Role]*fsm.FSM, opts Options) ([]byte, error) {
+	if opts.Package == "" {
+		return nil, fmt.Errorf("codegen: Options.Package is required")
+	}
+	if !token.IsIdentifier(opts.Package) {
+		return nil, fmt.Errorf("codegen: package name %q is not a valid Go identifier", opts.Package)
+	}
+	if len(fsms) == 0 {
+		return nil, fmt.Errorf("codegen: no machines to generate from")
+	}
+	g := &generator{proto: proto, opts: opts, fsms: fsms}
+	if err := g.prepare(); err != nil {
+		return nil, err
+	}
+	g.emit()
+	src, err := format.Source(g.b.Bytes())
+	if err != nil {
+		// A formatting failure is a generator bug; surface the raw source to
+		// make it debuggable.
+		return nil, fmt.Errorf("codegen: generated source does not parse: %w\n%s", err, g.b.String())
+	}
+	return src, nil
+}
+
+// generator holds the prepared, deterministic model of the emitted package.
+type generator struct {
+	b     bytes.Buffer
+	proto string
+	opts  Options
+	fsms  map[types.Role]*fsm.FSM
+
+	roles  []types.Role
+	labels []types.Label
+	rgs    []*roleGen
+	names  map[string]string // emitted top-level identifier -> what owns it
+}
+
+type roleGen struct {
+	role  types.Role
+	ident string // exported role identifier, e.g. "S"
+	ep    string // endpoint core type, e.g. "sEp"
+	m     *fsm.FSM
+
+	states []fsm.State // reachable non-final states, ascending
+	finals []fsm.State // reachable final states, ascending
+	local  string      // pretty local type, for comments ("" if not directed-printable)
+
+	sendPeers []types.Role
+	recvPeers []types.Role
+}
+
+func (r *roleGen) terminating() bool { return len(r.finals) > 0 }
+
+// stateName maps a state to its emitted type name; all final states share
+// the single End type (final states are behaviourally identical).
+func (r *roleGen) stateName(s fsm.State) string {
+	if r.m.IsFinal(s) {
+		return r.ident + "End"
+	}
+	return fmt.Sprintf("%s%d", r.ident, s)
+}
+
+func (g *generator) prepare() error {
+	for r := range g.fsms {
+		g.roles = append(g.roles, r)
+	}
+	sort.Slice(g.roles, func(i, j int) bool { return g.roles[i] < g.roles[j] })
+
+	g.names = map[string]string{}
+	labelSet := map[types.Label]bool{}
+	labelIdents := map[string]types.Label{}
+
+	for _, role := range g.roles {
+		m := g.fsms[role]
+		if err := m.Validate(); err != nil {
+			return fmt.Errorf("codegen: role %s: %w", role, err)
+		}
+		if !m.Directed() {
+			return fmt.Errorf("codegen: machine for %s is not directed; state-pattern APIs need local-type-shaped machines", role)
+		}
+		rg := &roleGen{role: role, ident: exportIdent(string(role)), m: m}
+		rg.ep = unexportIdent(rg.ident) + "Ep"
+		if lt, err := fsm.ToLocal(m); err == nil {
+			rg.local = lt.String()
+		}
+
+		reach := m.Reachable()
+		var all []fsm.State
+		for s := range reach {
+			all = append(all, s)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		sends, recvs := map[types.Role]bool{}, map[types.Role]bool{}
+		for _, s := range all {
+			if m.IsFinal(s) {
+				rg.finals = append(rg.finals, s)
+				continue
+			}
+			rg.states = append(rg.states, s)
+			for _, t := range m.Transitions(s) {
+				labelSet[t.Act.Label] = true
+				if t.Act.Dir == fsm.Send {
+					sends[t.Act.Peer] = true
+				} else {
+					recvs[t.Act.Peer] = true
+				}
+			}
+		}
+		rg.sendPeers = sortedRoles(sends)
+		rg.recvPeers = sortedRoles(recvs)
+
+		// Reserve the role's top-level identifiers, catching collisions
+		// between roles whose mangled names overlap (e.g. "s" state 10 vs a
+		// role literally named "s1").
+		if err := g.reserve("Role"+rg.ident, "role "+string(role)); err != nil {
+			return err
+		}
+		if err := g.reserve(rg.ep, "endpoint core of "+string(role)); err != nil {
+			return err
+		}
+		for _, s := range rg.states {
+			if err := g.reserve(rg.stateName(s), fmt.Sprintf("state %d of role %s", s, role)); err != nil {
+				return err
+			}
+			if len(m.Transitions(s)) > 1 && m.Transitions(s)[0].Act.Dir == fsm.Recv {
+				if err := g.reserve(rg.stateName(s)+"Branch", fmt.Sprintf("branch sum of state %d of role %s", s, role)); err != nil {
+					return err
+				}
+			}
+		}
+		if rg.terminating() {
+			if err := g.reserve(rg.ident+"End", "terminal state of role "+string(role)); err != nil {
+				return err
+			}
+		}
+		if err := g.reserve("Run"+rg.ident, "runner of role "+string(role)); err != nil {
+			return err
+		}
+		g.rgs = append(g.rgs, rg)
+	}
+
+	for l := range labelSet {
+		g.labels = append(g.labels, l)
+	}
+	sort.Slice(g.labels, func(i, j int) bool { return g.labels[i] < g.labels[j] })
+	for _, l := range g.labels {
+		id := "Label" + exportIdent(string(l))
+		if prev, ok := labelIdents[id]; ok && prev != l {
+			return fmt.Errorf("codegen: labels %q and %q both mangle to %s", prev, l, id)
+		}
+		labelIdents[id] = l
+		if err := g.reserve(id, "label "+string(l)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *generator) reserve(name, owner string) error {
+	if prev, ok := g.names[name]; ok {
+		return fmt.Errorf("codegen: identifier %s needed by %s collides with %s; rename a role or label", name, owner, prev)
+	}
+	g.names[name] = owner
+	return nil
+}
+
+func sortedRoles(set map[types.Role]bool) []types.Role {
+	out := make([]types.Role, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (g *generator) pf(format string, args ...any) {
+	fmt.Fprintf(&g.b, format, args...)
+}
+
+func (g *generator) emit() {
+	g.pf("// Code generated by sessgen (internal/codegen) from protocol %q, optimised=%s. DO NOT EDIT.\n\n", g.proto, g.opts.Mode)
+	g.pf("package %s\n\n", g.opts.Package)
+	g.pf("import (\n\t\"repro/internal/codegen/genrt\"\n\t\"repro/internal/session\"\n\t\"repro/internal/types\"\n)\n\n")
+
+	// Labels.
+	if len(g.labels) > 0 {
+		g.pf("// Message labels of the protocol.\nconst (\n")
+		for _, l := range g.labels {
+			g.pf("\tLabel%s types.Label = %q\n", exportIdent(string(l)), string(l))
+		}
+		g.pf(")\n\n")
+	}
+
+	// Roles.
+	g.pf("// Participants of the protocol.\nconst (\n")
+	for _, rg := range g.rgs {
+		g.pf("\tRole%s types.Role = %q\n", rg.ident, string(rg.role))
+	}
+	g.pf(")\n\n")
+	g.pf("// Roles returns the participants in deterministic order.\n")
+	g.pf("func Roles() []types.Role {\n\treturn []types.Role{")
+	for i, rg := range g.rgs {
+		if i > 0 {
+			g.pf(", ")
+		}
+		g.pf("Role%s", rg.ident)
+	}
+	g.pf("}\n}\n\n")
+	g.pf("// NewNetwork returns a network over the protocol's roles on the default\n// (unbounded lock-free ring) substrate.\n")
+	g.pf("func NewNetwork() *session.Network {\n\treturn session.NewNetwork(Roles()...)\n}\n\n")
+
+	g.emitProcs()
+
+	for _, rg := range g.rgs {
+		g.emitRole(rg)
+	}
+}
+
+func (g *generator) emitProcs() {
+	g.pf("// Procs is one process per role, for Run.\ntype Procs struct {\n")
+	for _, rg := range g.rgs {
+		g.pf("\t%s %s\n", rg.ident, g.procSig(rg))
+	}
+	g.pf("}\n\n")
+	g.pf("// Run executes one process per role concurrently over net and returns the\n")
+	g.pf("// first error; on error the network is torn down so sibling processes\n")
+	g.pf("// blocked on messages that will never arrive fail promptly.\n")
+	g.pf("func Run(net *session.Network, p Procs) error {\n")
+	for _, rg := range g.rgs {
+		g.pf("\tif p.%s == nil {\n\t\treturn genrt.MissingProc(Role%s)\n\t}\n", rg.ident, rg.ident)
+	}
+	g.pf("\tr := genrt.NewRunner(net)\n")
+	for _, rg := range g.rgs {
+		g.pf("\tr.Go(Role%s, func() error { return Run%s(net, p.%s) })\n", rg.ident, rg.ident, rg.ident)
+	}
+	g.pf("\treturn r.Wait()\n}\n\n")
+}
+
+func (g *generator) procSig(rg *roleGen) string {
+	init := rg.stateName(rg.m.Initial())
+	if rg.terminating() {
+		return fmt.Sprintf("func(%s) (%s, error)", init, rg.ident+"End")
+	}
+	return fmt.Sprintf("func(%s) error", init)
+}
+
+func (g *generator) emitRole(rg *roleGen) {
+	g.pf("// ---- role %s ----\n", rg.role)
+	if rg.local != "" {
+		g.pf("//\n// Verified machine: %s\n", rg.local)
+	}
+	g.pf("\n")
+
+	// Endpoint core: shared stamp counter plus route-bound monitor-free
+	// senders and receivers, resolved once at session start.
+	g.pf("// %s is role %s's session core: the shared one-shot stamp counter and the\n// pre-resolved monitor-free routes.\n", rg.ep, rg.role)
+	g.pf("type %s struct {\n\tc *genrt.Core\n", rg.ep)
+	for _, p := range rg.sendPeers {
+		g.pf("\tsend%s session.UncheckedSend\n", exportIdent(string(p)))
+	}
+	for _, p := range rg.recvPeers {
+		g.pf("\trecv%s session.UncheckedRecv\n", exportIdent(string(p)))
+	}
+	g.pf("}\n\n")
+
+	g.pf("func new%s(c *genrt.Core) (*%s, error) {\n\tep := &%s{c: c}\n\tvar err error\n", exportIdent(rg.ep), rg.ep, rg.ep)
+	for _, p := range rg.sendPeers {
+		g.pf("\tif ep.send%s, err = c.U().To(Role%s); err != nil {\n\t\treturn nil, err\n\t}\n", exportIdent(string(p)), exportIdent(string(p)))
+	}
+	for _, p := range rg.recvPeers {
+		g.pf("\tif ep.recv%s, err = c.U().From(Role%s); err != nil {\n\t\treturn nil, err\n\t}\n", exportIdent(string(p)), exportIdent(string(p)))
+	}
+	g.pf("\treturn ep, nil\n}\n\n")
+
+	// Runner.
+	init := rg.stateName(rg.m.Initial())
+	if rg.terminating() {
+		g.pf("// Run%s runs f as role %s on net with exclusive endpoint ownership. f is\n", rg.ident, rg.role)
+		g.pf("// handed the initial state and must return the End value: completion of the\n// protocol is witnessed by the live terminal state, not assumed.\n")
+		g.pf("func Run%s(net *session.Network, f %s) error {\n", rg.ident, g.procSig(rg))
+		g.pf("\treturn genrt.Session(net, Role%s, func(c *genrt.Core) error {\n", rg.ident)
+		g.pf("\t\tep, err := new%s(c)\n\t\tif err != nil {\n\t\t\treturn err\n\t\t}\n", exportIdent(rg.ep))
+		g.pf("\t\tend, err := f(%s{ep: ep, st: c.Init()})\n\t\tif err != nil {\n\t\t\treturn err\n\t\t}\n", init)
+		g.pf("\t\treturn genrt.Finish(c, end.st)\n\t})\n}\n\n")
+	} else {
+		g.pf("// Run%s runs f as role %s on net with exclusive endpoint ownership. The\n", rg.ident, rg.role)
+		g.pf("// protocol is infinite (no terminal state is reachable), so completion\n// cannot be witnessed: f stops deliberately by returning, and callers bound\n// iteration counts so all roles stop consistently.\n")
+		g.pf("func Run%s(net *session.Network, f %s) error {\n", rg.ident, g.procSig(rg))
+		g.pf("\treturn genrt.Session(net, Role%s, func(c *genrt.Core) error {\n", rg.ident)
+		g.pf("\t\tep, err := new%s(c)\n\t\tif err != nil {\n\t\t\treturn err\n\t\t}\n", exportIdent(rg.ep))
+		g.pf("\t\treturn f(%s{ep: ep, st: c.Init()})\n\t})\n}\n\n", init)
+	}
+
+	// End type.
+	if rg.terminating() {
+		g.pf("// %sEnd is role %s's terminal state: obtaining it is only possible by\n// driving the session to completion, and returning it from the process\n// witnesses that completion to Run%s.\n", rg.ident, rg.role, rg.ident)
+		g.pf("type %sEnd struct {\n\tep *%s\n\tst genrt.St\n}\n\n", rg.ident, rg.ep)
+	}
+
+	// States.
+	for _, s := range rg.states {
+		g.emitState(rg, s)
+	}
+}
+
+// transitionsComment renders a state's outgoing edges for its doc comment.
+func transitionsComment(m *fsm.FSM, s fsm.State) string {
+	var parts []string
+	for _, t := range m.Transitions(s) {
+		parts = append(parts, fmt.Sprintf("%s → state %d", t.Act, t.To))
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (g *generator) emitState(rg *roleGen, s fsm.State) {
+	name := rg.stateName(s)
+	ts := rg.m.Transitions(s)
+	g.pf("// %s is role %s's protocol state %d: %s.\ntype %s struct {\n\tep *%s\n\tst genrt.St\n}\n\n", name, rg.role, s, transitionsComment(rg.m, s), name, rg.ep)
+
+	if ts[0].Act.Dir == fsm.Send {
+		for _, t := range ts {
+			g.emitSend(rg, name, t)
+		}
+		return
+	}
+	if len(ts) == 1 {
+		g.emitRecvSingle(rg, name, ts[0])
+		return
+	}
+	g.emitRecvBranch(rg, name, s, ts)
+}
+
+func (g *generator) emitSend(rg *roleGen, state string, t fsm.Transition) {
+	peer := exportIdent(string(t.Act.Peer))
+	label := exportIdent(string(t.Act.Label))
+	next := rg.stateName(t.To)
+	goType, _ := sortGo(t.Act.Sort)
+	g.pf("// Send%s sends %s to %s, consuming the state and returning the next one.\n", label, t.Act, t.Act.Peer)
+	if goType == "" {
+		g.pf("func (s %s) Send%s() (%s, error) {\n", state, label, next)
+		g.pf("\tif err := s.st.Use(); err != nil {\n\t\treturn %s{}, err\n\t}\n", next)
+		g.pf("\tif err := s.ep.send%s.Send(Label%s, nil); err != nil {\n\t\treturn %s{}, err\n\t}\n", peer, label, next)
+	} else {
+		g.pf("func (s %s) Send%s(payload %s) (%s, error) {\n", state, label, goType, next)
+		g.pf("\tif err := s.st.Use(); err != nil {\n\t\treturn %s{}, err\n\t}\n", next)
+		g.pf("\tif err := s.ep.send%s.Send(Label%s, payload); err != nil {\n\t\treturn %s{}, err\n\t}\n", peer, label, next)
+	}
+	g.pf("\treturn %s{ep: s.ep, st: s.st.Next()}, nil\n}\n\n", next)
+}
+
+func (g *generator) emitRecvSingle(rg *roleGen, state string, t fsm.Transition) {
+	peer := exportIdent(string(t.Act.Peer))
+	label := exportIdent(string(t.Act.Label))
+	next := rg.stateName(t.To)
+	goType, conv := sortGo(t.Act.Sort)
+	g.pf("// Recv%s receives %s from %s, consuming the state and returning the next one.\n", label, t.Act, t.Act.Peer)
+	if goType == "" {
+		g.pf("func (s %s) Recv%s() (%s, error) {\n", state, label, next)
+		g.pf("\tif err := s.st.Use(); err != nil {\n\t\treturn %s{}, err\n\t}\n", next)
+		g.pf("\tlabel, _, err := s.ep.recv%s.Recv()\n\tif err != nil {\n\t\treturn %s{}, err\n\t}\n", peer, next)
+		g.pf("\tif label != Label%s {\n\t\treturn %s{}, genrt.Unexpected(Role%s, %q, Role%s, label)\n\t}\n", label, next, rg.ident, state, peer)
+		g.pf("\treturn %s{ep: s.ep, st: s.st.Next()}, nil\n}\n\n", next)
+		return
+	}
+	zero := zeroOf(goType)
+	g.pf("func (s %s) Recv%s() (%s, %s, error) {\n", state, label, goType, next)
+	g.pf("\tif err := s.st.Use(); err != nil {\n\t\treturn %s, %s{}, err\n\t}\n", zero, next)
+	g.pf("\tlabel, v, err := s.ep.recv%s.Recv()\n\tif err != nil {\n\t\treturn %s, %s{}, err\n\t}\n", peer, zero, next)
+	g.pf("\tif label != Label%s {\n\t\treturn %s, %s{}, genrt.Unexpected(Role%s, %q, Role%s, label)\n\t}\n", label, zero, next, rg.ident, state, peer)
+	g.pf("\tpayload, err := %s(v)\n\tif err != nil {\n\t\treturn %s, %s{}, err\n\t}\n", conv, zero, next)
+	g.pf("\treturn payload, %s{ep: s.ep, st: s.st.Next()}, nil\n}\n\n", next)
+}
+
+func (g *generator) emitRecvBranch(rg *roleGen, state string, s fsm.State, ts []fsm.Transition) {
+	peer := exportIdent(string(ts[0].Act.Peer))
+	sum := state + "Branch"
+	anyPayload := false
+	for _, t := range ts {
+		if gt, _ := sortGo(t.Act.Sort); gt != "" {
+			anyPayload = true
+		}
+	}
+
+	g.pf("// %s is the one-shot outcome of %s.Branch: exactly one case is live,\n", sum, state)
+	g.pf("// discriminated by Label; the continuations of the cases not taken are\n// permanently consumed (driving them fails with genrt.ErrStateConsumed).\n")
+	g.pf("type %s struct {\n\t// Label is the received label, selecting the live case.\n\tLabel types.Label\n", sum)
+	for _, t := range ts {
+		label := exportIdent(string(t.Act.Label))
+		goType, _ := sortGo(t.Act.Sort)
+		if goType != "" {
+			g.pf("\t// %sPayload and %sNext are live when Label == Label%s.\n", label, label, label)
+			g.pf("\t%sPayload %s\n", label, goType)
+		} else {
+			g.pf("\t// %sNext is live when Label == Label%s.\n", label, label)
+		}
+		g.pf("\t%sNext %s\n", label, rg.stateName(t.To))
+	}
+	g.pf("}\n\n")
+
+	g.pf("// Branch receives the next message from %s and returns the branch it\n// selects, consuming the state.\n", ts[0].Act.Peer)
+	g.pf("func (s %s) Branch() (%s, error) {\n", state, sum)
+	g.pf("\tif err := s.st.Use(); err != nil {\n\t\treturn %s{}, err\n\t}\n", sum)
+	if anyPayload {
+		g.pf("\tlabel, v, err := s.ep.recv%s.Recv()\n", peer)
+	} else {
+		g.pf("\tlabel, _, err := s.ep.recv%s.Recv()\n", peer)
+	}
+	g.pf("\tif err != nil {\n\t\treturn %s{}, err\n\t}\n", sum)
+	g.pf("\tb := %s{Label: label}\n\tswitch label {\n", sum)
+	for _, t := range ts {
+		label := exportIdent(string(t.Act.Label))
+		goType, conv := sortGo(t.Act.Sort)
+		g.pf("\tcase Label%s:\n", label)
+		if goType != "" {
+			g.pf("\t\tpayload, err := %s(v)\n\t\tif err != nil {\n\t\t\treturn %s{}, err\n\t\t}\n", conv, sum)
+			g.pf("\t\tb.%sPayload = payload\n", label)
+		}
+		g.pf("\t\tb.%sNext = %s{ep: s.ep, st: s.st.Next()}\n", label, rg.stateName(t.To))
+	}
+	g.pf("\tdefault:\n\t\treturn %s{}, genrt.Unexpected(Role%s, %q, Role%s, label)\n\t}\n", sum, rg.ident, state, peer)
+	g.pf("\treturn b, nil\n}\n\n")
+}
+
+// sortGo maps a payload sort to its Go type and genrt converter. Unit (and
+// the empty sort) means "pure signal": no payload parameter or result.
+// Domain-specific sorts the runtime does not know pass through as any,
+// exactly as the monitor treats them.
+func sortGo(s types.Sort) (goType, conv string) {
+	switch s {
+	case types.Unit, "":
+		return "", ""
+	case types.I32:
+		return "int32", "genrt.I32"
+	case types.U32:
+		return "uint32", "genrt.U32"
+	case types.I64:
+		return "int64", "genrt.I64"
+	case types.U64:
+		return "uint64", "genrt.U64"
+	case types.Int:
+		return "int", "genrt.Int"
+	case types.Nat:
+		return "uint", "genrt.Nat"
+	case types.F64:
+		return "float64", "genrt.F64"
+	case types.Str:
+		return "string", "genrt.Str"
+	case types.Bool:
+		return "bool", "genrt.Bool"
+	default:
+		return "any", "genrt.Any"
+	}
+}
+
+func zeroOf(goType string) string {
+	switch goType {
+	case "string":
+		return `""`
+	case "bool":
+		return "false"
+	case "any":
+		return "nil"
+	default:
+		return "0"
+	}
+}
+
+// exportIdent mangles an arbitrary protocol identifier into an exported Go
+// identifier: invalid runes become underscores, a leading digit is prefixed,
+// and the first rune is upper-cased (rune-aware: Scribble identifiers may
+// carry any unicode letter).
+func exportIdent(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			b.WriteRune(r)
+		} else {
+			b.WriteRune('_')
+		}
+	}
+	out := b.String()
+	if out == "" {
+		out = "X"
+	}
+	first, _ := utf8.DecodeRuneInString(out)
+	if unicode.IsDigit(first) {
+		out = "X" + out
+	}
+	return mapFirstRune(out, unicode.ToUpper)
+}
+
+// unexportIdent lower-cases the leading rune of an exported identifier.
+func unexportIdent(s string) string {
+	return mapFirstRune(s, unicode.ToLower)
+}
+
+func mapFirstRune(s string, f func(rune) rune) string {
+	r, size := utf8.DecodeRuneInString(s)
+	return string(f(r)) + s[size:]
+}

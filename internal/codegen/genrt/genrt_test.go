@@ -1,0 +1,148 @@
+package genrt
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/session"
+)
+
+func TestStOneShot(t *testing.T) {
+	var err error
+	sessionErr := Session(session.NewNetwork("a", "b"), "a", func(c *Core) error {
+		st := c.Init()
+		if !st.Live() {
+			t.Error("initial stamp not live")
+		}
+		if err := st.Use(); err != nil {
+			t.Fatalf("first use: %v", err)
+		}
+		err = st.Use() // second use of the same stamp
+		next := st.Next()
+		if !next.Live() {
+			t.Error("minted successor not live")
+		}
+		if st.Live() {
+			t.Error("consumed stamp still live")
+		}
+		return nil
+	})
+	if sessionErr != nil {
+		t.Fatal(sessionErr)
+	}
+	if !errors.Is(err, ErrStateConsumed) {
+		t.Errorf("second use = %v, want ErrStateConsumed", err)
+	}
+	var zero St
+	if err := zero.Use(); !errors.Is(err, ErrStateConsumed) {
+		t.Errorf("zero stamp use = %v, want ErrStateConsumed", err)
+	}
+}
+
+func TestFinish(t *testing.T) {
+	net := session.NewNetwork("a", "b")
+	err := Session(net, "a", func(c *Core) error {
+		if err := Finish(c, c.Init()); err != nil {
+			t.Errorf("live end rejected: %v", err)
+		}
+		stale := c.Init()
+		if err := stale.Use(); err != nil {
+			t.Fatal(err)
+		}
+		if err := Finish(c, stale); !errors.Is(err, ErrIncomplete) {
+			t.Errorf("stale end = %v, want ErrIncomplete", err)
+		}
+		if err := Finish(c, St{}); !errors.Is(err, ErrIncomplete) {
+			t.Errorf("zero end = %v, want ErrIncomplete", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An End minted by a different core must be rejected even when its
+	// sequence number happens to match.
+	var foreign St
+	_ = Session(net, "b", func(c *Core) error { foreign = c.Init(); return nil })
+	err = Session(net, "a", func(c *Core) error { return Finish(c, foreign) })
+	if !errors.Is(err, ErrIncomplete) {
+		t.Errorf("foreign end = %v, want ErrIncomplete", err)
+	}
+}
+
+func TestSessionLinearity(t *testing.T) {
+	net := session.NewNetwork("a", "b")
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go Session(net, "a", func(c *Core) error {
+		close(started)
+		<-block
+		return nil
+	})
+	<-started
+	err := Session(net, "a", func(c *Core) error { return nil })
+	close(block)
+	if !errors.Is(err, session.ErrLinearity) {
+		t.Errorf("concurrent session = %v, want ErrLinearity", err)
+	}
+}
+
+func TestRunnerFirstErrorTearsDown(t *testing.T) {
+	net := session.NewNetwork("a", "b")
+	boom := errors.New("boom")
+	r := NewRunner(net)
+	r.Go("a", func() error { return boom })
+	r.Go("b", func() error {
+		// Blocks on a message that will never arrive until the teardown
+		// closes the route.
+		_, _, err := session.UncheckedForCodegen(net.Endpoint("b")).Recv("a")
+		return err
+	})
+	if err := r.Wait(); !errors.Is(err, boom) {
+		t.Errorf("first error = %v, want boom", err)
+	}
+}
+
+func TestRunnerFiltersErrStopped(t *testing.T) {
+	r := NewRunner(session.NewNetwork("a"))
+	r.Go("a", func() error { return session.ErrStopped })
+	if err := r.Wait(); err != nil {
+		t.Errorf("ErrStopped surfaced: %v", err)
+	}
+}
+
+func TestConverters(t *testing.T) {
+	if v, err := I32(int32(7)); err != nil || v != 7 {
+		t.Errorf("I32(int32) = %v, %v", v, err)
+	}
+	if v, err := I32(7); err != nil || v != 7 {
+		t.Errorf("I32(int) = %v, %v", v, err)
+	}
+	if _, err := I32("no"); err == nil {
+		t.Error("I32(string) accepted")
+	}
+	if v, err := Str("x"); err != nil || v != "x" {
+		t.Errorf("Str = %v, %v", v, err)
+	}
+	if v, err := Nat(-1); err == nil {
+		t.Errorf("Nat(-1) accepted as %d", v)
+	}
+	if v, err := Nat(3); err != nil || v != 3 {
+		t.Errorf("Nat(3) = %v, %v", v, err)
+	}
+	if v, err := Bool(true); err != nil || !v {
+		t.Errorf("Bool = %v, %v", v, err)
+	}
+	if v, err := F64(1.5); err != nil || v != 1.5 {
+		t.Errorf("F64 = %v, %v", v, err)
+	}
+	if v, err := Any([]int{1}); err != nil || v == nil {
+		t.Errorf("Any = %v, %v", v, err)
+	}
+	// nil payloads (pure signals piggybacked onto sorted labels by
+	// hand-written peers) convert to zero values, as the monitor accepts
+	// them.
+	if v, err := I32(nil); err != nil || v != 0 {
+		t.Errorf("I32(nil) = %v, %v", v, err)
+	}
+}

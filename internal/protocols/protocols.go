@@ -164,6 +164,34 @@ func Registry() []Entry {
 	}
 }
 
+// Find returns the registry entry whose name matches, ignoring case and
+// non-alphanumeric characters: "Double Buffering", "doublebuffering" and
+// "double-buffering" all name the same row. Exact Table 1 names always
+// match.
+func Find(name string) (Entry, bool) {
+	want := foldName(name)
+	for _, e := range Registry() {
+		if foldName(e.Name) == want {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// foldName lower-cases and strips everything but letters and digits.
+func foldName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r+('a'-'A'))
+		case (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9'):
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
 // TwoAdder is the two-party adder of the νScr examples: a client repeatedly
 // sends two integers and receives their sum, or says bye.
 func TwoAdder() Entry {

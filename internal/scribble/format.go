@@ -1,0 +1,154 @@
+package scribble
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/types"
+)
+
+// Format renders a protocol back into Scribble source accepted by Parse:
+// the pretty-printing inverse of the parser, so protocol goldens round-trip
+// (Parse ∘ Format = id on well-formed protocols, see the fuzz test). The
+// printer targets exactly the subset Parse understands — single messages,
+// choice-at blocks with the continuation pushed into each branch, rec /
+// continue — and fails on global types outside it (e.g. identifiers the
+// lexer cannot tokenise).
+func Format(p *Protocol) (string, error) {
+	var b strings.Builder
+	if err := checkIdent(p.Name); err != nil {
+		return "", fmt.Errorf("scribble: protocol name: %w", err)
+	}
+	b.WriteString("global protocol ")
+	b.WriteString(p.Name)
+	b.WriteString("(")
+	if len(p.Roles) == 0 {
+		return "", fmt.Errorf("scribble: protocol %s declares no roles", p.Name)
+	}
+	for i, r := range p.Roles {
+		if err := checkIdent(string(r)); err != nil {
+			return "", fmt.Errorf("scribble: role: %w", err)
+		}
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("role ")
+		b.WriteString(string(r))
+	}
+	b.WriteString(") {\n")
+	if err := formatStmts(&b, p.Global, 1); err != nil {
+		return "", err
+	}
+	b.WriteString("}\n")
+	return b.String(), nil
+}
+
+// FormatGlobal wraps a bare global type into a protocol declaration (roles
+// inferred, sorted) and renders it.
+func FormatGlobal(name string, g types.Global) (string, error) {
+	return Format(&Protocol{Name: name, Roles: types.Roles(g), Global: g})
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func formatStmts(b *strings.Builder, g types.Global, depth int) error {
+	switch g := g.(type) {
+	case types.GEnd:
+		return nil
+	case types.GVar:
+		if err := checkIdent(g.Name); err != nil {
+			return fmt.Errorf("scribble: recursion variable: %w", err)
+		}
+		indent(b, depth)
+		fmt.Fprintf(b, "continue %s;\n", g.Name)
+		return nil
+	case types.GRec:
+		if err := checkIdent(g.Name); err != nil {
+			return fmt.Errorf("scribble: recursion variable: %w", err)
+		}
+		indent(b, depth)
+		fmt.Fprintf(b, "rec %s {\n", g.Name)
+		if err := formatStmts(b, g.Body, depth+1); err != nil {
+			return err
+		}
+		indent(b, depth)
+		b.WriteString("}\n")
+		return nil
+	case types.Comm:
+		if len(g.Branches) == 0 {
+			return fmt.Errorf("scribble: interaction %s -> %s has no branches", g.From, g.To)
+		}
+		if len(g.Branches) == 1 {
+			if err := formatMessage(b, g.From, g.To, g.Branches[0], depth); err != nil {
+				return err
+			}
+			return formatStmts(b, g.Branches[0].Cont, depth)
+		}
+		indent(b, depth)
+		fmt.Fprintf(b, "choice at %s {\n", g.From)
+		for i, br := range g.Branches {
+			if i > 0 {
+				indent(b, depth)
+				b.WriteString("} or {\n")
+			}
+			if err := formatMessage(b, g.From, g.To, br, depth+1); err != nil {
+				return err
+			}
+			if err := formatStmts(b, br.Cont, depth+1); err != nil {
+				return err
+			}
+		}
+		indent(b, depth)
+		b.WriteString("}\n")
+		return nil
+	default:
+		return fmt.Errorf("scribble: cannot format global type %T", g)
+	}
+}
+
+func formatMessage(b *strings.Builder, from, to types.Role, br types.GBranch, depth int) error {
+	if err := checkIdent(string(br.Label)); err != nil {
+		return fmt.Errorf("scribble: label: %w", err)
+	}
+	if err := checkIdent(string(from)); err != nil {
+		return fmt.Errorf("scribble: role: %w", err)
+	}
+	if err := checkIdent(string(to)); err != nil {
+		return fmt.Errorf("scribble: role: %w", err)
+	}
+	sort := ""
+	if br.Sort != types.Unit && br.Sort != "" {
+		if err := checkIdent(string(br.Sort)); err != nil {
+			return fmt.Errorf("scribble: sort: %w", err)
+		}
+		sort = string(br.Sort)
+	}
+	indent(b, depth)
+	fmt.Fprintf(b, "%s(%s) from %s to %s;\n", br.Label, sort, from, to)
+	return nil
+}
+
+// checkIdent verifies that the printer would emit a token the lexer reads
+// back as one identifier.
+func checkIdent(s string) error {
+	if s == "" {
+		return fmt.Errorf("empty identifier")
+	}
+	for _, r := range s {
+		// Mirror the lexer's identifier runes exactly.
+		if !(unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_') {
+			return fmt.Errorf("identifier %q contains unprintable token rune %q", s, r)
+		}
+	}
+	// Keywords would change the parse.
+	switch s {
+	case "global", "protocol", "role", "choice", "at", "or", "rec", "continue", "from", "to":
+		return fmt.Errorf("identifier %q is a Scribble keyword", s)
+	}
+	return nil
+}

@@ -1,13 +1,34 @@
 package scribble
 
-import "testing"
+import (
+	"reflect"
+	"testing"
 
-func FuzzParse(f *testing.F) {
+	"repro/internal/protocols"
+)
+
+// FuzzParseFormat fuzzes the full parse → format → parse loop: any accepted
+// protocol must be well-formed, printable, and must round-trip through the
+// pretty-printer to a structurally identical protocol, with the printer
+// itself a fixpoint (formatting the reparse reproduces the same source).
+// The corpus is seeded with the paper's figures and with every registry
+// protocol that has a global type, rendered by Format itself.
+func FuzzParseFormat(f *testing.F) {
 	f.Add(streamingSrc)
 	f.Add(doubleBufferingSrc)
 	f.Add("global protocol P(role a, role b) { m() from a to b; }")
 	f.Add("global protocol P(role a) { rec t { continue t; } }")
 	f.Add("global protocol {}{}")
+	for _, e := range protocols.Registry() {
+		if e.Global == nil {
+			continue
+		}
+		src, err := FormatGlobal(registryProtoName(e.Name), e.Global)
+		if err != nil {
+			f.Fatalf("seeding %s: %v", e.Name, err)
+		}
+		f.Add(src)
+	}
 	f.Fuzz(func(t *testing.T, src string) {
 		p, err := Parse(src)
 		if err != nil {
@@ -17,6 +38,24 @@ func FuzzParse(f *testing.F) {
 		// nil error with a nil global would be a bug.
 		if p.Global == nil || p.Name == "" {
 			t.Fatalf("accepted protocol with missing fields: %+v", p)
+		}
+		out, err := Format(p)
+		if err != nil {
+			// The printer may reject protocols it cannot re-render
+			// faithfully (e.g. keyword identifiers); it must never accept
+			// and mangle one silently, which the reparse below would catch.
+			return
+		}
+		p2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("formatted output does not reparse: %v\ninput: %q\nformatted:\n%s", err, src, out)
+		}
+		if p2.Name != p.Name || !reflect.DeepEqual(p2.Roles, p.Roles) || !reflect.DeepEqual(p2.Global, p.Global) {
+			t.Fatalf("round-trip changed the protocol\ninput: %q\nformatted:\n%s", src, out)
+		}
+		out2, err := Format(p2)
+		if err != nil || out2 != out {
+			t.Fatalf("printer is not a fixpoint (%v)\nfirst:\n%s\nsecond:\n%s", err, out, out2)
 		}
 	})
 }

@@ -133,6 +133,36 @@ func BenchmarkSendRecvMonitored(b *testing.B) {
 	}
 }
 
+// BenchmarkSendRecvUnchecked is the hot path underneath the generated
+// state-pattern APIs (internal/codegen): route-bound monitor-free faces,
+// resolved once, one substrate operation per action. The delta against
+// BenchmarkSendRecvMonitored is what moving conformance from the runtime
+// monitor into generated types buys per message; the delta against
+// BenchmarkSendRecvUnmonitored is the cost of the per-send route lookup the
+// bound faces avoid.
+func BenchmarkSendRecvUnchecked(b *testing.B) {
+	net := NewNetwork("a", "b")
+	ua := UncheckedForCodegen(net.Endpoint("a"))
+	ub := UncheckedForCodegen(net.Endpoint("b"))
+	toB, err := ua.To("b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fromA, err := ub.From("a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := toB.Send("ping", i); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := fromA.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkMonitorStepBranching(b *testing.B) {
 	m := fsm.MustFromLocal("a", types.MustParse("mu t.b?{l0.t, l1.t, l2.t, l3.t, l4.t, l5.t, l6.t, l7.t}"))
 	mon := NewMonitor(m)
