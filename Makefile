@@ -6,11 +6,18 @@
 #                       -benchmem, raw output to stderr, parsed JSON to
 #                       BENCH_channel.json (compare against CHANGES.md)
 #   make bench-codegen  generated-API vs monitored head-to-heads (send/recv
-#                       microbench + end-to-end streaming), parsed JSON to
-#                       BENCH_codegen.json
+#                       microbench + end-to-end streaming and FFT), parsed
+#                       JSON to BENCH_codegen.json
+#   make bench-smoke    both bench targets at one iteration per benchmark,
+#                       then cmd/benchcheck asserts the JSON is well-formed
+#                       and every expected column (including
+#                       FFT×rumpsteak-gen) is present — the CI bench job
 #   make generate       regenerate the sessgen packages (examples/gen)
 #   make drift          the CI gate: regenerated sources must match what is
 #                       checked in, and the tree must be gofmt-clean
+#   make ci             the full CI pipeline locally: vet + verify + drift +
+#                       race + bench-smoke, so a builder can reproduce a CI
+#                       failure before pushing
 
 GO ?= go
 # bash + pipefail: a failing benchmark run must fail `make bench`, not let
@@ -29,12 +36,23 @@ BENCH_PKGS ?= ./internal/channel ./internal/session ./internal/bench
 
 # The codegen head-to-head: the monitor-free generated-API hot path against
 # the monitored endpoint (BenchmarkSendRecvMonitored vs Unchecked, raw
-# Unmonitored as the route-lookup baseline) and the end-to-end streaming
-# pair (BenchmarkGenRunStreaming vs BenchmarkSessionRunStreaming).
-CODEGEN_BENCH_PATTERN ?= BenchmarkSendRecvMonitored|BenchmarkSendRecvUnchecked|BenchmarkSendRecvUnmonitored|BenchmarkGenRunStreaming|BenchmarkSessionRunStreaming
+# Unmonitored as the route-lookup baseline), the end-to-end streaming pair
+# (BenchmarkGenRunStreaming vs BenchmarkSessionRunStreaming), and the
+# generated FFT column (BenchmarkGenRunFFT: eight workers exchanging whole
+# vec<complex128> columns through the typed API).
+CODEGEN_BENCH_PATTERN ?= BenchmarkSendRecvMonitored|BenchmarkSendRecvUnchecked|BenchmarkSendRecvUnmonitored|BenchmarkGenRunStreaming|BenchmarkGenRunFFT|BenchmarkSessionRunStreaming
 CODEGEN_BENCH_PKGS ?= ./internal/session ./internal/bench
 
-.PHONY: verify race bench bench-codegen generate drift
+# Extra flags for the bench targets; bench-smoke passes -benchtime 1x so the
+# whole suite runs in seconds while still producing parseable JSON.
+BENCH_FLAGS ?=
+# Output files. bench-smoke redirects to BENCH_smoke_*.json (gitignored) so
+# a local `make ci` never clobbers the committed full-length snapshots with
+# single-iteration data.
+BENCH_OUT ?= BENCH_channel.json
+CODEGEN_BENCH_OUT ?= BENCH_codegen.json
+
+.PHONY: verify race bench bench-codegen bench-smoke generate drift ci
 
 verify:
 	$(GO) build ./...
@@ -44,14 +62,41 @@ race:
 	$(GO) test -race -timeout 600s ./internal/channel ./internal/session
 
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -timeout 1800s $(BENCH_PKGS) \
-		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_channel.json
-	@echo "wrote BENCH_channel.json"
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem $(BENCH_FLAGS) -timeout 1800s $(BENCH_PKGS) \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+	@echo "wrote $(BENCH_OUT)"
 
 bench-codegen:
-	$(GO) test -run '^$$' -bench '$(CODEGEN_BENCH_PATTERN)' -benchmem -timeout 1800s $(CODEGEN_BENCH_PKGS) \
-		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_codegen.json
-	@echo "wrote BENCH_codegen.json"
+	$(GO) test -run '^$$' -bench '$(CODEGEN_BENCH_PATTERN)' -benchmem $(BENCH_FLAGS) -timeout 1800s $(CODEGEN_BENCH_PKGS) \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > $(CODEGEN_BENCH_OUT)
+	@echo "wrote $(CODEGEN_BENCH_OUT)"
+
+# bench-smoke: the CI bench job. One iteration per benchmark keeps it fast;
+# benchcheck then fails the pipeline if either JSON is malformed or an
+# expected column is missing — including the FFT×rumpsteak-gen row that
+# closes the Fig. 6 coverage gap. Smoke output goes to BENCH_smoke_*.json:
+# the committed BENCH_channel.json / BENCH_codegen.json stay the
+# full-length snapshots.
+bench-smoke:
+	$(MAKE) bench BENCH_FLAGS='-benchtime 1x' BENCH_OUT=BENCH_smoke_channel.json
+	$(MAKE) bench-codegen BENCH_FLAGS='-benchtime 1x' CODEGEN_BENCH_OUT=BENCH_smoke_codegen.json
+	$(GO) run ./cmd/benchcheck -file BENCH_smoke_channel.json \
+		-expect BenchmarkSendRecv -expect BenchmarkPingPong \
+		-expect BenchmarkSessionRunStreaming/ring -expect BenchmarkSessionRunStreaming/queue \
+		-expect BenchmarkMonitor
+	$(GO) run ./cmd/benchcheck -file BENCH_smoke_codegen.json \
+		-expect BenchmarkSendRecvMonitored -expect BenchmarkSendRecvUnchecked \
+		-expect BenchmarkSendRecvUnmonitored \
+		-expect BenchmarkGenRunStreaming -expect BenchmarkGenRunFFT \
+		-expect BenchmarkSessionRunStreaming
+
+ci:
+	$(GO) vet ./...
+	$(MAKE) verify
+	$(MAKE) drift
+	$(MAKE) race
+	$(MAKE) bench-smoke
+	@echo "ci: all local gates passed"
 
 generate:
 	$(GO) generate ./...

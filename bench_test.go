@@ -62,9 +62,7 @@ func BenchmarkFig6DoubleBuffering(b *testing.B) {
 }
 
 func BenchmarkFig6FFT(b *testing.B) {
-	// FFTRuntimes, not Runtimes: there is no generated-API column for FFT
-	// (the exchanged columns are not a scalar sort; see bench.FFTRuntimes).
-	for _, rt := range bench.FFTRuntimes {
+	for _, rt := range bench.Runtimes {
 		for _, n := range []int{1000, 3000, 5000} {
 			b.Run(fmt.Sprintf("%s/n=%d", rt, n), func(b *testing.B) {
 				fig6Point(b, n, func() (int, error) { return bench.FFTParallel(rt, n) })

@@ -1,0 +1,88 @@
+// Command benchcheck validates a BENCH_*.json file produced by
+// cmd/benchjson: the file must be well-formed JSON in benchjson's shape, be
+// non-empty, carry only finite metric values, and contain at least one
+// benchmark whose name includes each -expect fragment. The bench-smoke CI
+// job (and `make bench-smoke`) runs it after regenerating the JSON with one
+// iteration per benchmark, so a perf column silently dropping out of the
+// published artifacts — the way FFT×rumpsteak-gen used to be absent — fails
+// the pipeline instead of going unnoticed.
+//
+//	benchcheck -file BENCH_codegen.json -expect GenRunStreaming -expect GenRunFFT
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strings"
+)
+
+type result struct {
+	Name    string             `json:"name"`
+	N       int64              `json:"n"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchcheck: ")
+	file := flag.String("file", "", "benchjson output file to validate")
+	var expects []string
+	flag.Func("expect", "fragment at least one benchmark name must contain (repeatable)", func(arg string) error {
+		if arg == "" {
+			return fmt.Errorf("empty -expect fragment")
+		}
+		expects = append(expects, arg)
+		return nil
+	})
+	flag.Parse()
+	if *file == "" {
+		log.Fatal("missing -file")
+	}
+
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var results []result
+	if err := json.Unmarshal(data, &results); err != nil {
+		log.Fatalf("%s is not well-formed benchjson output: %v", *file, err)
+	}
+	if len(results) == 0 {
+		log.Fatalf("%s holds no benchmark results; the bench run produced nothing parseable", *file)
+	}
+	for _, r := range results {
+		if r.Name == "" || r.N <= 0 {
+			log.Fatalf("%s holds a malformed result: %+v", *file, r)
+		}
+		if len(r.Metrics) == 0 {
+			log.Fatalf("%s: %s carries no metrics", *file, r.Name)
+		}
+		for unit, v := range r.Metrics {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				log.Fatalf("%s: %s metric %s is %v", *file, r.Name, unit, v)
+			}
+		}
+	}
+
+	var missing []string
+	for _, want := range expects {
+		found := false
+		for _, r := range results {
+			if strings.Contains(r.Name, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, want)
+		}
+	}
+	if len(missing) > 0 {
+		log.Fatalf("%s is missing expected columns %v (have %d results)", *file, missing, len(results))
+	}
+	fmt.Printf("benchcheck: %s ok — %d results, all %d expected columns present\n", *file, len(results), len(expects))
+}

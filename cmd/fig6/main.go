@@ -5,10 +5,11 @@
 // (internal/optimise) instead of the hand-written ones, expected within
 // noise of rumpsteak-opt — and rumpsteak-gen — the sessgen-generated typed
 // state-pattern APIs (examples/gen), which enforce conformance in the type
-// system and therefore run with no per-message monitor at all (streaming and
-// double buffering only; FFT's column payloads are not a scalar sort). The
-// sequential FFT baseline closes the figure. Output is a CSV (or aligned
-// table) with one column per design — the same series the paper plots.
+// system and therefore run with no per-message monitor at all, on every
+// workload: FFT's columns now travel as first-class vec<complex128>
+// payloads, so the generated column covers all of Fig. 6. The sequential
+// FFT baseline closes the figure. Output is a CSV (or aligned table) with
+// one column per design — the same series the paper plots.
 //
 // Usage:
 //
@@ -134,9 +135,7 @@ func doubleBuffer(reps int) ([]bench.Series, error) {
 func fftSeries(reps int) ([]bench.Series, error) {
 	xs := []int{1000, 2000, 3000, 4000, 5000}
 	var out []bench.Series
-	// No rumpsteak-gen column here: FFT's column payloads are not a scalar
-	// sort, so no typed package is generated (see bench.FFTRuntimes).
-	for _, rt := range bench.FFTRuntimes {
+	for _, rt := range bench.Runtimes {
 		if _, err := bench.FFTParallel(rt, 8); err != nil { // warm derivation
 			return nil, err
 		}

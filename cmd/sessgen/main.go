@@ -8,6 +8,14 @@
 //	sessgen -protocol streaming -optimised auto -o examples/gen/streaming
 //	sessgen -scribble proto.scr -pkg myproto -o ./gen/myproto
 //	sessgen -protocol elevator -stdout
+//	sessgen -scribble sensor.scr -sortmap 'reading=mypkg.Reading@example.com/mypkg' -o ./gen/sensor
+//
+// Payload sorts must be known to the sort registry (the scalar built-ins,
+// vec<S> vectors over them, or user registrations): -sortmap name=GoType
+// binds a domain-specific sort to the Go type the generated API should use
+// for it, and may be repeated. A package-qualified Go type needs its import
+// path appended as name=GoType@importpath so the generated file compiles.
+// Unknown sorts are a hard error, not an `any` fallback.
 //
 // The output file is <dir>/gen.go; the package name defaults to the output
 // directory's base name. The checked-in packages under examples/gen carry
@@ -22,10 +30,12 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/codegen"
 	"repro/internal/protocols"
 	"repro/internal/scribble"
+	"repro/internal/types"
 )
 
 func main() {
@@ -37,6 +47,17 @@ func main() {
 	pkg := flag.String("pkg", "", "package name (default: base name of -o)")
 	out := flag.String("o", "", "output directory (file is written as <dir>/gen.go)")
 	stdout := flag.Bool("stdout", false, "write the generated source to stdout instead of -o")
+	flag.Func("sortmap", "bind a payload sort to a Go type, as name=GoType or name=GoType@importpath (repeatable)", func(arg string) error {
+		name, binding, ok := strings.Cut(arg, "=")
+		goType, imp, _ := strings.Cut(binding, "@")
+		if !ok || name == "" || goType == "" {
+			return fmt.Errorf("want name=GoType or name=GoType@importpath, got %q", arg)
+		}
+		if strings.Contains(goType, ".") && imp == "" {
+			return fmt.Errorf("sort %s binds package-qualified type %s; append its import path as %s=%s@importpath", name, goType, name, goType)
+		}
+		return types.RegisterSort(types.SortInfo{Name: types.Sort(name), Go: goType, Import: imp})
+	})
 	flag.Parse()
 
 	mode, err := codegen.ParseMode(*optimised)

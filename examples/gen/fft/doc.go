@@ -1,0 +1,14 @@
+// Package fft is the sessgen-generated typed endpoint API for the
+// eight-process FFT butterfly of §4.1, generated from the registry's
+// AMR-optimised endpoints (every worker sends its column before receiving
+// its partner's, overlapping the two halves of each exchange). The column
+// payloads carry the vector sort vec<complex128>, whose registry binding
+// types the Send/Recv methods as []complex128 — whole columns travel as
+// single messages, unwrapped zero-copy on receive, with no `any` in the
+// API and no runtime monitor (see DESIGN.md, "The typed-sort registry").
+//
+// Regenerate with go generate; CI fails if the checked-in source drifts
+// from the generator's output.
+package fft
+
+//go:generate go run repro/cmd/sessgen -protocol optimisedfft -optimised hand -o .

@@ -56,13 +56,7 @@ func TestDoubleBufferingAllRuntimes(t *testing.T) {
 }
 
 func TestFFTAllRuntimes(t *testing.T) {
-	// The generated-API column has no FFT package (the column payloads are
-	// not a scalar sort), so the FFT experiments run FFTRuntimes; requesting
-	// the column anyway must fail loudly, not silently downgrade.
-	if _, err := FFTParallel(RumpsteakGen, 8); err == nil {
-		t.Error("FFTParallel(RumpsteakGen) should report the missing generated package")
-	}
-	for _, rt := range FFTRuntimes {
+	for _, rt := range Runtimes {
 		rt := rt
 		t.Run(rt.String(), func(t *testing.T) {
 			t.Parallel()
@@ -181,6 +175,20 @@ func BenchmarkSessionRunStreaming(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkGenRunFFT is the generated-API FFT end to end: the eight-worker
+// butterfly exchanging whole vec<complex128> columns through the typed
+// state-pattern API — the FFT×rumpsteak-gen row of BENCH_codegen.json that
+// closes the Fig. 6 coverage gap (no workload is excluded from the
+// generated column any more).
+func BenchmarkGenRunFFT(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FFTParallel(RumpsteakGen, 1000); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

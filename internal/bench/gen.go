@@ -18,8 +18,10 @@ import (
 
 	gendb "repro/examples/gen/doublebuffer"
 	genelev "repro/examples/gen/elevator"
+	genfft "repro/examples/gen/fft"
 	genring "repro/examples/gen/ring"
 	genstreaming "repro/examples/gen/streaming"
+	"repro/internal/fft"
 )
 
 // GenStreaming runs the streaming protocol once over the generated
@@ -204,6 +206,288 @@ func GenRing(laps int) (int, error) {
 		return done, err
 	}
 	return done, nil
+}
+
+// fftGenStage computes worker j's column after stage si of the butterfly,
+// given its own and its partner's columns — the same arithmetic, in the same
+// operand order, as the sequential transform, so generated and sequential
+// results agree bit for bit.
+func fftGenStage(j, si int, mine, theirs []complex128) []complex128 {
+	next := make([]complex128, len(mine))
+	fft.StageOutput(8, j, fft.Stages(8)[si], mine, theirs, next)
+	return next
+}
+
+// GenFFT runs the eight-process butterfly over the generated monitor-free
+// API (examples/gen/fft, the registry's AMR all-send-first schedule baked
+// into the types) and returns the transformed columns in worker order —
+// bit-reversed positions, as the parallel schedule leaves them; callers
+// needing natural order apply fft.BitReverse. Whole columns travel as
+// single vec<complex128> messages, typed []complex128 end to end.
+//
+// Each worker's three exchanges walk distinct generated state types, so the
+// eight processes are written out rather than looped; the protocol states
+// differ per worker even though the schedule is uniform.
+func GenFFT(cols [][]complex128) ([][]complex128, error) {
+	if len(cols) != 8 {
+		return nil, fmt.Errorf("bench: generated FFT wants 8 columns, got %d", len(cols))
+	}
+	net := genfft.NewNetwork()
+	out := make([][]complex128, 8)
+	err := genfft.Run(net, genfft.Procs{
+		W0: func(s genfft.W00) (genfft.W0End, error) {
+			cur := cols[0]
+			s1, err := s.SendCol(cur)
+			if err != nil {
+				return genfft.W0End{}, err
+			}
+			theirs, s2, err := s1.RecvCol()
+			if err != nil {
+				return genfft.W0End{}, err
+			}
+			cur = fftGenStage(0, 0, cur, theirs)
+			s3, err := s2.SendCol(cur)
+			if err != nil {
+				return genfft.W0End{}, err
+			}
+			theirs, s4, err := s3.RecvCol()
+			if err != nil {
+				return genfft.W0End{}, err
+			}
+			cur = fftGenStage(0, 1, cur, theirs)
+			s5, err := s4.SendCol(cur)
+			if err != nil {
+				return genfft.W0End{}, err
+			}
+			theirs, end, err := s5.RecvCol()
+			if err != nil {
+				return genfft.W0End{}, err
+			}
+			out[0] = fftGenStage(0, 2, cur, theirs)
+			return end, nil
+		},
+		W1: func(s genfft.W10) (genfft.W1End, error) {
+			cur := cols[1]
+			s1, err := s.SendCol(cur)
+			if err != nil {
+				return genfft.W1End{}, err
+			}
+			theirs, s2, err := s1.RecvCol()
+			if err != nil {
+				return genfft.W1End{}, err
+			}
+			cur = fftGenStage(1, 0, cur, theirs)
+			s3, err := s2.SendCol(cur)
+			if err != nil {
+				return genfft.W1End{}, err
+			}
+			theirs, s4, err := s3.RecvCol()
+			if err != nil {
+				return genfft.W1End{}, err
+			}
+			cur = fftGenStage(1, 1, cur, theirs)
+			s5, err := s4.SendCol(cur)
+			if err != nil {
+				return genfft.W1End{}, err
+			}
+			theirs, end, err := s5.RecvCol()
+			if err != nil {
+				return genfft.W1End{}, err
+			}
+			out[1] = fftGenStage(1, 2, cur, theirs)
+			return end, nil
+		},
+		W2: func(s genfft.W20) (genfft.W2End, error) {
+			cur := cols[2]
+			s1, err := s.SendCol(cur)
+			if err != nil {
+				return genfft.W2End{}, err
+			}
+			theirs, s2, err := s1.RecvCol()
+			if err != nil {
+				return genfft.W2End{}, err
+			}
+			cur = fftGenStage(2, 0, cur, theirs)
+			s3, err := s2.SendCol(cur)
+			if err != nil {
+				return genfft.W2End{}, err
+			}
+			theirs, s4, err := s3.RecvCol()
+			if err != nil {
+				return genfft.W2End{}, err
+			}
+			cur = fftGenStage(2, 1, cur, theirs)
+			s5, err := s4.SendCol(cur)
+			if err != nil {
+				return genfft.W2End{}, err
+			}
+			theirs, end, err := s5.RecvCol()
+			if err != nil {
+				return genfft.W2End{}, err
+			}
+			out[2] = fftGenStage(2, 2, cur, theirs)
+			return end, nil
+		},
+		W3: func(s genfft.W30) (genfft.W3End, error) {
+			cur := cols[3]
+			s1, err := s.SendCol(cur)
+			if err != nil {
+				return genfft.W3End{}, err
+			}
+			theirs, s2, err := s1.RecvCol()
+			if err != nil {
+				return genfft.W3End{}, err
+			}
+			cur = fftGenStage(3, 0, cur, theirs)
+			s3, err := s2.SendCol(cur)
+			if err != nil {
+				return genfft.W3End{}, err
+			}
+			theirs, s4, err := s3.RecvCol()
+			if err != nil {
+				return genfft.W3End{}, err
+			}
+			cur = fftGenStage(3, 1, cur, theirs)
+			s5, err := s4.SendCol(cur)
+			if err != nil {
+				return genfft.W3End{}, err
+			}
+			theirs, end, err := s5.RecvCol()
+			if err != nil {
+				return genfft.W3End{}, err
+			}
+			out[3] = fftGenStage(3, 2, cur, theirs)
+			return end, nil
+		},
+		W4: func(s genfft.W40) (genfft.W4End, error) {
+			cur := cols[4]
+			s1, err := s.SendCol(cur)
+			if err != nil {
+				return genfft.W4End{}, err
+			}
+			theirs, s2, err := s1.RecvCol()
+			if err != nil {
+				return genfft.W4End{}, err
+			}
+			cur = fftGenStage(4, 0, cur, theirs)
+			s3, err := s2.SendCol(cur)
+			if err != nil {
+				return genfft.W4End{}, err
+			}
+			theirs, s4, err := s3.RecvCol()
+			if err != nil {
+				return genfft.W4End{}, err
+			}
+			cur = fftGenStage(4, 1, cur, theirs)
+			s5, err := s4.SendCol(cur)
+			if err != nil {
+				return genfft.W4End{}, err
+			}
+			theirs, end, err := s5.RecvCol()
+			if err != nil {
+				return genfft.W4End{}, err
+			}
+			out[4] = fftGenStage(4, 2, cur, theirs)
+			return end, nil
+		},
+		W5: func(s genfft.W50) (genfft.W5End, error) {
+			cur := cols[5]
+			s1, err := s.SendCol(cur)
+			if err != nil {
+				return genfft.W5End{}, err
+			}
+			theirs, s2, err := s1.RecvCol()
+			if err != nil {
+				return genfft.W5End{}, err
+			}
+			cur = fftGenStage(5, 0, cur, theirs)
+			s3, err := s2.SendCol(cur)
+			if err != nil {
+				return genfft.W5End{}, err
+			}
+			theirs, s4, err := s3.RecvCol()
+			if err != nil {
+				return genfft.W5End{}, err
+			}
+			cur = fftGenStage(5, 1, cur, theirs)
+			s5, err := s4.SendCol(cur)
+			if err != nil {
+				return genfft.W5End{}, err
+			}
+			theirs, end, err := s5.RecvCol()
+			if err != nil {
+				return genfft.W5End{}, err
+			}
+			out[5] = fftGenStage(5, 2, cur, theirs)
+			return end, nil
+		},
+		W6: func(s genfft.W60) (genfft.W6End, error) {
+			cur := cols[6]
+			s1, err := s.SendCol(cur)
+			if err != nil {
+				return genfft.W6End{}, err
+			}
+			theirs, s2, err := s1.RecvCol()
+			if err != nil {
+				return genfft.W6End{}, err
+			}
+			cur = fftGenStage(6, 0, cur, theirs)
+			s3, err := s2.SendCol(cur)
+			if err != nil {
+				return genfft.W6End{}, err
+			}
+			theirs, s4, err := s3.RecvCol()
+			if err != nil {
+				return genfft.W6End{}, err
+			}
+			cur = fftGenStage(6, 1, cur, theirs)
+			s5, err := s4.SendCol(cur)
+			if err != nil {
+				return genfft.W6End{}, err
+			}
+			theirs, end, err := s5.RecvCol()
+			if err != nil {
+				return genfft.W6End{}, err
+			}
+			out[6] = fftGenStage(6, 2, cur, theirs)
+			return end, nil
+		},
+		W7: func(s genfft.W70) (genfft.W7End, error) {
+			cur := cols[7]
+			s1, err := s.SendCol(cur)
+			if err != nil {
+				return genfft.W7End{}, err
+			}
+			theirs, s2, err := s1.RecvCol()
+			if err != nil {
+				return genfft.W7End{}, err
+			}
+			cur = fftGenStage(7, 0, cur, theirs)
+			s3, err := s2.SendCol(cur)
+			if err != nil {
+				return genfft.W7End{}, err
+			}
+			theirs, s4, err := s3.RecvCol()
+			if err != nil {
+				return genfft.W7End{}, err
+			}
+			cur = fftGenStage(7, 1, cur, theirs)
+			s5, err := s4.SendCol(cur)
+			if err != nil {
+				return genfft.W7End{}, err
+			}
+			theirs, end, err := s5.RecvCol()
+			if err != nil {
+				return genfft.W7End{}, err
+			}
+			out[7] = fftGenStage(7, 2, cur, theirs)
+			return end, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // GenElevator drives the elevator control loop for calls panel presses

@@ -13,6 +13,7 @@ import (
 	genelev "repro/examples/gen/elevator"
 	genstreaming "repro/examples/gen/streaming"
 	"repro/internal/core"
+	"repro/internal/fft"
 	"repro/internal/fsm"
 	"repro/internal/protocols"
 	"repro/internal/session"
@@ -424,6 +425,42 @@ func TestGenElevatorCrossCheckMonitored(t *testing.T) {
 	for i := range gen {
 		if gen[i] != mon[i] {
 			t.Fatalf("call %d: generated %s, monitored %s", i, gen[i], mon[i])
+		}
+	}
+}
+
+// TestGenFFTBitIdenticalToSequential runs the generated eight-worker FFT
+// session and demands *bit-identical* agreement with the sequential
+// transform (the RustFFT analogue): the butterfly stages perform the same
+// arithmetic in the same operand order, so no tolerance is needed — any
+// difference at all is a mis-wired exchange or a payload corrupted in
+// flight. This is the tier-1 acceptance check for the vec<complex128>
+// column sort: whole columns travel the generated monitor-free API as
+// typed slices and come out exactly as the no-message-passing baseline
+// computes them.
+func TestGenFFTBitIdenticalToSequential(t *testing.T) {
+	const rows = 64
+	cols := randomMatrix(rows)
+	seq := make([][]complex128, len(cols))
+	for j := range seq {
+		seq[j] = append([]complex128(nil), cols[j]...)
+	}
+	if err := fft.SequentialColumns(seq); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := GenFFT(cols)
+	if err != nil {
+		t.Fatalf("generated run: %v", err)
+	}
+	for j := range gen {
+		nat := fft.BitReverse(j, 8) // the parallel schedule leaves worker j's column bit-reversed
+		if len(gen[j]) != rows {
+			t.Fatalf("worker %d produced %d rows, want %d", j, len(gen[j]), rows)
+		}
+		for r := range gen[j] {
+			if gen[j][r] != seq[nat][r] {
+				t.Fatalf("column %d row %d: generated %v, sequential %v (must be bit-identical)", nat, r, gen[j][r], seq[nat][r])
+			}
 		}
 	}
 }

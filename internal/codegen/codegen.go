@@ -97,6 +97,11 @@ type Options struct {
 // FromEntry generates the package for a registry protocol, selecting
 // machines per opts.Mode.
 func FromEntry(e protocols.Entry, opts Options) ([]byte, error) {
+	for r, l := range e.Locals {
+		if bad := types.UnknownSortsLocal(l); len(bad) > 0 {
+			return nil, unknownSortsErr(fmt.Sprintf("%s/%s", e.Name, r), bad)
+		}
+	}
 	var locals map[types.Role]types.Local
 	switch opts.Mode {
 	case ModeAuto:
@@ -131,6 +136,12 @@ func FromScribble(p *scribble.Protocol, opts Options) ([]byte, error) {
 	if opts.Mode == ModeHand {
 		return nil, fmt.Errorf("codegen: mode hand needs a registry entry with hand-written optimised endpoints")
 	}
+	// Reject unknown sorts up front at the protocol level, naming all of
+	// them at once (the per-transition check in prepare remains the
+	// backstop for machines handed straight to Generate).
+	if bad := types.UnknownSortsGlobal(p.Global); len(bad) > 0 {
+		return nil, unknownSortsErr(p.Name, bad)
+	}
 	fsms := map[types.Role]*fsm.FSM{}
 	for _, r := range p.Roles {
 		l, err := project.Project(p.Global, r)
@@ -153,6 +164,16 @@ func FromScribble(p *scribble.Protocol, opts Options) ([]byte, error) {
 		fsms[r] = m
 	}
 	return Generate(p.Name, fsms, opts)
+}
+
+// unknownSortsErr reports every unregistered payload sort of a protocol in
+// one error, with the registration escape hatches.
+func unknownSortsErr(proto string, bad []types.Sort) error {
+	parts := make([]string, len(bad))
+	for i, s := range bad {
+		parts[i] = string(s)
+	}
+	return fmt.Errorf("codegen: %s: payload sorts not registered: %s; bind them to Go types first (types.RegisterSort, or sessgen -sortmap name=GoType)", proto, strings.Join(parts, ", "))
 }
 
 // Generate emits the typed state-pattern package for the given verified
@@ -193,6 +214,9 @@ type generator struct {
 	labels []types.Label
 	rgs    []*roleGen
 	names  map[string]string // emitted top-level identifier -> what owns it
+	// extraImports are the packages referenced by registry sort bindings
+	// (types.SortInfo.Import) used in this protocol's payloads.
+	extraImports map[string]bool
 }
 
 type roleGen struct {
@@ -227,6 +251,7 @@ func (g *generator) prepare() error {
 	sort.Slice(g.roles, func(i, j int) bool { return g.roles[i] < g.roles[j] })
 
 	g.names = map[string]string{}
+	g.extraImports = map[string]bool{}
 	labelSet := map[types.Label]bool{}
 	labelIdents := map[string]types.Label{}
 
@@ -258,6 +283,12 @@ func (g *generator) prepare() error {
 			}
 			rg.states = append(rg.states, s)
 			for _, t := range m.Transitions(s) {
+				if !types.KnownSort(t.Act.Sort) {
+					return fmt.Errorf("codegen: role %s: payload sort %q is not registered; bind it to a Go type first (types.RegisterSort, or sessgen -sortmap %s=GoType)", role, t.Act.Sort, t.Act.Sort)
+				}
+				if info, ok := types.LookupSort(t.Act.Sort); ok && info.Import != "" {
+					g.extraImports[info.Import] = true
+				}
 				labelSet[t.Act.Label] = true
 				if t.Act.Dir == fsm.Send {
 					sends[t.Act.Peer] = true
@@ -340,7 +371,16 @@ func (g *generator) pf(format string, args ...any) {
 func (g *generator) emit() {
 	g.pf("// Code generated by sessgen (internal/codegen) from protocol %q, optimised=%s. DO NOT EDIT.\n\n", g.proto, g.opts.Mode)
 	g.pf("package %s\n\n", g.opts.Package)
-	g.pf("import (\n\t\"repro/internal/codegen/genrt\"\n\t\"repro/internal/session\"\n\t\"repro/internal/types\"\n)\n\n")
+	imports := []string{"repro/internal/codegen/genrt", "repro/internal/session", "repro/internal/types"}
+	for imp := range g.extraImports {
+		imports = append(imports, imp)
+	}
+	sort.Strings(imports)
+	g.pf("import (\n")
+	for _, imp := range imports {
+		g.pf("\t%q\n", imp)
+	}
+	g.pf(")\n\n")
 
 	// Labels.
 	if len(g.labels) > 0 {
@@ -527,7 +567,7 @@ func (g *generator) emitRecvSingle(rg *roleGen, state string, t fsm.Transition) 
 	g.pf("\tif err := s.st.Use(); err != nil {\n\t\treturn %s, %s{}, err\n\t}\n", zero, next)
 	g.pf("\tlabel, v, err := s.ep.recv%s.Recv()\n\tif err != nil {\n\t\treturn %s, %s{}, err\n\t}\n", peer, zero, next)
 	g.pf("\tif label != Label%s {\n\t\treturn %s, %s{}, genrt.Unexpected(Role%s, %q, Role%s, label)\n\t}\n", label, zero, next, rg.ident, state, peer)
-	g.pf("\tpayload, err := %s(v)\n\tif err != nil {\n\t\treturn %s, %s{}, err\n\t}\n", conv, zero, next)
+	g.pf("\tpayload, err := %s\n\tif err != nil {\n\t\treturn %s, %s{}, err\n\t}\n", conv, zero, next)
 	g.pf("\treturn payload, %s{ep: s.ep, st: s.st.Next()}, nil\n}\n\n", next)
 }
 
@@ -572,7 +612,7 @@ func (g *generator) emitRecvBranch(rg *roleGen, state string, s fsm.State, ts []
 		goType, conv := sortGo(t.Act.Sort)
 		g.pf("\tcase Label%s:\n", label)
 		if goType != "" {
-			g.pf("\t\tpayload, err := %s(v)\n\t\tif err != nil {\n\t\t\treturn %s{}, err\n\t\t}\n", conv, sum)
+			g.pf("\t\tpayload, err := %s\n\t\tif err != nil {\n\t\t\treturn %s{}, err\n\t\t}\n", conv, sum)
 			g.pf("\t\tb.%sPayload = payload\n", label)
 		}
 		g.pf("\t\tb.%sNext = %s{ep: s.ep, st: s.st.Next()}\n", label, rg.stateName(t.To))
@@ -581,34 +621,45 @@ func (g *generator) emitRecvBranch(rg *roleGen, state string, s fsm.State, ts []
 	g.pf("\treturn b, nil\n}\n\n")
 }
 
-// sortGo maps a payload sort to its Go type and genrt converter. Unit (and
-// the empty sort) means "pure signal": no payload parameter or result.
-// Domain-specific sorts the runtime does not know pass through as any,
-// exactly as the monitor treats them.
-func sortGo(s types.Sort) (goType, conv string) {
+// sortGo maps a payload sort to its Go type and the receive-side converter
+// call (with v as the wire value). Unit (and the empty sort) means "pure
+// signal": no payload parameter or result. The scalar built-ins keep their
+// lenient genrt converters (a monitored peer may put an int where an i32 is
+// declared, as the monitor's sort check allows); every other sort resolves
+// through the types sort registry to its bound Go type and converts with the
+// exact typed assertion genrt.As — for slice-backed vector sorts that is a
+// zero-copy unwrap of the interface value, no element is touched. Unknown
+// sorts cannot reach here: prepare rejects them with a registration hint.
+func sortGo(s types.Sort) (goType, convCall string) {
 	switch s {
 	case types.Unit, "":
 		return "", ""
 	case types.I32:
-		return "int32", "genrt.I32"
+		return "int32", "genrt.I32(v)"
 	case types.U32:
-		return "uint32", "genrt.U32"
+		return "uint32", "genrt.U32(v)"
 	case types.I64:
-		return "int64", "genrt.I64"
+		return "int64", "genrt.I64(v)"
 	case types.U64:
-		return "uint64", "genrt.U64"
+		return "uint64", "genrt.U64(v)"
 	case types.Int:
-		return "int", "genrt.Int"
+		return "int", "genrt.Int(v)"
 	case types.Nat:
-		return "uint", "genrt.Nat"
+		return "uint", "genrt.Nat(v)"
 	case types.F64:
-		return "float64", "genrt.F64"
+		return "float64", "genrt.F64(v)"
 	case types.Str:
-		return "string", "genrt.Str"
+		return "string", "genrt.Str(v)"
 	case types.Bool:
-		return "bool", "genrt.Bool"
+		return "bool", "genrt.Bool(v)"
 	default:
-		return "any", "genrt.Any"
+		info, ok := types.LookupSort(s)
+		if !ok {
+			// prepare validated every transition sort; reaching this is a
+			// generator bug, not a user error.
+			panic(fmt.Sprintf("codegen: unvalidated unknown sort %q", s))
+		}
+		return info.Go, fmt.Sprintf("genrt.As[%s](%q, v)", info.Go, string(s))
 	}
 }
 
@@ -620,8 +671,12 @@ func zeroOf(goType string) string {
 		return "false"
 	case "any":
 		return "nil"
-	default:
+	case "int32", "uint32", "int64", "uint64", "int", "uint", "float64":
 		return "0"
+	default:
+		// Registered sorts bind arbitrary Go types; *new(T) is T's zero
+		// value as an expression (nil for the slice-typed vector sorts).
+		return fmt.Sprintf("*new(%s)", goType)
 	}
 }
 

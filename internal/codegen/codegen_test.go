@@ -6,6 +6,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	genstreaming "repro/examples/gen/streaming"
@@ -84,7 +85,7 @@ global protocol Greeter(role c, role s) {
 }
 
 // TestCheckedInPackagesCurrent is the in-test twin of the CI drift gate:
-// regenerating the four examples/gen packages with the options recorded in
+// regenerating the examples/gen packages with the options recorded in
 // their go:generate directives must reproduce the checked-in sources.
 func TestCheckedInPackagesCurrent(t *testing.T) {
 	cases := []struct {
@@ -97,6 +98,7 @@ func TestCheckedInPackagesCurrent(t *testing.T) {
 		{"doublebuffering", "doublebuffer", "doublebuffer", codegen.ModePlain},
 		{"ring", "ring", "ring", codegen.ModePlain},
 		{"elevator", "elevator", "elevator", codegen.ModePlain},
+		{"optimisedfft", "fft", "fft", codegen.ModeHand},
 	}
 	for _, c := range cases {
 		t.Run(c.pkg, func(t *testing.T) {
@@ -117,6 +119,86 @@ func TestCheckedInPackagesCurrent(t *testing.T) {
 				t.Errorf("checked-in %s drifted from the generator; run `go generate ./...`", path)
 			}
 		})
+	}
+}
+
+// TestGoldenVectorPayload pins the generator's output on a protocol whose
+// payloads are parameterised vector sorts: the swap protocol exchanges
+// vec<f64> frames in both directions, so the golden file carries []float64
+// payload parameters, the typed genrt.As converter and the *new([]float64)
+// zero value — the whole registry-bound path, none of the scalar table.
+func TestGoldenVectorPayload(t *testing.T) {
+	p := scribble.MustParse(`
+global protocol Swap(role a, role b) {
+  frame(vec<f64>) from a to b;
+  frame(vec<f64>) from b to a;
+  done() from a to b;
+}`)
+	src, err := codegen.FromScribble(p, codegen.Options{Package: "swap"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"payload []float64", `genrt.As[[]float64]("vec<f64>", v)`, "*new([]float64)"} {
+		if !bytes.Contains(src, []byte(frag)) {
+			t.Errorf("vector-payload output lacks %q", frag)
+		}
+	}
+	golden(t, "vecswap.go.golden", src)
+}
+
+// TestGenerateRejectsUnknownSort pins the open-registry contract: a sort
+// nobody registered is a hard generation error naming the sort and the
+// registration escape hatches — not a silent downgrade to an any-typed API.
+func TestGenerateRejectsUnknownSort(t *testing.T) {
+	m := fsm.MustFromLocal("a", types.MustParse("b!x(frobnicator).end"))
+	_, err := codegen.Generate("p", map[types.Role]*fsm.FSM{"a": m}, codegen.Options{Package: "p"})
+	if err == nil {
+		t.Fatal("unknown sort accepted")
+	}
+	for _, frag := range []string{"frobnicator", "sortmap", "RegisterSort"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q does not mention %q", err, frag)
+		}
+	}
+}
+
+// TestGenerateRegisteredOpaqueSort is the -sortmap path end to end at the
+// library level: registering an opaque sort with a Go binding makes
+// generation succeed, with the bound type as the payload type and the exact
+// typed converter on the receive path.
+func TestGenerateRegisteredOpaqueSort(t *testing.T) {
+	if err := types.RegisterSort(types.SortInfo{Name: "samplebatch", Go: "[][]float32"}); err != nil {
+		t.Fatal(err)
+	}
+	m := fsm.MustFromLocal("a", types.MustParse("b?x(samplebatch).end"))
+	src, err := codegen.Generate("p", map[types.Role]*fsm.FSM{"a": m}, codegen.Options{Package: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"([][]float32, AEnd, error)", `genrt.As[[][]float32]("samplebatch", v)`} {
+		if !bytes.Contains(src, []byte(frag)) {
+			t.Errorf("opaque-sort output lacks %q:\n%s", frag, src)
+		}
+	}
+}
+
+// TestGenerateImportsSortBinding pins that a sort bound to a
+// package-qualified Go type carries its import into the generated file —
+// including through vector derivation, which propagates the element
+// binding's import.
+func TestGenerateImportsSortBinding(t *testing.T) {
+	if err := types.RegisterSort(types.SortInfo{Name: "bigmat", Go: "big.Float", Import: "math/big"}); err != nil {
+		t.Fatal(err)
+	}
+	m := fsm.MustFromLocal("a", types.MustParse("b?x(vec<bigmat>).end"))
+	src, err := codegen.Generate("p", map[types.Role]*fsm.FSM{"a": m}, codegen.Options{Package: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"\"math/big\"", "([]big.Float, AEnd, error)", `genrt.As[[]big.Float]("vec<bigmat>", v)`} {
+		if !bytes.Contains(src, []byte(frag)) {
+			t.Errorf("import-bound output lacks %q:\n%s", frag, src)
+		}
 	}
 }
 

@@ -166,6 +166,25 @@ func convErr(sort string, v any) error {
 	return fmt.Errorf("genrt: payload %T does not inhabit sort %s", v, sort)
 }
 
+// As converts a received payload of a registry-bound sort (types.LookupSort)
+// to its exact Go binding T: a single type assertion on the interface value,
+// so slice-backed vector sorts like vec<complex128> are unwrapped zero-copy
+// — the []complex128 that entered the ring at the sender is the very slice
+// handed to the receiving process. nil (no payload attached) converts to T's
+// zero value, as for the scalar converters.
+func As[T any](sort string, v any) (T, error) {
+	if v == nil {
+		var zero T
+		return zero, nil
+	}
+	t, ok := v.(T)
+	if !ok {
+		var zero T
+		return zero, convErr(sort, v)
+	}
+	return t, nil
+}
+
 // I32 converts a received payload declared i32.
 func I32(v any) (int32, error) {
 	switch n := v.(type) {
@@ -286,7 +305,3 @@ func Bool(v any) (bool, error) {
 	}
 	return false, convErr("bool", v)
 }
-
-// Any passes a payload of a domain-specific (unknown) sort through
-// unchecked, exactly as the monitor does.
-func Any(v any) (any, error) { return v, nil }

@@ -2,6 +2,7 @@ package genrt
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/session"
@@ -136,13 +137,35 @@ func TestConverters(t *testing.T) {
 	if v, err := F64(1.5); err != nil || v != 1.5 {
 		t.Errorf("F64 = %v, %v", v, err)
 	}
-	if v, err := Any([]int{1}); err != nil || v == nil {
-		t.Errorf("Any = %v, %v", v, err)
-	}
 	// nil payloads (pure signals piggybacked onto sorted labels by
 	// hand-written peers) convert to zero values, as the monitor accepts
 	// them.
 	if v, err := I32(nil); err != nil || v != 0 {
 		t.Errorf("I32(nil) = %v, %v", v, err)
+	}
+}
+
+// TestAsConverter pins the registry-sort converter: an exact typed
+// assertion, zero-copy for slices (the returned slice aliases the one that
+// travelled), zero value for nil, and a sort-naming error on mismatch.
+func TestAsConverter(t *testing.T) {
+	col := []complex128{1, 2i}
+	got, err := As[[]complex128]("vec<complex128>", any(col))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || &got[0] != &col[0] {
+		t.Error("As copied or reshaped the slice; want the zero-copy alias")
+	}
+	if v, err := As[[]complex128]("vec<complex128>", nil); err != nil || v != nil {
+		t.Errorf("As(nil) = %v, %v", v, err)
+	}
+	if _, err := As[[]complex128]("vec<complex128>", []float64{1}); err == nil {
+		t.Error("As accepted a []float64 for vec<complex128>")
+	} else if want := "vec<complex128>"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not name the sort %q", err, want)
+	}
+	if v, err := As[complex128]("complex128", any(complex(1, 1))); err != nil || v != complex(1, 1) {
+		t.Errorf("As[complex128] = %v, %v", v, err)
 	}
 }

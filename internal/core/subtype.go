@@ -72,6 +72,30 @@ type Result struct {
 // one state, which the local-type syntax of Definition 1 cannot express.
 var ErrNotDirected = errors.New("core: machine is not directed (mixed send/receive or peers within a state)")
 
+// ErrUnknownSort is returned when a machine's actions carry a payload sort
+// nobody registered: neither a built-in scalar, a types.RegisterSort entry,
+// nor a vector over a known element sort. Certifying a protocol whose sorts
+// have no meaning would let a typo (vec<f65>) sail through verification and
+// surface only as an `any`-typed generated API, so the checker refuses.
+var ErrUnknownSort = errors.New("core: machine carries an unregistered payload sort (see types.RegisterSort)")
+
+// unknownSorts returns the unregistered payload sorts on m's reachable
+// transitions, in deterministic order without duplicates.
+func unknownSorts(m *fsm.FSM) []types.Sort {
+	var out []types.Sort
+	seen := map[types.Sort]bool{}
+	for s := 0; s < m.NumStates(); s++ {
+		for _, t := range m.Transitions(fsm.State(s)) {
+			if types.KnownSort(t.Act.Sort) || seen[t.Act.Sort] {
+				continue
+			}
+			seen[t.Act.Sort] = true
+			out = append(out, t.Act.Sort)
+		}
+	}
+	return out
+}
+
 // Check reports whether sub is an asynchronous subtype of sup.
 func Check(sub, sup *fsm.FSM, opts Options) (Result, error) {
 	if !sub.Directed() {
@@ -79,6 +103,12 @@ func Check(sub, sup *fsm.FSM, opts Options) (Result, error) {
 	}
 	if !sup.Directed() {
 		return Result{}, fmt.Errorf("%w: supertype %s", ErrNotDirected, sup.Role())
+	}
+	if bad := unknownSorts(sub); len(bad) > 0 {
+		return Result{}, fmt.Errorf("%w: candidate subtype %s carries %v", ErrUnknownSort, sub.Role(), bad)
+	}
+	if bad := unknownSorts(sup); len(bad) > 0 {
+		return Result{}, fmt.Errorf("%w: supertype %s carries %v", ErrUnknownSort, sup.Role(), bad)
 	}
 	bound := opts.Bound
 	if bound <= 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/fsm"
@@ -126,6 +127,29 @@ func TestSynchronousSubtypingCases(t *testing.T) {
 	// Continuations must also relate.
 	if check(t, "p!a.p!x.end", "p!a.p!y.end") {
 		t.Error("continuation mismatch accepted")
+	}
+}
+
+// TestCheckRejectsUnknownSorts pins the registry gate on the certification
+// path: a machine whose actions carry a sort nobody registered errors out
+// (ErrUnknownSort) rather than certifying a protocol whose payloads have no
+// meaning — on either side of the check, and for vectors over unknown
+// elements; vectors over registered sorts pass.
+func TestCheckRejectsUnknownSorts(t *testing.T) {
+	known := "q!m(vec<complex128>).end"
+	for _, tc := range []struct{ sub, sup string }{
+		{"q!m(frob).end", known},
+		{known, "q!m(frob).end"},
+		{"q!m(vec<frob>).end", "q!m(vec<frob>).end"},
+	} {
+		_, err := CheckTypes("self", types.MustParse(tc.sub), types.MustParse(tc.sup), Options{})
+		if !errors.Is(err, ErrUnknownSort) {
+			t.Errorf("Check(%q, %q) err = %v, want ErrUnknownSort", tc.sub, tc.sup, err)
+		}
+	}
+	res, err := CheckTypes("self", types.MustParse(known), types.MustParse(known), Options{})
+	if err != nil || !res.OK {
+		t.Errorf("vec<complex128> reflexive check: ok=%v err=%v", res.OK, err)
 	}
 }
 

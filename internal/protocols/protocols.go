@@ -450,6 +450,14 @@ func Hospital() Entry {
 	}
 }
 
+// FFTColumnSort is the payload sort of the butterfly exchanges: a whole
+// column of complex samples travels as one message. Earlier revisions
+// smuggled the []complex128 columns under a scalar f64 sort, which barred
+// the typed generated API from covering FFT; the sort registry makes the
+// vector sort first-class (Go binding []complex128, derived from the
+// complex128 built-in).
+var FFTColumnSort = types.VecOf(types.Complex128)
+
 // FFTGlobal builds the 24-interaction global type of the eight-point
 // butterfly: for every stage span ∈ {4, 2, 1} and every pair {j, j⊕span}
 // with j < j⊕span, the lower process sends its column then receives its
@@ -465,7 +473,7 @@ func FFTGlobal() types.Global {
 				continue
 			}
 			lo, hi := fftRole(j), fftRole(p)
-			g = types.GComm(lo, hi, "col", types.F64, types.GComm(hi, lo, "col", types.F64, g))
+			g = types.GComm(lo, hi, "col", FFTColumnSort, types.GComm(hi, lo, "col", FFTColumnSort, g))
 		}
 	}
 	return g
@@ -494,11 +502,11 @@ func fftLocals() (plain, optimised map[types.Role]types.Local) {
 			p := fftRole(j ^ span)
 			if j < j^span {
 				// Lower index sends first in the global order.
-				tail = types.LSend(p, "col", types.F64, types.LRecv(p, "col", types.F64, tail))
+				tail = types.LSend(p, "col", FFTColumnSort, types.LRecv(p, "col", FFTColumnSort, tail))
 			} else {
-				tail = types.LRecv(p, "col", types.F64, types.LSend(p, "col", types.F64, tail))
+				tail = types.LRecv(p, "col", FFTColumnSort, types.LSend(p, "col", FFTColumnSort, tail))
 			}
-			optTail = types.LSend(p, "col", types.F64, types.LRecv(p, "col", types.F64, optTail))
+			optTail = types.LSend(p, "col", FFTColumnSort, types.LRecv(p, "col", FFTColumnSort, optTail))
 		}
 		plain[fftRole(j)] = tail
 		optimised[fftRole(j)] = optTail

@@ -123,7 +123,7 @@ func formatMessage(b *strings.Builder, from, to types.Role, br types.GBranch, de
 	}
 	sort := ""
 	if br.Sort != types.Unit && br.Sort != "" {
-		if err := checkIdent(string(br.Sort)); err != nil {
+		if err := checkSort(br.Sort); err != nil {
 			return fmt.Errorf("scribble: sort: %w", err)
 		}
 		sort = string(br.Sort)
@@ -131,6 +131,24 @@ func formatMessage(b *strings.Builder, from, to types.Role, br types.GBranch, de
 	indent(b, depth)
 	fmt.Fprintf(b, "%s(%s) from %s to %s;\n", br.Label, sort, from, to)
 	return nil
+}
+
+// checkSort verifies that a (possibly parameterised) sort renders to tokens
+// the parser's sortExpr reads back to the same canonical spelling: every
+// segment of head<...<base>...> must be a printable identifier and the
+// spelling must carry no interior whitespace.
+func checkSort(s types.Sort) error {
+	str := string(s)
+	if i := strings.IndexByte(str, '<'); i >= 0 {
+		if !strings.HasSuffix(str, ">") {
+			return fmt.Errorf("sort %q has unbalanced parameter brackets", str)
+		}
+		if err := checkIdent(str[:i]); err != nil {
+			return err
+		}
+		return checkSort(types.Sort(str[i+1 : len(str)-1]))
+	}
+	return checkIdent(str)
 }
 
 // checkIdent verifies that the printer would emit a token the lexer reads

@@ -93,6 +93,51 @@ func TestFormatRejectsUnprintable(t *testing.T) {
 	}
 }
 
+// TestParameterisedSortRoundTrip pins the vector-sort surface syntax: a
+// vec<complex128> payload parses to the canonical whitespace-free sort,
+// formats back to the same token, and whitespace inside the brackets is
+// insignificant on the way in.
+func TestParameterisedSortRoundTrip(t *testing.T) {
+	src := `global protocol F(role a, role b) {
+  col(vec<complex128>) from a to b;
+  col2( vec < vec < f64 > > ) from b to a;
+}`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := p.Global.(types.Comm)
+	if got := comm.Branches[0].Sort; got != "vec<complex128>" {
+		t.Fatalf("sort = %q", got)
+	}
+	inner := comm.Branches[0].Cont.(types.Comm)
+	if got := inner.Branches[0].Sort; got != "vec<vec<f64>>" {
+		t.Fatalf("nested sort = %q, want canonical spelling", got)
+	}
+	out, err := Format(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"col(vec<complex128>)", "col2(vec<vec<f64>>)"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("formatted output lacks %q:\n%s", frag, out)
+		}
+	}
+	p2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("formatted output does not reparse: %v", err)
+	}
+	if !reflect.DeepEqual(p.Global, p2.Global) {
+		t.Error("round trip changed the protocol")
+	}
+	// A sort the printer cannot re-tokenise must be rejected, not mangled.
+	bad := &Protocol{Name: "B", Roles: []types.Role{"a", "b"},
+		Global: types.GComm("a", "b", "m", types.Sort("vec<f64"), types.GEnd{})}
+	if _, err := Format(bad); err == nil {
+		t.Error("unbalanced sort accepted by the printer")
+	}
+}
+
 // registryProtoName mangles a Table 1 row name into a Scribble protocol
 // identifier ("Double Buffering" -> "DoubleBuffering").
 func registryProtoName(name string) string {

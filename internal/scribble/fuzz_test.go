@@ -5,20 +5,33 @@ import (
 	"testing"
 
 	"repro/internal/protocols"
+	"repro/internal/types"
 )
 
-// FuzzParseFormat fuzzes the full parse → format → parse loop: any accepted
-// protocol must be well-formed, printable, and must round-trip through the
-// pretty-printer to a structurally identical protocol, with the printer
-// itself a fixpoint (formatting the reparse reproduces the same source).
-// The corpus is seeded with the paper's figures and with every registry
-// protocol that has a global type, rendered by Format itself.
-func FuzzParseFormat(f *testing.F) {
+// FuzzScribbleRoundTrip fuzzes the full parse → format → parse loop: any
+// accepted protocol must be well-formed, printable, and must round-trip
+// through the pretty-printer to a structurally identical protocol, with the
+// printer itself a fixpoint (formatting the reparse reproduces the same
+// source). The corpus is seeded with the paper's figures, parameterised
+// vector sorts over every registered sort, and every registry protocol that
+// has a global type, rendered by Format itself. CI runs this target for 30s
+// per push (the fuzz-smoke job) to keep the sort grammar pinned.
+func FuzzScribbleRoundTrip(f *testing.F) {
 	f.Add(streamingSrc)
 	f.Add(doubleBufferingSrc)
 	f.Add("global protocol P(role a, role b) { m() from a to b; }")
 	f.Add("global protocol P(role a) { rec t { continue t; } }")
 	f.Add("global protocol {}{}")
+	f.Add("global protocol V(role a, role b) { col(vec<complex128>) from a to b; }")
+	f.Add("global protocol V(role a, role b) { col(vec<vec<f64>>) from a to b; }")
+	f.Add("global protocol V(role a, role b) { col(vec<) from a to b; }")
+	f.Add("global protocol V(role a, role b) { col(vec<f64>>) from a to b; }")
+	for _, info := range types.RegisteredSorts() {
+		if info.Go == "" {
+			continue
+		}
+		f.Add("global protocol S(role a, role b) { m(vec<" + string(info.Name) + ">) from a to b; }")
+	}
 	for _, e := range protocols.Registry() {
 		if e.Global == nil {
 			continue

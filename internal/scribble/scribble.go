@@ -73,7 +73,7 @@ func lex(src string) ([]string, error) {
 			for i < len(src) && src[i] != '\n' {
 				i++
 			}
-		case strings.ContainsRune("(){},;", c):
+		case strings.ContainsRune("(){},;<>", c):
 			toks = append(toks, string(c))
 			i++
 		case unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_':
@@ -124,10 +124,32 @@ func (p *scribParser) expect(tok string) error {
 
 func (p *scribParser) ident() (string, error) {
 	t := p.next()
-	if t == "" || strings.ContainsAny(t, "(){},;") {
+	if t == "" || strings.ContainsAny(t, "(){},;<>") {
 		return "", fmt.Errorf("scribble: expected identifier, got %q", t)
 	}
 	return t, nil
+}
+
+// sortExpr parses a possibly parameterised payload sort: ident or
+// ident '<' sort '>' (e.g. f64, vec<complex128>). The spelling is
+// canonicalised with no interior whitespace, matching the types package.
+func (p *scribParser) sortExpr() (types.Sort, error) {
+	id, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if p.peek() == "<" {
+		p.next()
+		inner, err := p.sortExpr()
+		if err != nil {
+			return "", err
+		}
+		if err := p.expect(">"); err != nil {
+			return "", err
+		}
+		return types.Sort(id + "<" + string(inner) + ">"), nil
+	}
+	return types.Sort(id), nil
 }
 
 func (p *scribParser) protocol() (*Protocol, error) {
@@ -243,11 +265,11 @@ func (p *scribParser) message(recs map[string]bool) (types.Global, error) {
 	}
 	sort := types.Unit
 	if p.peek() != ")" {
-		s, err := p.ident()
+		s, err := p.sortExpr()
 		if err != nil {
 			return nil, err
 		}
-		sort = types.Sort(s)
+		sort = s
 	}
 	if err := p.expect(")"); err != nil {
 		return nil, err

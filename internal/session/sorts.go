@@ -2,6 +2,8 @@ package session
 
 import (
 	"fmt"
+	"reflect"
+	"sync"
 
 	"repro/internal/fsm"
 	"repro/internal/types"
@@ -70,6 +72,117 @@ func sortAccepts(s types.Sort, v any) bool {
 		_, ok := v.(bool)
 		return ok
 	default:
+		// Registered sorts (types.RegisterSort) and derived vector sorts
+		// accept exactly their bound Go type: a vec<complex128> payload must
+		// be a []complex128, dynamically. Sorts the registry has never heard
+		// of accept anything — verified sessions cannot carry them
+		// (core.Check rejects unknown sorts), so this branch only guards
+		// hand-built monitors, where the permissive pre-registry behaviour
+		// is kept.
+		if want, ok := canonBinding(s); ok {
+			return canonGoType(reflect.TypeOf(v).String()) == want
+		}
 		return true
 	}
+}
+
+// canonBindings memoises sort → canonical Go binding so the per-message
+// check does no registry lookup, vec derivation or re-canonicalisation on
+// the hot path. Registrations are add-only (RegisterSort refuses rebinds),
+// so a cached entry never goes stale; a negative result is not cached — the
+// sort may be registered later in the process lifetime.
+var canonBindings sync.Map // types.Sort -> string
+
+func canonBinding(s types.Sort) (string, bool) {
+	if want, ok := canonBindings.Load(s); ok {
+		return want.(string), true
+	}
+	info, ok := types.LookupSort(s)
+	if !ok {
+		return "", false
+	}
+	want := canonGoType(info.Go)
+	canonBindings.Store(s, want)
+	return want, true
+}
+
+// canonGoType normalises a Go type's spelling for the dynamic-type
+// comparison above: whitespace is insignificant and the predeclared aliases
+// are rewritten to the names the reflect package prints (byte → uint8,
+// rune → int32, any → interface{}), so a sort bound to "[]byte" accepts the
+// "[]uint8" reflect renders. The comparison remains name-based — two
+// identically-qualified types from different import paths are
+// indistinguishable — which is why the doc on types.SortInfo.Go scopes this
+// check to hand-built monitors.
+func canonGoType(s string) string {
+	// Fast path for the common case — already-canonical spellings like
+	// "[]complex128" pass through with no allocation (this runs per message
+	// on the payload's reflect type string).
+	if !needsCanon(s) {
+		return s
+	}
+	var b []byte
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c == ' ' || c == '\t' {
+			i++
+			continue
+		}
+		if !isGoIdentByte(c) {
+			b = append(b, c)
+			i++
+			continue
+		}
+		j := i
+		for j < len(s) && isGoIdentByte(s[j]) {
+			j++
+		}
+		word := s[i:j]
+		// Qualified identifiers (pkg.Name) are left alone: only a bare
+		// token is a predeclared alias.
+		if (i == 0 || s[i-1] != '.') && (j >= len(s) || s[j] != '.') {
+			switch word {
+			case "byte":
+				word = "uint8"
+			case "rune":
+				word = "int32"
+			case "any":
+				word = "interface{}"
+			}
+		}
+		b = append(b, word...)
+		i = j
+	}
+	return string(b)
+}
+
+// needsCanon reports whether s contains whitespace or a bare alias token
+// that canonGoType would rewrite.
+func needsCanon(s string) bool {
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c == ' ' || c == '\t' {
+			return true
+		}
+		if !isGoIdentByte(c) {
+			i++
+			continue
+		}
+		j := i
+		for j < len(s) && isGoIdentByte(s[j]) {
+			j++
+		}
+		switch s[i:j] {
+		case "byte", "rune", "any":
+			if (i == 0 || s[i-1] != '.') && (j >= len(s) || s[j] != '.') {
+				return true
+			}
+		}
+		i = j
+	}
+	return false
+}
+
+func isGoIdentByte(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
 }

@@ -16,11 +16,18 @@ func sortedEndpoint(t *testing.T, local string) *Endpoint {
 }
 
 func TestSendSortChecked(t *testing.T) {
+	// A binding spelled with a predeclared alias must accept the type as
+	// reflect renders it: "[]byte" payloads print as "[]uint8".
+	if err := types.RegisterSort(types.SortInfo{Name: "blob", Go: "[]byte"}); err != nil {
+		t.Fatal(err)
+	}
 	cases := []struct {
 		local string
 		value any
 		ok    bool
 	}{
+		{"b!l(blob).end", []byte("x"), true},
+		{"b!l(blob).end", "x", false},
 		{"b!l(i32).end", 42, true},
 		{"b!l(i32).end", int32(42), true},
 		{"b!l(i32).end", "forty-two", false},
@@ -41,6 +48,17 @@ func TestSendSortChecked(t *testing.T) {
 		{"b!l.end", 42, true},        // unit signals may piggyback data
 		{"b!l(i32).end", nil, true},  // payload omitted: allowed
 		{"b!l(custom).end", 1, true}, // unknown sorts accept anything
+		// Registry-bound sorts accept exactly their Go binding: scalar
+		// complex128, derived vector sorts (the FFT column payloads), and
+		// nested vectors; a slice of the wrong element type is a SortError.
+		{"b!l(complex128).end", complex(1, 2), true},
+		{"b!l(complex128).end", 1.5, false},
+		{"b!l(vec<complex128>).end", []complex128{1}, true},
+		{"b!l(vec<complex128>).end", []float64{1}, false},
+		{"b!l(vec<complex128>).end", complex(1, 2), false},
+		{"b!l(vec<vec<f64>>).end", [][]float64{{1}}, true},
+		{"b!l(vec<vec<f64>>).end", []float64{1}, false},
+		{"b!l(vec<complex128>).end", nil, true}, // payload omitted: allowed
 	}
 	for _, c := range cases {
 		ep := sortedEndpoint(t, c.local)

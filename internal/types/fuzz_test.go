@@ -12,7 +12,10 @@ func FuzzParseLocal(f *testing.F) {
 		"mu x.s!ready.x",
 		"t?ready.s!{value(i32).end, stop.end}",
 		"mu t.s?{d0.s!a0.t, d1.s!a1.t}",
+		"w4!col(vec<complex128>).w4?col(vec<complex128>).end",
+		"q!m(vec<vec<f64>>).end",
 		"p!{", "mu .", "p!l(.end", "}{", "p ? l . q ! m . end",
+		"q!m(vec<).end", "q!m(vec<f64>>).end",
 	} {
 		f.Add(seed)
 	}
@@ -37,7 +40,8 @@ func FuzzParseGlobal(f *testing.F) {
 		"end",
 		"mu x.t->s:ready.s->t:{value.x, stop.end}",
 		"a->b:{l(i32).end, r.end}",
-		"a->:l.end", "mu x.x", "p->q:",
+		"w0->w4:col(vec<complex128>).w4->w0:col(vec<complex128>).end",
+		"a->:l.end", "mu x.x", "p->q:", "a->b:l(vec<.end",
 	} {
 		f.Add(seed)
 	}

@@ -129,6 +129,29 @@ func (p *parser) ident() (string, error) {
 	return p.src[start:p.pos], nil
 }
 
+// sortExpr parses a possibly parameterised sort: ident or ident '<' sort '>'
+// (e.g. f64, vec<f64>, vec<vec<complex128>>). The rendered form is always
+// the canonical whitespace-free spelling, so sorts round-trip through the
+// printers. Whether a parameterised head is meaningful (only vec is) is the
+// registry's concern, not the grammar's.
+func (p *parser) sortExpr() (Sort, error) {
+	id, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if p.eat('<') {
+		inner, err := p.sortExpr()
+		if err != nil {
+			return "", err
+		}
+		if err := p.expect('>'); err != nil {
+			return "", err
+		}
+		return Sort(id + "<" + string(inner) + ">"), nil
+	}
+	return Sort(id), nil
+}
+
 func (p *parser) local() (Local, error) {
 	p.skipSpace()
 	save := p.pos
@@ -211,11 +234,11 @@ func (p *parser) branch() (Branch, error) {
 	if p.eat('(') {
 		p.skipSpace()
 		if !p.eat(')') {
-			s, err := p.ident()
+			s, err := p.sortExpr()
 			if err != nil {
 				return Branch{}, err
 			}
-			sort = Sort(s)
+			sort = s
 			if err := p.expect(')'); err != nil {
 				return Branch{}, err
 			}
@@ -311,11 +334,11 @@ func (p *parser) gbranch() (GBranch, error) {
 	if p.eat('(') {
 		p.skipSpace()
 		if !p.eat(')') {
-			s, err := p.ident()
+			s, err := p.sortExpr()
 			if err != nil {
 				return GBranch{}, err
 			}
-			sort = Sort(s)
+			sort = s
 			if err := p.expect(')'); err != nil {
 				return GBranch{}, err
 			}

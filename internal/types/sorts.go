@@ -1,0 +1,240 @@
+package types
+
+// The sort registry: the open-world extension of the closed scalar sort set
+// of Definition 1. The paper's grammar fixes S ::= i32 | u32 | ... ; real
+// protocols (FFT's butterfly columns, domain objects) carry richer payloads,
+// which earlier revisions smuggled under a scalar sort and an `any` escape
+// hatch. A sort is now *known* when it is registered here — either one of
+// the built-in scalars below, an opaque sort registered by the embedding
+// program (types.RegisterSort, or sessgen's -sortmap flag), or a vector
+// sort vec<S> over a known element sort S, whose Go binding is derived
+// ([]S's binding) rather than registered.
+//
+// The registry carries the Go-type binding the code generator
+// (internal/codegen) emits for each sort, and the runtime monitor
+// (internal/session) consults it to check that payloads inhabit their
+// declared sorts. Sorts remain plain strings structurally — α-canonical
+// forms, equality and substitution are unchanged, and unknown sorts still
+// parse and print — but the verifying paths (core.Check, codegen) reject
+// protocols whose actions carry sorts nobody registered, so a typo like
+// vec<f65> fails at verification time instead of generating an `any` API.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"unicode"
+)
+
+// Complex128 is the complex scalar sort, the element sort of the FFT
+// benchmark's column payloads (vec<complex128>).
+const Complex128 Sort = "complex128"
+
+// SortInfo is one registry entry: a named sort and its Go binding.
+type SortInfo struct {
+	// Name is the sort as written in types and Scribble sources, e.g.
+	// "complex128" or "temperature". It must be a bare identifier: vector
+	// sorts are derived, never registered.
+	Name Sort
+	// Go is the Go type the generated APIs use for payloads of this sort,
+	// e.g. "complex128", "[]float64" or "mypkg.Reading" (set Import for
+	// package-qualified types). The runtime monitor accepts exactly values
+	// of this dynamic type (see session's sort check), so bind a concrete
+	// type when the protocol may run under the tier-2 monitor: an interface
+	// binding is only checkable by the generated (tier-3) APIs, whose type
+	// assertion handles interfaces — the monitor compares the payload's
+	// dynamic type name and would reject every implementation.
+	Go string
+	// Import is the package the Go type's qualifier refers to, e.g.
+	// "example.com/mypkg" for Go = "mypkg.Reading"; empty for predeclared
+	// and composite-of-predeclared types. The code generator adds it to the
+	// generated file's imports. Bindings spanning several packages should
+	// alias the type into one package and bind that.
+	Import string
+}
+
+var sortReg = struct {
+	sync.RWMutex
+	m map[Sort]SortInfo
+}{m: builtinSorts()}
+
+// builtinSorts pre-registers the paper's scalar sorts plus complex128. The
+// Go bindings of the integer scalars match the converter table the code
+// generator has always used.
+func builtinSorts() map[Sort]SortInfo {
+	m := map[Sort]SortInfo{}
+	for _, info := range []SortInfo{
+		{Name: Unit, Go: ""}, // pure signal: no payload
+		{Name: Nat, Go: "uint"},
+		{Name: Int, Go: "int"},
+		{Name: I32, Go: "int32"},
+		{Name: U32, Go: "uint32"},
+		{Name: I64, Go: "int64"},
+		{Name: U64, Go: "uint64"},
+		{Name: F64, Go: "float64"},
+		{Name: Str, Go: "string"},
+		{Name: Bool, Go: "bool"},
+		{Name: Complex128, Go: "complex128"},
+	} {
+		m[info.Name] = info
+	}
+	return m
+}
+
+// RegisterSort adds a named opaque sort with its Go-type binding to the
+// registry. Registration is idempotent for identical bindings; re-registering
+// a name (including a built-in) with a different Go type is an error, as is a
+// non-identifier name or a vector form (vec<S> is derived from S, never
+// registered).
+func RegisterSort(info SortInfo) error {
+	if err := checkSortName(string(info.Name)); err != nil {
+		return err
+	}
+	if info.Go == "" {
+		return fmt.Errorf("types: sort %s needs a Go type binding", info.Name)
+	}
+	sortReg.Lock()
+	defer sortReg.Unlock()
+	if prev, ok := sortReg.m[info.Name]; ok {
+		if prev.Go == info.Go && prev.Import == info.Import {
+			return nil
+		}
+		return fmt.Errorf("types: sort %s already registered as %s (import %q); got %s (import %q)", info.Name, prev.Go, prev.Import, info.Go, info.Import)
+	}
+	sortReg.m[info.Name] = info
+	return nil
+}
+
+// checkSortName enforces the registrable-name shape: a non-empty identifier
+// of letters, digits and underscores — the intersection of the local-type
+// and Scribble lexers' identifier sets — so a registered sort can always be
+// spelled in both surface syntaxes and parses back as itself. (The
+// local-type parser also admits primes, but the Scribble lexer does not;
+// admitting them here would let a sort be registered that no .scr source
+// could name and scribble.Format could never render.)
+func checkSortName(name string) error {
+	if name == "" {
+		return fmt.Errorf("types: empty sort name")
+	}
+	for _, r := range name {
+		if !(unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_') {
+			return fmt.Errorf("types: sort name %q is not a bare identifier (register the element sort; vec<S> is derived)", name)
+		}
+	}
+	return nil
+}
+
+// LookupSort resolves a sort to its Go binding: registry entries directly,
+// vec<S> forms by deriving []T from S's binding. The second result is false
+// for unknown sorts.
+func LookupSort(s Sort) (SortInfo, bool) {
+	if elem, ok := VecElem(s); ok {
+		info, ok := LookupSort(elem)
+		if !ok || info.Go == "" { // vec<unit> has no payload representation
+			return SortInfo{}, false
+		}
+		return SortInfo{Name: s, Go: "[]" + info.Go, Import: info.Import}, true
+	}
+	sortReg.RLock()
+	info, ok := sortReg.m[s]
+	sortReg.RUnlock()
+	return info, ok
+}
+
+// KnownSort reports whether s is registered, or a vector over a known
+// payload-carrying element sort. The empty sort normalises to Unit and is
+// known.
+func KnownSort(s Sort) bool {
+	if s == "" {
+		return true
+	}
+	if s == Unit {
+		return true
+	}
+	_, ok := LookupSort(s)
+	return ok
+}
+
+// RegisteredSorts returns the registered entries (built-ins plus user
+// registrations), sorted by name — the seed set for property tests and
+// fuzzers over the sort grammar.
+func RegisteredSorts() []SortInfo {
+	sortReg.RLock()
+	out := make([]SortInfo, 0, len(sortReg.m))
+	for _, info := range sortReg.m {
+		out = append(out, info)
+	}
+	sortReg.RUnlock()
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Name < out[j-1].Name; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// VecOf returns the vector sort over elem: vec<elem>.
+func VecOf(elem Sort) Sort { return Sort("vec<" + string(elem) + ">") }
+
+// VecElem reports whether s is a vector sort and returns its element sort.
+func VecElem(s Sort) (Sort, bool) {
+	str := string(s)
+	if !strings.HasPrefix(str, "vec<") || !strings.HasSuffix(str, ">") {
+		return "", false
+	}
+	return Sort(str[len("vec<") : len(str)-1]), true
+}
+
+// UnknownSortsLocal returns the unknown sorts appearing in t, in first-use
+// order without duplicates. Empty means every payload sort is known.
+func UnknownSortsLocal(t Local) []Sort {
+	var out []Sort
+	seen := map[Sort]bool{}
+	var walk func(Local)
+	walk = func(t Local) {
+		switch t := t.(type) {
+		case Rec:
+			walk(t.Body)
+		case Send:
+			for _, b := range t.Branches {
+				noteUnknown(b.Sort, seen, &out)
+				walk(b.Cont)
+			}
+		case Recv:
+			for _, b := range t.Branches {
+				noteUnknown(b.Sort, seen, &out)
+				walk(b.Cont)
+			}
+		}
+	}
+	walk(t)
+	return out
+}
+
+// UnknownSortsGlobal is UnknownSortsLocal for global types.
+func UnknownSortsGlobal(g Global) []Sort {
+	var out []Sort
+	seen := map[Sort]bool{}
+	var walk func(Global)
+	walk = func(g Global) {
+		switch g := g.(type) {
+		case GRec:
+			walk(g.Body)
+		case Comm:
+			for _, b := range g.Branches {
+				noteUnknown(b.Sort, seen, &out)
+				walk(b.Cont)
+			}
+		}
+	}
+	walk(g)
+	return out
+}
+
+func noteUnknown(s Sort, seen map[Sort]bool, out *[]Sort) {
+	if KnownSort(s) || seen[s] {
+		return
+	}
+	seen[s] = true
+	*out = append(*out, s)
+}
