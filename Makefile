@@ -8,16 +8,23 @@
 #   make bench-codegen  generated-API vs monitored head-to-heads (send/recv
 #                       microbench + end-to-end streaming and FFT), parsed
 #                       JSON to BENCH_codegen.json
-#   make bench-smoke    both bench targets at one iteration per benchmark,
+#   make bench-sched    multi-session scheduler throughput (sessions/sec vs
+#                       session count 1→100k at GOMAXPROCS 1/2/4, plus the
+#                       2-goroutines-per-session baseline), parsed JSON to
+#                       BENCH_sched.json
+#   make bench-smoke    all bench targets at one iteration per benchmark,
 #                       then cmd/benchcheck asserts the JSON is well-formed
 #                       and every expected column (including
-#                       FFT×rumpsteak-gen) is present — the CI bench job
+#                       FFT×rumpsteak-gen and the sched matrix) is present
+#                       — the CI bench job
 #   make generate       regenerate the sessgen packages (examples/gen)
 #   make drift          the CI gate: regenerated sources must match what is
 #                       checked in, and the tree must be gofmt-clean
-#   make ci             the full CI pipeline locally: vet + verify + drift +
-#                       race + bench-smoke, so a builder can reproduce a CI
-#                       failure before pushing
+#   make doccheck       every internal package must carry a package comment
+#                       (the README/doc.go front-door gate)
+#   make ci             the full CI pipeline locally: vet + doccheck +
+#                       verify + drift + race + bench-smoke, so a builder
+#                       can reproduce a CI failure before pushing
 
 GO ?= go
 # bash + pipefail: a failing benchmark run must fail `make bench`, not let
@@ -43,6 +50,12 @@ BENCH_PKGS ?= ./internal/channel ./internal/session ./internal/bench
 CODEGEN_BENCH_PATTERN ?= BenchmarkSendRecvMonitored|BenchmarkSendRecvUnchecked|BenchmarkSendRecvUnmonitored|BenchmarkGenRunStreaming|BenchmarkGenRunFFT|BenchmarkSessionRunStreaming
 CODEGEN_BENCH_PKGS ?= ./internal/session ./internal/bench
 
+# The multi-session scheduling axis: sessions/sec over the sched worker
+# pool (the sessions×procs matrix) against the per-session-goroutines
+# baseline.
+SCHED_BENCH_PATTERN ?= BenchmarkSchedThroughput|BenchmarkSchedGoroutineBaseline
+SCHED_BENCH_PKGS ?= ./internal/bench
+
 # Extra flags for the bench targets; bench-smoke passes -benchtime 1x so the
 # whole suite runs in seconds while still producing parseable JSON.
 BENCH_FLAGS ?=
@@ -51,15 +64,16 @@ BENCH_FLAGS ?=
 # single-iteration data.
 BENCH_OUT ?= BENCH_channel.json
 CODEGEN_BENCH_OUT ?= BENCH_codegen.json
+SCHED_BENCH_OUT ?= BENCH_sched.json
 
-.PHONY: verify race bench bench-codegen bench-smoke generate drift ci
+.PHONY: verify race bench bench-codegen bench-sched bench-smoke generate drift doccheck ci
 
 verify:
 	$(GO) build ./...
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -timeout 600s ./internal/channel ./internal/session
+	$(GO) test -race -timeout 600s ./internal/channel ./internal/session ./internal/sched
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem $(BENCH_FLAGS) -timeout 1800s $(BENCH_PKGS) \
@@ -71,6 +85,11 @@ bench-codegen:
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > $(CODEGEN_BENCH_OUT)
 	@echo "wrote $(CODEGEN_BENCH_OUT)"
 
+bench-sched:
+	$(GO) test -run '^$$' -bench '$(SCHED_BENCH_PATTERN)' -benchmem $(BENCH_FLAGS) -timeout 1800s $(SCHED_BENCH_PKGS) \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > $(SCHED_BENCH_OUT)
+	@echo "wrote $(SCHED_BENCH_OUT)"
+
 # bench-smoke: the CI bench job. One iteration per benchmark keeps it fast;
 # benchcheck then fails the pipeline if either JSON is malformed or an
 # expected column is missing — including the FFT×rumpsteak-gen row that
@@ -80,6 +99,7 @@ bench-codegen:
 bench-smoke:
 	$(MAKE) bench BENCH_FLAGS='-benchtime 1x' BENCH_OUT=BENCH_smoke_channel.json
 	$(MAKE) bench-codegen BENCH_FLAGS='-benchtime 1x' CODEGEN_BENCH_OUT=BENCH_smoke_codegen.json
+	$(MAKE) bench-sched BENCH_FLAGS='-benchtime 1x' SCHED_BENCH_OUT=BENCH_smoke_sched.json
 	$(GO) run ./cmd/benchcheck -file BENCH_smoke_channel.json \
 		-expect BenchmarkSendRecv -expect BenchmarkPingPong \
 		-expect BenchmarkSessionRunStreaming/ring -expect BenchmarkSessionRunStreaming/queue \
@@ -89,9 +109,25 @@ bench-smoke:
 		-expect BenchmarkSendRecvUnmonitored \
 		-expect BenchmarkGenRunStreaming -expect BenchmarkGenRunFFT \
 		-expect BenchmarkSessionRunStreaming
+	$(GO) run ./cmd/benchcheck -file BENCH_smoke_sched.json -metric sessions/sec \
+		-expect 'SchedThroughput/sessions=1/procs=1' \
+		-expect 'SchedThroughput/sessions=100/procs=2' \
+		-expect 'SchedThroughput/sessions=10000/procs=2' \
+		-expect 'SchedThroughput/sessions=100000/procs=4' \
+		-expect SchedGoroutineBaseline
+
+# doccheck: the documentation front door must not regress — every internal
+# package needs a package comment (go list exposes the synopsis as .Doc).
+doccheck:
+	@missing="$$($(GO) list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./internal/...)"; \
+	if [ -n "$$missing" ]; then \
+		echo "doccheck: internal packages lacking a package comment:"; \
+		echo "$$missing"; exit 1; fi
+	@echo "doccheck: every internal package carries a package comment"
 
 ci:
 	$(GO) vet ./...
+	$(MAKE) doccheck
 	$(MAKE) verify
 	$(MAKE) drift
 	$(MAKE) race

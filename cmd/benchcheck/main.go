@@ -1,13 +1,17 @@
 // Command benchcheck validates a BENCH_*.json file produced by
 // cmd/benchjson: the file must be well-formed JSON in benchjson's shape, be
 // non-empty, carry only finite metric values, and contain at least one
-// benchmark whose name includes each -expect fragment. The bench-smoke CI
-// job (and `make bench-smoke`) runs it after regenerating the JSON with one
-// iteration per benchmark, so a perf column silently dropping out of the
-// published artifacts — the way FFT×rumpsteak-gen used to be absent — fails
-// the pipeline instead of going unnoticed.
+// benchmark whose name includes each -expect fragment. With -metric, every
+// result must additionally carry the named custom metric — BENCH_sched.json
+// is gated on "sessions/sec", so the scheduler columns cannot silently
+// degrade into bare ns/op rows. The bench-smoke CI job (and `make
+// bench-smoke`) runs it after regenerating the JSON with one iteration per
+// benchmark, so a perf column silently dropping out of the published
+// artifacts — the way FFT×rumpsteak-gen used to be absent — fails the
+// pipeline instead of going unnoticed.
 //
 //	benchcheck -file BENCH_codegen.json -expect GenRunStreaming -expect GenRunFFT
+//	benchcheck -file BENCH_sched.json -metric sessions/sec -expect 'sessions=100000/procs=4'
 package main
 
 import (
@@ -30,6 +34,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchcheck: ")
 	file := flag.String("file", "", "benchjson output file to validate")
+	metric := flag.String("metric", "", "custom metric every result must carry (e.g. sessions/sec)")
 	var expects []string
 	flag.Func("expect", "fragment at least one benchmark name must contain (repeatable)", func(arg string) error {
 		if arg == "" {
@@ -64,6 +69,11 @@ func main() {
 		for unit, v := range r.Metrics {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				log.Fatalf("%s: %s metric %s is %v", *file, r.Name, unit, v)
+			}
+		}
+		if *metric != "" {
+			if _, ok := r.Metrics[*metric]; !ok {
+				log.Fatalf("%s: %s does not report the required metric %q", *file, r.Name, *metric)
 			}
 		}
 	}

@@ -10,6 +10,13 @@
 //	sessgen -protocol elevator -stdout
 //	sessgen -scribble sensor.scr -sortmap 'reading=mypkg.Reading@example.com/mypkg' -o ./gen/sensor
 //
+// Every generated state offers both faces of each transition: the blocking
+// methods (SendX/RecvX/Branch) and the non-blocking stepping face
+// (TrySendX/TryRecvX/TryBranch), which returns session.ErrWouldBlock —
+// leaving the state value live for a retry — when the substrate cannot
+// progress, so generated sessions can multiplex over internal/sched worker
+// pools instead of parking goroutines.
+//
 // Payload sorts must be known to the sort registry (the scalar built-ins,
 // vec<S> vectors over them, or user registrations): -sortmap name=GoType
 // binds a domain-specific sort to the Go type the generated API should use

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+
+	genstreaming "repro/examples/gen/streaming"
+	"repro/internal/codegen/genrt"
+	"repro/internal/session"
+)
+
+// These tests pin the generated stepping face (the Try* methods sessgen now
+// emits): would-block leaves the state value live and has no observable
+// effect, success consumes it exactly like the blocking method, and a run
+// driven entirely through Try* with retries observes the same values as the
+// blocking generated run (GenStreaming, the rumpsteak-gen Fig. 6 column).
+
+// trySpin retries op until it stops reporting session.ErrWouldBlock,
+// yielding between probes (single-P runtimes starve the peer otherwise).
+func trySpin(op func() error) error {
+	for {
+		err := op()
+		if !errors.Is(err, session.ErrWouldBlock) {
+			return err
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestGenTryStreamingMatchesBlocking drives the generated streaming protocol
+// once through the blocking API and once entirely through the Try* face
+// (retry loops standing in for a scheduler) and requires identical sink
+// observations.
+func TestGenTryStreamingMatchesBlocking(t *testing.T) {
+	const n = 20
+	want, err := GenStreaming(n)
+	if err != nil {
+		t.Fatalf("blocking generated run: %v", err)
+	}
+
+	var got []int32
+	net := genstreaming.NewNetwork()
+	err = genstreaming.Run(net, genstreaming.Procs{
+		S: func(s genstreaming.S0) (genstreaming.SEnd, error) {
+			var s1 genstreaming.S1
+			if err := trySpin(func() (e error) { s1, e = s.TrySendValue(0); return }); err != nil {
+				return genstreaming.SEnd{}, err
+			}
+			var loop genstreaming.S2
+			if err := trySpin(func() (e error) { loop, e = s1.TrySendValue(1); return }); err != nil {
+				return genstreaming.SEnd{}, err
+			}
+			for i := 2; i < n; i++ {
+				var s4 genstreaming.S4
+				if err := trySpin(func() (e error) { s4, e = loop.TrySendValue(int32(i)); return }); err != nil {
+					return genstreaming.SEnd{}, err
+				}
+				if err := trySpin(func() (e error) { loop, e = s4.TryRecvReady(); return }); err != nil {
+					return genstreaming.SEnd{}, err
+				}
+			}
+			var s5 genstreaming.S5
+			if err := trySpin(func() (e error) { s5, e = loop.TrySendStop(); return }); err != nil {
+				return genstreaming.SEnd{}, err
+			}
+			var s6 genstreaming.S6
+			if err := trySpin(func() (e error) { s6, e = s5.TryRecvReady(); return }); err != nil {
+				return genstreaming.SEnd{}, err
+			}
+			var s7 genstreaming.S7
+			if err := trySpin(func() (e error) { s7, e = s6.TryRecvReady(); return }); err != nil {
+				return genstreaming.SEnd{}, err
+			}
+			var end genstreaming.SEnd
+			if err := trySpin(func() (e error) { end, e = s7.TryRecvReady(); return }); err != nil {
+				return genstreaming.SEnd{}, err
+			}
+			return end, nil
+		},
+		T: func(t0 genstreaming.T0) (genstreaming.TEnd, error) {
+			cur := t0
+			for {
+				var t2 genstreaming.T2
+				if err := trySpin(func() (e error) { t2, e = cur.TrySendReady(); return }); err != nil {
+					return genstreaming.TEnd{}, err
+				}
+				var b genstreaming.T2Branch
+				if err := trySpin(func() (e error) { b, e = t2.TryBranch(); return }); err != nil {
+					return genstreaming.TEnd{}, err
+				}
+				if b.Label == genstreaming.LabelStop {
+					return b.StopNext, nil
+				}
+				got = append(got, b.ValuePayload)
+				cur = b.ValueNext
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("try-face generated run: %v", err)
+	}
+	if len(got) != want {
+		t.Fatalf("try-face sink observed %d values, blocking run %d", len(got), want)
+	}
+	for i, v := range got {
+		if v != int32(i) {
+			t.Fatalf("try-face sink value %d = %d, want %d (same trace as blocking)", i, v, i)
+		}
+	}
+}
+
+// TestGenTryWouldBlockKeepsStateLive pins the one-shot semantics of the
+// stepping face from a single goroutine: a would-blocked Try leaves the
+// state usable, success consumes it, and the consumed value faults with
+// genrt.ErrStateConsumed — including through its Try methods.
+func TestGenTryWouldBlockKeepsStateLive(t *testing.T) {
+	net := genstreaming.NewNetwork()
+	// Drive both roles from this goroutine via nested generated runners:
+	// nothing below blocks, which is itself part of what is being pinned.
+	err := genstreaming.RunT(net, func(t0 genstreaming.T0) (genstreaming.TEnd, error) {
+		// Nothing sent yet: the sink's branch must refuse without consuming.
+		t2, err := t0.SendReady()
+		if err != nil {
+			return genstreaming.TEnd{}, err
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := t2.TryBranch(); !errors.Is(err, session.ErrWouldBlock) {
+				return genstreaming.TEnd{}, errors.New("TryBranch on empty route did not would-block")
+			}
+		}
+		// Run the source far enough to publish one value, from this same
+		// goroutine — nothing here blocks.
+		errS := genstreaming.RunS(net, func(s genstreaming.S0) (genstreaming.SEnd, error) {
+			s1, err := s.TrySendValue(41)
+			if err != nil {
+				return genstreaming.SEnd{}, err
+			}
+			// The state that produced s1 is consumed: its Try face must
+			// fault rather than re-send.
+			if _, err := s.TrySendValue(99); !errors.Is(err, genrt.ErrStateConsumed) {
+				return genstreaming.SEnd{}, errors.New("consumed state's TrySend did not fault")
+			}
+			// Abandon mid-protocol (the source is not needed further).
+			_ = s1
+			return genstreaming.SEnd{}, session.ErrStopped
+		})
+		if errS != nil && !errors.Is(errS, session.ErrStopped) {
+			return genstreaming.TEnd{}, errS
+		}
+		// The parked branch state is still live and now succeeds.
+		b, err := t2.TryBranch()
+		if err != nil {
+			return genstreaming.TEnd{}, err
+		}
+		if b.Label != genstreaming.LabelValue || b.ValuePayload != 41 {
+			return genstreaming.TEnd{}, errors.New("retried TryBranch did not deliver the published value")
+		}
+		return genstreaming.TEnd{}, session.ErrStopped
+	})
+	if err != nil && !errors.Is(err, session.ErrStopped) {
+		t.Fatalf("stepped single-goroutine run: %v", err)
+	}
+}

@@ -1,13 +1,3 @@
-// Package bench implements the paper's evaluation harness: the runtime
-// throughput experiments of Fig. 6 (streaming, double buffering, FFT across
-// five runtime designs), the verification-scalability experiments of Fig. 7
-// (our subtyping algorithm versus SoundBinary and k-MC on four protocol
-// families), and the expressiveness classification of Table 1.
-//
-// Each experiment function performs one complete run at a given parameter and
-// returns the work done, so that callers — the cmd/fig6 and cmd/fig7 binaries
-// and the testing.B benchmarks in bench_test.go — can derive throughput or
-// running time in the same shape as the paper's plots.
 package bench
 
 import (

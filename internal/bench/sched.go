@@ -1,0 +1,142 @@
+package bench
+
+// This file is the multi-session throughput experiment behind
+// BENCH_sched.json (`make bench-sched`): sessions/sec as a function of the
+// number of concurrent sessions (1 → 100k) and the worker-pool width
+// (GOMAXPROCS 1/2/4). Where Fig. 6 measures one session at a time on
+// dedicated goroutines, this axis measures the production shape the ROADMAP
+// asks for — thousands of verified sessions multiplexed over a fixed pool
+// via non-blocking stepping (internal/sched). See EXPERIMENTS.md,
+// "Multi-session scheduling throughput".
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fsm"
+	"repro/internal/sched"
+	"repro/internal/session"
+	"repro/internal/types"
+)
+
+// schedBase memoises the verified streaming session the throughput runs
+// fork: verification happens once per process, instances are cheap forks.
+var schedBase struct {
+	once sync.Once
+	sess *session.Session
+	err  error
+}
+
+func schedBaseSession() (*session.Session, error) {
+	schedBase.once.Do(func() {
+		g := types.MustParseGlobal("mu x.t->s:ready.s->t:{value(i32).x, stop.end}")
+		schedBase.sess, schedBase.err = session.TopDown(g, nil, core.Options{})
+	})
+	return schedBase.sess, schedBase.err
+}
+
+// schedStreamValues is how many values each benchmark session streams
+// before its sink-side stop: enough loop turns that per-session setup does
+// not dominate, small enough that 100k sessions stay cheap.
+const schedStreamValues = 8
+
+// valuesThenStop drives the streaming source: it answers the sink's readys
+// with schedStreamValues values, then stop.
+type valuesThenStop struct{ sent int }
+
+func (v *valuesThenStop) Choose(_ fsm.State, options []fsm.Transition) int {
+	want := types.Label("stop")
+	if v.sent < schedStreamValues {
+		want = "value"
+	}
+	for i, t := range options {
+		if t.Act.Label == want {
+			if want == "value" {
+				v.sent++
+			}
+			return i
+		}
+	}
+	return 0
+}
+func (v *valuesThenStop) Payload(act fsm.Action) any {
+	if act.Label == "value" {
+		return int32(v.sent)
+	}
+	return nil
+}
+func (v *valuesThenStop) Received(fsm.Action, any) {}
+
+// schedStrategy returns the per-role strategy of one benchmark session.
+func schedStrategy(r types.Role) session.Strategy {
+	if r == "s" {
+		return &valuesThenStop{}
+	}
+	return session.FirstBranch{}
+}
+
+// schedSessionBudget bounds each role generously above the actions a full
+// run needs (per loop turn the source and sink each perform 2 actions, plus
+// the stop exchange), so completion always comes from the protocol's own
+// end, never the budget.
+const schedSessionBudget = 4*schedStreamValues + 8
+
+// SchedThroughput runs n complete streaming sessions — verified once,
+// forked per instance — over a sched.Scheduler with the given number of
+// workers, and returns n. Each session runs to protocol completion
+// (schedStreamValues values then stop), so sessions/sec follows directly
+// from timing this call.
+func SchedThroughput(workers, n int) (int, error) {
+	base, err := schedBaseSession()
+	if err != nil {
+		return 0, err
+	}
+	s := sched.New(sched.Options{Workers: workers})
+	for i := 0; i < n; i++ {
+		if err := s.GoSession(base.Fork(), schedSessionBudget, schedStrategy); err != nil {
+			s.Close()
+			return 0, fmt.Errorf("bench: sched session %d: %w", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		return 0, fmt.Errorf("bench: sched run (%d sessions, %d workers): %w", n, workers, err)
+	}
+	return n, nil
+}
+
+// SchedGoroutineBaseline is the classic shape SchedThroughput is compared
+// against: the same n streaming sessions, each on its own pair of blocking
+// goroutines (2n goroutines in flight), bounded by the same budgets. The
+// gap between the two columns is the scheduling axis of BENCH_sched.json.
+func SchedGoroutineBaseline(n int) (int, error) {
+	base, err := schedBaseSession()
+	if err != nil {
+		return 0, err
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		inst := base.Fork()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			procs := map[types.Role]func(*session.Endpoint) error{}
+			for _, r := range inst.Roles() {
+				r := r
+				procs[r] = func(ep *session.Endpoint) error {
+					return session.Drive(ep, inst.FSM(r), schedStrategy(r), schedSessionBudget)
+				}
+			}
+			if err := inst.Run(procs); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return 0, fmt.Errorf("bench: goroutine baseline: %w", err)
+	}
+	return n, nil
+}

@@ -1,0 +1,69 @@
+package bench
+
+// The BENCH_sched.json benchmarks: sessions/sec vs concurrent-session count
+// at several GOMAXPROCS settings (`make bench-sched`). The sched column is
+// the scheduler (fixed worker pool, non-blocking stepping); the goroutines
+// column is the classic 2-goroutines-per-session blocking shape, capped at
+// 10k sessions where its 2n parked goroutines stop being a sensible
+// baseline (100k sessions would park 200k goroutines).
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// schedSessionCounts is the session-count axis (1 → 100k).
+var schedSessionCounts = []int{1, 100, 10000, 100000}
+
+// schedProcSettings is the GOMAXPROCS / worker-pool axis.
+var schedProcSettings = []int{1, 2, 4}
+
+func BenchmarkSchedThroughput(b *testing.B) {
+	for _, procs := range schedProcSettings {
+		for _, n := range schedSessionCounts {
+			b.Run(fmt.Sprintf("sessions=%d/procs=%d", n, procs), func(b *testing.B) {
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := SchedThroughput(procs, n); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "sessions/sec")
+			})
+		}
+	}
+}
+
+func BenchmarkSchedGoroutineBaseline(b *testing.B) {
+	for _, n := range schedSessionCounts {
+		if n > 10000 {
+			continue
+		}
+		b.Run(fmt.Sprintf("sessions=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := SchedGoroutineBaseline(n); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "sessions/sec")
+		})
+	}
+}
+
+// TestSchedThroughputSmall is the tier-1 pin that the benchmark harness
+// itself is sound: a small run completes with every session ending cleanly.
+func TestSchedThroughputSmall(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		if _, err := SchedThroughput(workers, 64); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+	if _, err := SchedGoroutineBaseline(32); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,25 +1,3 @@
-// Package channel provides the communication substrates used by the session
-// runtimes. Substrate selection:
-//
-//	substrate   bounds     locking            producers  paper semantics modelled
-//	---------   ------     -------            ---------  -----------------------
-//	RingQueue   unbounded  lock-free SPSC     single     asynchronous queue (Rumpsteak) — default
-//	Ring        k          lock-free SPSC     single     k-bounded queue (k-MC execution model)
-//	Queue       unbounded  mutex + cond       multi      asynchronous queue, MPMC baseline
-//	Bounded     k          mutex + cond       multi      k-bounded queue, MPMC baseline
-//	Rendezvous  0          native go channel  multi      synchronous channel (Sesh, MultiCrusty)
-//
-// RingQueue and Ring exploit the session-network invariant that every
-// ordered role pair has exactly one sender and one receiver: their hot path
-// is a slot write plus one atomic publication — no locks and no steady-state
-// allocation (see ring.go for the waiting and close protocol). Queue and
-// Bounded remain the mutex-based baselines for comparison (and for callers
-// that need multiple concurrent senders); Rendezvous models the synchronous
-// baselines of the paper's evaluation.
-//
-// All substrates share drain-on-close semantics: after Close, buffered
-// messages are still received in order, then receives return ErrClosed;
-// sends on a closed substrate fail with ErrClosed.
 package channel
 
 import (
@@ -42,6 +20,13 @@ var ErrClosed = errors.New("channel: closed")
 // Sender is the output half of a channel.
 type Sender interface {
 	Send(Message) error
+	// TrySend returns immediately; ok reports whether the message was
+	// accepted. The contract mirrors Receiver.TryRecv: (true, nil) on
+	// success, (false, nil) when the substrate is full (retry after the
+	// peer makes progress), (false, ErrClosed) once closed. Substrates
+	// that never fill (Queue, RingQueue) never report (false, nil);
+	// their TrySend fails only with ErrClosed.
+	TrySend(Message) (ok bool, err error)
 }
 
 // Receiver is the input half of a channel.
@@ -111,6 +96,14 @@ func (q *Queue) Recv() (Message, error) {
 		return Message{}, ErrClosed
 	}
 	return q.pop(), nil
+}
+
+// TrySend appends m. The queue is unbounded, so it only fails when closed.
+func (q *Queue) TrySend(m Message) (bool, error) {
+	if err := q.Send(m); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // TryRecv removes the oldest message if one is present.
@@ -215,6 +208,23 @@ func (b *Bounded) Recv() (Message, error) {
 	return b.pop(), nil
 }
 
+// TrySend appends m if the queue has a free slot: (false, nil) while full,
+// (false, ErrClosed) once closed — closure wins when the queue is both.
+func (b *Bounded) TrySend(m Message) (bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return false, ErrClosed
+	}
+	if b.n == len(b.buf) {
+		return false, nil
+	}
+	b.buf[(b.head+b.n)%len(b.buf)] = m
+	b.n++
+	b.notEmpty.Signal()
+	return true, nil
+}
+
 // TryRecv returns immediately; a closed-but-nonempty queue still delivers.
 func (b *Bounded) TryRecv() (Message, bool, error) {
 	b.mu.Lock()
@@ -268,6 +278,18 @@ func NewRendezvous() *Rendezvous { return &Rendezvous{ch: make(chan Message)} }
 func (r *Rendezvous) Send(m Message) error {
 	r.ch <- m
 	return nil
+}
+
+// TrySend hands m to a receiver that is already waiting; (false, nil) when
+// none is. Like Send, it panics on a closed Rendezvous (native channel
+// semantics; the session runtimes close routes only after senders finish).
+func (r *Rendezvous) TrySend(m Message) (bool, error) {
+	select {
+	case r.ch <- m:
+		return true, nil
+	default:
+		return false, nil
+	}
 }
 
 // Recv blocks until a sender arrives.

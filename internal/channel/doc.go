@@ -1,0 +1,29 @@
+// Package channel provides the communication substrates used by the session
+// runtimes. Substrate selection:
+//
+//	substrate   bounds     locking            producers  paper semantics modelled
+//	---------   ------     -------            ---------  -----------------------
+//	RingQueue   unbounded  lock-free SPSC     single     asynchronous queue (Rumpsteak) — default
+//	Ring        k          lock-free SPSC     single     k-bounded queue (k-MC execution model)
+//	Queue       unbounded  mutex + cond       multi      asynchronous queue, MPMC baseline
+//	Bounded     k          mutex + cond       multi      k-bounded queue, MPMC baseline
+//	Rendezvous  0          native go channel  multi      synchronous channel (Sesh, MultiCrusty)
+//
+// RingQueue and Ring exploit the session-network invariant that every
+// ordered role pair has exactly one sender and one receiver: their hot path
+// is a slot write plus one atomic publication — no locks and no steady-state
+// allocation (see ring.go for the waiting and close protocol). Queue and
+// Bounded remain the mutex-based baselines for comparison (and for callers
+// that need multiple concurrent senders); Rendezvous models the synchronous
+// baselines of the paper's evaluation.
+//
+// All substrates share drain-on-close semantics: after Close, buffered
+// messages are still received in order, then receives return ErrClosed;
+// sends on a closed substrate fail with ErrClosed.
+//
+// The non-blocking half of the algebra (TrySend mirroring TryRecv) is what
+// the multi-session scheduler steps on: see DESIGN.md, "Non-blocking
+// stepping and the scheduler", and internal/sched. The substrate
+// head-to-heads behind the table above are recorded in BENCH_channel.json
+// (EXPERIMENTS.md).
+package channel

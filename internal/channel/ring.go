@@ -157,6 +157,26 @@ func (r *Ring) Send(m Message) error {
 	return nil
 }
 
+// TrySend appends m if the ring has a free slot: (false, nil) while full —
+// the sender re-probes after the receiver makes progress — and
+// (false, ErrClosed) once closed. Same single-producer contract as Send.
+func (r *Ring) TrySend(m Message) (bool, error) {
+	if r.closed.Load() {
+		return false, ErrClosed
+	}
+	t := r.tail.Load()
+	if t-r.cachedHead >= r.capacity {
+		r.cachedHead = r.head.Load()
+		if t-r.cachedHead >= r.capacity {
+			return false, nil
+		}
+	}
+	r.buf[t&r.mask] = m
+	r.tail.Store(t + 1)
+	r.recvGate.wake()
+	return true, nil
+}
+
 // waitNotFull blocks until head has advanced enough that slot t is free,
 // returning the observed head.
 func (r *Ring) waitNotFull(t uint64) (uint64, error) {
@@ -387,6 +407,16 @@ func (q *RingQueue) Send(m Message) error {
 	q.tail.Store(t + 1)
 	q.recvGate.wake()
 	return nil
+}
+
+// TrySend appends m. The queue is unbounded, so Send never blocks and
+// TrySend only fails when closed — it exists so the unbounded default
+// satisfies the same non-blocking algebra as the bounded substrates.
+func (q *RingQueue) TrySend(m Message) (bool, error) {
+	if err := q.Send(m); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // growTail links a fresh (or recycled) segment after the full tail segment,

@@ -1,30 +1,3 @@
-// Package codegen is the Go analogue of Rumpsteak's code generation
-// pipeline (§2.1 of the paper, Fig. 1a "generate"): given a protocol — a
-// Scribble description or a registry entry — it projects every role, builds
-// the verified FSM (optionally the automatically AMR-optimised one from
-// internal/optimise) and emits a compilable Go package whose types encode
-// the machine in the state pattern:
-//
-//   - one struct type per FSM state, each carrying a one-shot stamp
-//     (genrt.St) so a state value is consumed by the transition it performs;
-//   - Send* methods that consume the state and return the next state;
-//   - branching receives returning a one-shot sum value discriminated by
-//     label, whose not-taken continuations are permanently consumed;
-//   - an End terminal type whose reachability encodes protocol completion
-//     (the generated runner demands the live End value back).
-//
-// Because every action a generated state value offers is, by construction, a
-// transition of the verified machine, the emitted code drives the
-// monitor-free unchecked endpoint primitives of package session
-// (session.UncheckedForCodegen via genrt): no per-message FSM step, no sort
-// check — the same "conformance costs nothing at run time" property the Rust
-// framework gets from its type checker. What Go cannot check statically,
-// affine use of state values, remains a cheap integer-compare guard at run
-// time. See DESIGN.md ("The three API tiers").
-//
-// The command-line front end is cmd/sessgen; the checked-in packages under
-// examples/gen are regenerated with go:generate and gated against drift in
-// CI.
 package codegen
 
 import (
@@ -372,6 +345,15 @@ func (g *generator) emit() {
 	g.pf("// Code generated by sessgen (internal/codegen) from protocol %q, optimised=%s. DO NOT EDIT.\n\n", g.proto, g.opts.Mode)
 	g.pf("package %s\n\n", g.opts.Package)
 	imports := []string{"repro/internal/codegen/genrt", "repro/internal/session", "repro/internal/types"}
+	// The Try* stepping face tests for session.ErrWouldBlock with errors.Is;
+	// a role set with no non-final states emits no methods at all, and must
+	// not import what it does not use.
+	for _, rg := range g.rgs {
+		if len(rg.states) > 0 {
+			imports = append(imports, "errors")
+			break
+		}
+	}
 	for imp := range g.extraImports {
 		imports = append(imports, imp)
 	}
@@ -546,6 +528,21 @@ func (g *generator) emitSend(rg *roleGen, state string, t fsm.Transition) {
 		g.pf("\tif err := s.ep.send%s.Send(Label%s, payload); err != nil {\n\t\treturn %s{}, err\n\t}\n", peer, label, next)
 	}
 	g.pf("\treturn %s{ep: s.ep, st: s.st.Next()}, nil\n}\n\n", next)
+
+	// The non-blocking stepping face: on session.ErrWouldBlock the state is
+	// NOT consumed, so the caller (an event loop or internal/sched worker)
+	// retries the same state value once the peer makes progress; every other
+	// outcome consumes the state exactly as the blocking method does.
+	arg, val := "", "nil"
+	if goType != "" {
+		arg, val = "payload "+goType, "payload"
+	}
+	g.pf("// TrySend%s is the non-blocking Send%s: it returns session.ErrWouldBlock —\n// leaving the state live for a retry — when the outgoing route is full.\n", label, label)
+	g.pf("func (s %s) TrySend%s(%s) (%s, error) {\n", state, label, arg, next)
+	g.pf("\tif err := s.st.Peek(); err != nil {\n\t\treturn %s{}, err\n\t}\n", next)
+	g.pf("\tif err := s.ep.send%s.TrySend(Label%s, %s); err != nil {\n", peer, label, val)
+	g.pf("\t\tif !errors.Is(err, session.ErrWouldBlock) {\n\t\t\ts.st.Advance()\n\t\t}\n\t\treturn %s{}, err\n\t}\n", next)
+	g.pf("\treturn %s{ep: s.ep, st: s.st.Advance()}, nil\n}\n\n", next)
 }
 
 func (g *generator) emitRecvSingle(rg *roleGen, state string, t fsm.Transition) {
@@ -560,6 +557,7 @@ func (g *generator) emitRecvSingle(rg *roleGen, state string, t fsm.Transition) 
 		g.pf("\tlabel, _, err := s.ep.recv%s.Recv()\n\tif err != nil {\n\t\treturn %s{}, err\n\t}\n", peer, next)
 		g.pf("\tif label != Label%s {\n\t\treturn %s{}, genrt.Unexpected(Role%s, %q, Role%s, label)\n\t}\n", label, next, rg.ident, state, peer)
 		g.pf("\treturn %s{ep: s.ep, st: s.st.Next()}, nil\n}\n\n", next)
+		g.emitTryRecvSingle(rg, state, t)
 		return
 	}
 	zero := zeroOf(goType)
@@ -569,6 +567,35 @@ func (g *generator) emitRecvSingle(rg *roleGen, state string, t fsm.Transition) 
 	g.pf("\tif label != Label%s {\n\t\treturn %s, %s{}, genrt.Unexpected(Role%s, %q, Role%s, label)\n\t}\n", label, zero, next, rg.ident, state, peer)
 	g.pf("\tpayload, err := %s\n\tif err != nil {\n\t\treturn %s, %s{}, err\n\t}\n", conv, zero, next)
 	g.pf("\treturn payload, %s{ep: s.ep, st: s.st.Next()}, nil\n}\n\n", next)
+	g.emitTryRecvSingle(rg, state, t)
+}
+
+// emitTryRecvSingle emits the non-blocking face of a single-transition
+// receive: session.ErrWouldBlock (nothing arrived yet) leaves the state
+// live; a delivered message consumes it, whether it converts or faults.
+func (g *generator) emitTryRecvSingle(rg *roleGen, state string, t fsm.Transition) {
+	peer := exportIdent(string(t.Act.Peer))
+	label := exportIdent(string(t.Act.Label))
+	next := rg.stateName(t.To)
+	goType, conv := sortGo(t.Act.Sort)
+	g.pf("// TryRecv%s is the non-blocking Recv%s: it returns session.ErrWouldBlock —\n// leaving the state live for a retry — when no message has arrived yet.\n", label, label)
+	if goType == "" {
+		g.pf("func (s %s) TryRecv%s() (%s, error) {\n", state, label, next)
+		g.pf("\tif err := s.st.Peek(); err != nil {\n\t\treturn %s{}, err\n\t}\n", next)
+		g.pf("\tlabel, _, err := s.ep.recv%s.TryRecv()\n\tif err != nil {\n", peer)
+		g.pf("\t\tif !errors.Is(err, session.ErrWouldBlock) {\n\t\t\ts.st.Advance()\n\t\t}\n\t\treturn %s{}, err\n\t}\n", next)
+		g.pf("\tif label != Label%s {\n\t\ts.st.Advance()\n\t\treturn %s{}, genrt.Unexpected(Role%s, %q, Role%s, label)\n\t}\n", label, next, rg.ident, state, peer)
+		g.pf("\treturn %s{ep: s.ep, st: s.st.Advance()}, nil\n}\n\n", next)
+		return
+	}
+	zero := zeroOf(goType)
+	g.pf("func (s %s) TryRecv%s() (%s, %s, error) {\n", state, label, goType, next)
+	g.pf("\tif err := s.st.Peek(); err != nil {\n\t\treturn %s, %s{}, err\n\t}\n", zero, next)
+	g.pf("\tlabel, v, err := s.ep.recv%s.TryRecv()\n\tif err != nil {\n", peer)
+	g.pf("\t\tif !errors.Is(err, session.ErrWouldBlock) {\n\t\t\ts.st.Advance()\n\t\t}\n\t\treturn %s, %s{}, err\n\t}\n", zero, next)
+	g.pf("\tif label != Label%s {\n\t\ts.st.Advance()\n\t\treturn %s, %s{}, genrt.Unexpected(Role%s, %q, Role%s, label)\n\t}\n", label, zero, next, rg.ident, state, peer)
+	g.pf("\tpayload, err := %s\n\tif err != nil {\n\t\ts.st.Advance()\n\t\treturn %s, %s{}, err\n\t}\n", conv, zero, next)
+	g.pf("\treturn payload, %s{ep: s.ep, st: s.st.Advance()}, nil\n}\n\n", next)
 }
 
 func (g *generator) emitRecvBranch(rg *roleGen, state string, s fsm.State, ts []fsm.Transition) {
@@ -616,6 +643,31 @@ func (g *generator) emitRecvBranch(rg *roleGen, state string, s fsm.State, ts []
 			g.pf("\t\tb.%sPayload = payload\n", label)
 		}
 		g.pf("\t\tb.%sNext = %s{ep: s.ep, st: s.st.Next()}\n", label, rg.stateName(t.To))
+	}
+	g.pf("\tdefault:\n\t\treturn %s{}, genrt.Unexpected(Role%s, %q, Role%s, label)\n\t}\n", sum, rg.ident, state, peer)
+	g.pf("\treturn b, nil\n}\n\n")
+
+	g.pf("// TryBranch is the non-blocking Branch: it returns session.ErrWouldBlock —\n// leaving the state live for a retry — when no message has arrived yet.\n")
+	g.pf("func (s %s) TryBranch() (%s, error) {\n", state, sum)
+	g.pf("\tif err := s.st.Peek(); err != nil {\n\t\treturn %s{}, err\n\t}\n", sum)
+	if anyPayload {
+		g.pf("\tlabel, v, err := s.ep.recv%s.TryRecv()\n", peer)
+	} else {
+		g.pf("\tlabel, _, err := s.ep.recv%s.TryRecv()\n", peer)
+	}
+	g.pf("\tif err != nil {\n")
+	g.pf("\t\tif !errors.Is(err, session.ErrWouldBlock) {\n\t\t\ts.st.Advance()\n\t\t}\n\t\treturn %s{}, err\n\t}\n", sum)
+	g.pf("\tst := s.st.Advance()\n")
+	g.pf("\tb := %s{Label: label}\n\tswitch label {\n", sum)
+	for _, t := range ts {
+		label := exportIdent(string(t.Act.Label))
+		goType, conv := sortGo(t.Act.Sort)
+		g.pf("\tcase Label%s:\n", label)
+		if goType != "" {
+			g.pf("\t\tpayload, err := %s\n\t\tif err != nil {\n\t\t\treturn %s{}, err\n\t\t}\n", conv, sum)
+			g.pf("\t\tb.%sPayload = payload\n", label)
+		}
+		g.pf("\t\tb.%sNext = %s{ep: s.ep, st: st}\n", label, rg.stateName(t.To))
 	}
 	g.pf("\tdefault:\n\t\treturn %s{}, genrt.Unexpected(Role%s, %q, Role%s, label)\n\t}\n", sum, rg.ident, state, peer)
 	g.pf("\treturn b, nil\n}\n\n")

@@ -86,6 +86,26 @@ func (s St) Use() error {
 // Next mints the stamp for the successor state value after a Use.
 func (s St) Next() St { return St{C: s.C, Seq: s.C.seq} }
 
+// Peek verifies the stamp is live without consuming it: the entry check of
+// the generated Try* methods, which must leave the state value usable when
+// the substrate refuses the operation (session.ErrWouldBlock).
+func (s St) Peek() error {
+	if s.C == nil || s.Seq != s.C.seq {
+		return ErrStateConsumed
+	}
+	return nil
+}
+
+// Advance consumes a stamp already verified live (Peek) and mints the
+// successor. It is Use+Next split apart so the generated Try* methods can
+// separate the liveness check (before the substrate probe) from the
+// consumption (only once the probe succeeds or faults — never on
+// would-block, where the protocol state genuinely has not moved).
+func (s St) Advance() St {
+	s.C.seq++
+	return St{C: s.C, Seq: s.C.seq}
+}
+
 // Live reports whether the stamp is the core's current state (used by
 // Finish via generated End accessors).
 func (s St) Live() bool { return s.C != nil && s.Seq == s.C.seq }

@@ -1,20 +1,3 @@
-// Package core implements the paper's primary contribution: a sound,
-// terminating algorithm for asynchronous multiparty session subtyping (§3.2,
-// Fig. 5), in the FSM-based formulation of Appendix B.5.
-//
-// Check(sub, sup) asks whether the optimised machine sub may safely replace
-// the projected machine sup: every process conforming to sub can be used
-// where a process conforming to sup is expected, in any multiparty context,
-// without introducing deadlocks or communication mismatches. Asynchronous
-// message reordering is captured by the prefix reduction rules: an input
-// p?ℓ may be anticipated before inputs that are not from p (rule ⤳A), and an
-// output p!ℓ may be anticipated before any inputs and before outputs that are
-// not to p (rule ⤳B).
-//
-// The full relation is undecidable, so the algorithm bounds how many times
-// each pair of states may be revisited along a derivation path (the paper's
-// recursion-unrolling bound n). A "true" answer is sound; a "false" answer
-// means either the subtyping does not hold or the bound was insufficient.
 package core
 
 import (

@@ -1,0 +1,17 @@
+// Package optimise derives asynchronous message-reordering (AMR)
+// optimisations automatically. The paper verifies *hand-written* reorderings
+// with the asynchronous subtyping algorithm of internal/core; this package
+// closes the loop: given a role's projected local type it searches the space
+// of AMR rewrites — hoisting outputs past preceding inputs, pipelining loop
+// sends up to a given unroll depth, straightening self-loops — scores every
+// candidate by a static lookahead metric (core.Stats.MaxSendAhead, the depth
+// of output anticipation in the certificate derivation, which is what
+// sim.Result.MaxQueue observes dynamically), and certifies every candidate
+// with core.Check against the original. An uncertified rewrite is never
+// returned: the subtype checker acts as the compiler pass's verifier.
+//
+// EXPERIMENTS.md ("The automatic optimiser") documents the cmd/optimise
+// front end and the cross-checks against the paper's hand-written
+// reorderings; the certification bound's meaning is discussed in
+// DESIGN.md, "Subtyping checker implementation choices".
+package optimise

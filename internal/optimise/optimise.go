@@ -1,14 +1,3 @@
-// Package optimise derives asynchronous message-reordering (AMR)
-// optimisations automatically. The paper verifies *hand-written* reorderings
-// with the asynchronous subtyping algorithm of internal/core; this package
-// closes the loop: given a role's projected local type it searches the space
-// of AMR rewrites — hoisting outputs past preceding inputs, pipelining loop
-// sends up to a given unroll depth, straightening self-loops — scores every
-// candidate by a static lookahead metric (core.Stats.MaxSendAhead, the depth
-// of output anticipation in the certificate derivation, which is what
-// sim.Result.MaxQueue observes dynamically), and certifies every candidate
-// with core.Check against the original. An uncertified rewrite is never
-// returned: the subtype checker acts as the compiler pass's verifier.
 package optimise
 
 import (

@@ -1,0 +1,256 @@
+package sched
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fsm"
+	"repro/internal/protocols"
+	"repro/internal/session"
+	"repro/internal/types"
+)
+
+// This file is the stepping/blocking equivalence property: for EVERY
+// registry protocol, a session driven by non-blocking steppers under the
+// scheduler observes exactly the same per-role trace (the ordered sequence
+// of performed actions) as the classic blocking monitored run. Budgets for
+// infinite protocols are derived from a sequential stepped reference run,
+// which yields a consistent cut: the blocking replay then terminates
+// cleanly (every receive in the cut has its matching send in the cut, and
+// sends never block on the unbounded default substrate).
+
+// traceStrategy makes deterministic choices (cycling the options of real
+// choices only) and records every performed action in order.
+type traceStrategy struct {
+	n     int
+	trace []string
+}
+
+func (s *traceStrategy) Choose(_ fsm.State, options []fsm.Transition) int {
+	if len(options) == 1 {
+		return 0
+	}
+	s.n++
+	return (s.n - 1) % len(options)
+}
+
+// Payload is consulted exactly once per performed send (the stepper caches
+// the decision across would-block retries), so it doubles as the send
+// recorder.
+func (s *traceStrategy) Payload(act fsm.Action) any {
+	s.trace = append(s.trace, act.String())
+	return nil
+}
+
+func (s *traceStrategy) Received(act fsm.Action, _ any) {
+	s.trace = append(s.trace, act.String())
+}
+
+// entrySession builds a monitored session for a registry entry from its
+// plain (unoptimised) endpoints: top-down when a global type exists,
+// bottom-up k-MC otherwise (Hospital).
+func entrySession(t *testing.T, e protocols.Entry) *session.Session {
+	t.Helper()
+	if e.Global != nil {
+		sess, err := session.TopDown(e.Global, nil, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: TopDown: %v", e.Name, err)
+		}
+		return sess
+	}
+	sess, err := session.BottomUp(e.KmcBound, protocols.Machines(protocols.FSMs(e.Locals))...)
+	if err != nil {
+		t.Fatalf("%s: BottomUp: %v", e.Name, err)
+	}
+	return sess
+}
+
+// referenceRun steps every role sequentially (round-robin, one goroutine)
+// until the session quiesces, with each role capped at maxCap actions. It
+// returns the per-role action counts — the consistent cut — and traces.
+func referenceRun(t *testing.T, e protocols.Entry, sess *session.Session, maxCap int) (map[types.Role]int, map[types.Role][]string) {
+	t.Helper()
+	type refTask struct {
+		st    *session.Stepper
+		strat *traceStrategy
+		role  types.Role
+		done  bool
+	}
+	var tasks []*refTask
+	for _, r := range sess.Roles() {
+		ep, err := sess.Endpoint(r)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", e.Name, r, err)
+		}
+		strat := &traceStrategy{}
+		st, err := session.NewStepper(ep, sess.FSM(r), strat, maxCap)
+		if err != nil {
+			t.Fatalf("%s/%s: NewStepper: %v", e.Name, r, err)
+		}
+		tasks = append(tasks, &refTask{st: st, strat: strat, role: r})
+	}
+	for {
+		progressed := false
+		live := 0
+		for _, task := range tasks {
+			if task.done {
+				continue
+			}
+			done, err := task.st.Step()
+			if done {
+				task.done = true
+				if err != nil && !errors.Is(err, session.ErrStopped) {
+					t.Fatalf("%s/%s: reference run faulted: %v", e.Name, task.role, err)
+				}
+				progressed = true
+				continue
+			}
+			live++
+			if errors.Is(err, session.ErrWouldBlock) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s/%s: reference run: %v", e.Name, task.role, err)
+			}
+			progressed = true
+		}
+		if live == 0 {
+			break
+		}
+		if !progressed {
+			// Quiescent with parked tasks: budget-stopped peers will never
+			// feed them. That is the consistent cut; abort the leftovers.
+			for _, task := range tasks {
+				if !task.done {
+					task.st.Abort()
+				}
+			}
+			break
+		}
+	}
+	budgets := map[types.Role]int{}
+	traces := map[types.Role][]string{}
+	for _, task := range tasks {
+		budgets[task.role] = task.st.Steps()
+		traces[task.role] = task.strat.trace
+	}
+	return budgets, traces
+}
+
+// blockingRun replays the cut through the classic blocking monitored
+// runtime (Session.Run + Drive, one goroutine per role) and returns the
+// observed traces.
+func blockingRun(t *testing.T, e protocols.Entry, sess *session.Session, budgets map[types.Role]int) map[types.Role][]string {
+	t.Helper()
+	strats := map[types.Role]*traceStrategy{}
+	procs := map[types.Role]func(*session.Endpoint) error{}
+	for _, r := range sess.Roles() {
+		r := r
+		strat := &traceStrategy{}
+		strats[r] = strat
+		procs[r] = func(ep *session.Endpoint) error {
+			return session.Drive(ep, sess.FSM(r), strat, budgets[r])
+		}
+	}
+	if err := sess.Run(procs); err != nil {
+		t.Fatalf("%s: blocking run: %v", e.Name, err)
+	}
+	traces := map[types.Role][]string{}
+	for r, strat := range strats {
+		traces[r] = strat.trace
+	}
+	return traces
+}
+
+// TestSteppedTraceEqualsBlockingTrace is the acceptance property: for every
+// registry protocol, the scheduler-driven stepped run and the blocking
+// monitored run observe identical per-role traces (and the sequential
+// stepped reference agrees with both).
+func TestSteppedTraceEqualsBlockingTrace(t *testing.T) {
+	const maxCap = 40
+	s := New(Options{Workers: 4, Quantum: 16})
+	type pending struct {
+		entry  protocols.Entry
+		strats map[types.Role]*traceStrategy
+		ref    map[types.Role][]string
+		blk    map[types.Role][]string
+	}
+	var runs []*pending
+	for _, e := range protocols.Registry() {
+		// 1. Sequential stepped reference: derives the consistent cut.
+		refSess := entrySession(t, e)
+		budgets, refTraces := referenceRun(t, e, refSess, maxCap)
+
+		// 2. Blocking monitored run over the same budgets.
+		blkTraces := blockingRun(t, e, refSess.Fork(), budgets)
+
+		// 3. Scheduler-driven stepped run, all protocols in flight at once
+		// over four workers.
+		stepSess := refSess.Fork()
+		strats := map[types.Role]*traceStrategy{}
+		var steppers []Stepper
+		for _, r := range stepSess.Roles() {
+			ep, err := stepSess.Endpoint(r)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", e.Name, r, err)
+			}
+			strat := &traceStrategy{}
+			strats[r] = strat
+			st, err := session.NewStepper(ep, stepSess.FSM(r), strat, budgets[r])
+			if err != nil {
+				t.Fatalf("%s/%s: NewStepper: %v", e.Name, r, err)
+			}
+			steppers = append(steppers, st)
+		}
+		if err := s.Go(steppers...); err != nil {
+			t.Fatalf("%s: Go: %v", e.Name, err)
+		}
+		runs = append(runs, &pending{entry: e, strats: strats, ref: refTraces, blk: blkTraces})
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("scheduler: %v", err)
+	}
+
+	for _, run := range runs {
+		for r, ref := range run.ref {
+			blk := run.blk[r]
+			sched := run.strats[r].trace
+			if !reflect.DeepEqual(ref, blk) {
+				t.Errorf("%s/%s: blocking trace diverges from the stepped reference:\n ref: %v\n blk: %v",
+					run.entry.Name, r, ref, blk)
+			}
+			if !reflect.DeepEqual(ref, sched) {
+				t.Errorf("%s/%s: scheduled stepped trace diverges:\n ref:   %v\n sched: %v",
+					run.entry.Name, r, ref, sched)
+			}
+			if len(ref) == 0 {
+				t.Errorf("%s/%s: empty reference trace (the property would hold vacuously)", run.entry.Name, r)
+			}
+		}
+	}
+}
+
+// TestSteppedRegistryUnderLoad re-runs every registry protocol as many
+// concurrent forks over the scheduler — the "heavy traffic" shape — and
+// requires every session to end cleanly.
+func TestSteppedRegistryUnderLoad(t *testing.T) {
+	const copies = 16
+	s := New(Options{Workers: 4})
+	for _, e := range protocols.Registry() {
+		base := entrySession(t, e)
+		for i := 0; i < copies; i++ {
+			inst := base.Fork()
+			err := s.GoSession(inst, 64, func(types.Role) session.Strategy {
+				return &traceStrategy{}
+			})
+			if err != nil {
+				t.Fatalf("%s copy %d: %v", e.Name, i, err)
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("registry under load: %v", err)
+	}
+}

@@ -1,0 +1,410 @@
+// Package sched multiplexes many verified sessions over a fixed pool of
+// worker goroutines. The paper's evaluation (and this repo's benchmarks up
+// to PR 4) runs one session at a time on dedicated goroutines — 2×N parked
+// goroutines for N in-flight sessions. This package is the production-shape
+// alternative: sessions are expressed as non-blocking steppers (each Step
+// performs at most one protocol action and yields session.ErrWouldBlock when
+// its substrate cannot progress), and a scheduler drives thousands of them
+// over GOMAXPROCS workers.
+//
+// Design:
+//
+//   - Sharding. Every session is placed whole on one worker (round-robin at
+//     Go time). All of a session's peers therefore live on the same worker,
+//     so ready/parked bookkeeping needs no cross-worker synchronisation and
+//     the SPSC substrate operations of one session never contend.
+//
+//   - Ready/parked bookkeeping. Within a session, a task that reports
+//     ErrWouldBlock is parked; any sibling progress (the only thing that can
+//     change the session's channel state) moves all parked tasks back to
+//     ready. A session whose ready set drains with no intervening progress
+//     has every task blocked on a peer that cannot move: that is a genuine
+//     deadlock — impossible for verified sessions, loud for buggy steppers —
+//     and fails the session with ErrDeadlock instead of spinning.
+//
+//   - Fairness. A worker steps each session for at most Quantum actions
+//     before rotating to its next session, so one long-running session
+//     cannot starve the rest of its shard.
+//
+//   - Teardown. A task error aborts the session's remaining tasks (their
+//     Abort releases endpoint claims); Close stops intake, drains every
+//     in-flight session to completion and joins the workers.
+//
+// The steppers the runtime provides are session.Stepper (monitored, driven
+// from the verified FSM — see GoSession) and the generated Try* state
+// methods of internal/codegen; anything implementing Stepper schedules the
+// same way. See DESIGN.md, "Non-blocking stepping and the scheduler", for
+// why commit-on-success stepping preserves the Tier-2 safety argument, and
+// EXPERIMENTS.md for the throughput methodology (`make bench-sched`).
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/session"
+	"repro/internal/types"
+)
+
+// Stepper is one session task in non-blocking units. Step performs at most
+// one protocol action:
+//
+//   - (false, nil): progress was made; step again.
+//   - (false, session.ErrWouldBlock): no effect; the task cannot proceed
+//     until a peer in the same session makes progress.
+//   - (true, nil): the task completed its protocol.
+//   - (true, session.ErrStopped): the task stopped deliberately at a step
+//     budget (bounded runs of infinite protocols); not a failure.
+//   - (true, err): the task faulted; the session fails and its remaining
+//     tasks are aborted.
+//
+// A Stepper is only ever stepped by one goroutine at a time.
+type Stepper interface {
+	Step() (done bool, err error)
+}
+
+// Aborter is implemented by steppers that hold resources (endpoint claims);
+// Abort releases them when the scheduler abandons the task because a sibling
+// faulted or the session deadlocked. session.Stepper implements it.
+type Aborter interface {
+	Abort()
+}
+
+// ErrClosed is returned by Go on a scheduler that has been closed.
+var ErrClosed = errors.New("sched: scheduler closed")
+
+// ErrDeadlock reports a session whose tasks were all parked on would-block
+// with no runnable peer: since a session is sharded whole onto one worker,
+// nothing outside the session can unblock it, so the scheduler fails it
+// rather than poll forever. Verified sessions cannot reach this state; a
+// hand-written stepper that forgets an action can.
+var ErrDeadlock = errors.New("sched: session deadlocked (every task would-block, no peer can progress)")
+
+// Options configures a Scheduler.
+type Options struct {
+	// Workers is the number of worker goroutines; 0 means GOMAXPROCS.
+	Workers int
+	// Quantum is the maximum number of protocol actions one session may
+	// perform per worker visit before the worker rotates to its next
+	// session; 0 means 64.
+	Quantum int
+}
+
+// Scheduler runs sessions added with Go or GoSession until they complete.
+// Workers start immediately at New; Wait blocks for completion of everything
+// added so far; Close drains and stops the pool.
+type Scheduler struct {
+	workers []*worker
+	quantum int
+	next    atomic.Uint64 // round-robin shard counter
+
+	jobs sync.WaitGroup // in-flight sessions
+
+	mu     sync.Mutex
+	closed bool  // intake stopped; guarded by mu so Go's jobs.Add
+	first  error // serializes against Close's jobs.Wait
+
+	join sync.WaitGroup // worker goroutines
+}
+
+// task is one stepper plus its parked/done bookkeeping slot.
+type task struct {
+	s      Stepper
+	parked bool
+	done   bool
+}
+
+// job is one session on a worker: its tasks and their ready/parked counts.
+type job struct {
+	tasks   []*task
+	parked  int
+	done    int
+	stopped bool // some task stopped deliberately (session.ErrStopped)
+	onDone  func(error)
+	stepped int // actions performed during the current worker visit
+}
+
+type worker struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	inbox   []*job
+	stopped bool
+
+	active []*job // owned by the worker goroutine
+}
+
+// New starts a scheduler with opts.Workers worker goroutines.
+func New(opts Options) *Scheduler {
+	n := opts.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	q := opts.Quantum
+	if q <= 0 {
+		q = 64
+	}
+	s := &Scheduler{quantum: q}
+	for i := 0; i < n; i++ {
+		w := &worker{}
+		w.cond = sync.NewCond(&w.mu)
+		s.workers = append(s.workers, w)
+		s.join.Add(1)
+		go s.run(w)
+	}
+	return s
+}
+
+// Go enqueues one session given its tasks. All tasks are placed on the same
+// worker (sessions are sharded whole; see the package comment), chosen
+// round-robin. It returns ErrClosed after Close has begun.
+func (s *Scheduler) Go(steppers ...Stepper) error {
+	return s.GoWithDone(nil, steppers...)
+}
+
+// GoWithDone is Go with a completion callback: onDone, when non-nil, is
+// invoked exactly once from the worker goroutine with the session's outcome
+// (nil for clean completion — deliberate stops included — or its first
+// task's fault). The callback must be cheap; it runs on the worker.
+func (s *Scheduler) GoWithDone(onDone func(error), steppers ...Stepper) error {
+	if len(steppers) == 0 {
+		return fmt.Errorf("sched: session with no tasks")
+	}
+	j := &job{onDone: onDone}
+	for _, st := range steppers {
+		j.tasks = append(j.tasks, &task{s: st})
+	}
+	// The closed check and the counter increment are one critical section:
+	// Close sets closed under the same lock before waiting on the counter,
+	// so a concurrent Go either fails with ErrClosed or has its Add ordered
+	// before Close's Wait (never an Add racing a Wait at zero).
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.jobs.Add(1)
+	s.mu.Unlock()
+	w := s.workers[int(s.next.Add(1))%len(s.workers)]
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		s.jobs.Done()
+		return ErrClosed
+	}
+	w.inbox = append(w.inbox, j)
+	w.cond.Signal()
+	w.mu.Unlock()
+	return nil
+}
+
+// GoSession enqueues one monitored session: every role of sess is driven
+// from its verified FSM by a session.Stepper over the strategy strat(role),
+// each bounded to maxSteps actions. This is the convenience the throughput
+// benchmarks and examples/manysessions use — verify a protocol once, then
+// sess.Fork() per instance and GoSession each fork.
+func (s *Scheduler) GoSession(sess *session.Session, maxSteps int, strat func(types.Role) session.Strategy) error {
+	roles := sess.Roles()
+	steppers := make([]Stepper, 0, len(roles))
+	fail := func(err error) error {
+		for _, st := range steppers {
+			st.(*session.Stepper).Abort()
+		}
+		return err
+	}
+	for _, r := range roles {
+		ep, err := sess.Endpoint(r)
+		if err != nil {
+			return fail(err)
+		}
+		st, err := session.NewStepper(ep, sess.FSM(r), strat(r), maxSteps)
+		if err != nil {
+			return fail(err)
+		}
+		steppers = append(steppers, st)
+	}
+	if err := s.Go(steppers...); err != nil {
+		return fail(err)
+	}
+	return nil
+}
+
+// Wait blocks until every session enqueued so far has completed and returns
+// the first failure (deliberate session.ErrStopped stops are not failures).
+// Wait must not race Go: enqueue, then wait.
+func (s *Scheduler) Wait() error {
+	s.jobs.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.first
+}
+
+// Close drains cleanly: it stops intake, waits for every in-flight session
+// to complete, stops the workers, and returns the first session failure.
+// Close is idempotent; concurrent Go calls fail with ErrClosed.
+func (s *Scheduler) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.jobs.Wait()
+	for _, w := range s.workers {
+		w.mu.Lock()
+		w.stopped = true
+		w.cond.Signal()
+		w.mu.Unlock()
+	}
+	s.join.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.first
+}
+
+// fail records a session failure (first wins, scheduler-wide).
+func (s *Scheduler) fail(err error) {
+	s.mu.Lock()
+	if s.first == nil {
+		s.first = err
+	}
+	s.mu.Unlock()
+}
+
+// run is the worker loop: pull newly assigned sessions, then make one pass
+// over the active ones, stepping each for up to a quantum of actions. A
+// session leaves the active list only by completing or failing, so a pass
+// always makes global progress; when there is nothing to do the worker
+// sleeps on its condition variable until Go hands it work or Close stops it.
+func (s *Scheduler) run(w *worker) {
+	defer s.join.Done()
+	for {
+		w.mu.Lock()
+		for len(w.inbox) == 0 && len(w.active) == 0 && !w.stopped {
+			w.cond.Wait()
+		}
+		if w.stopped && len(w.inbox) == 0 && len(w.active) == 0 {
+			w.mu.Unlock()
+			return
+		}
+		w.active = append(w.active, w.inbox...)
+		w.inbox = w.inbox[:0]
+		w.mu.Unlock()
+
+		keep := w.active[:0]
+		for _, j := range w.active {
+			if s.visit(j) {
+				keep = append(keep, j)
+			}
+		}
+		// Clear the dropped tail so finished jobs are collectable.
+		for i := len(keep); i < len(w.active); i++ {
+			w.active[i] = nil
+		}
+		w.active = keep
+	}
+}
+
+// visit steps one session for at most a quantum of actions, maintaining the
+// ready/parked bookkeeping. It reports whether the session stays active.
+func (s *Scheduler) visit(j *job) bool {
+	j.stepped = 0
+	for {
+		progressed := false
+		for _, t := range j.tasks {
+			if t.done || t.parked {
+				continue
+			}
+			if j.stepped >= s.quantum {
+				return true // quantum exhausted mid-pass; stay active
+			}
+			done, err := t.s.Step()
+			switch {
+			case done:
+				t.done = true
+				j.done++
+				if errors.Is(err, session.ErrStopped) {
+					j.stopped = true
+				} else if err != nil {
+					return s.finish(j, fmt.Errorf("sched: task %d: %w", indexOf(j, t), err))
+				}
+				// Completion is progress: a stop or finish may have
+				// published messages parked siblings wait for.
+				progressed = true
+				j.unparkAll()
+			case errors.Is(err, session.ErrWouldBlock):
+				t.parked = true
+				j.parked++
+			case err != nil:
+				// A stepper returning (false, err) for a real error is
+				// out of contract; treat as a fault all the same.
+				return s.finish(j, fmt.Errorf("sched: task %d: %w", indexOf(j, t), err))
+			default:
+				j.stepped++
+				progressed = true
+				j.unparkAll()
+			}
+		}
+		if j.done == len(j.tasks) {
+			return s.finish(j, nil)
+		}
+		if !progressed {
+			// A full pass with no progress parks every live task (each was
+			// either already parked or parked just now): nothing inside the
+			// session can unblock them, and nothing outside it ever will.
+			// When a sibling stopped deliberately, that quiescence is the
+			// expected end of a bounded run, not a deadlock.
+			if j.stopped {
+				return s.finish(j, nil)
+			}
+			return s.finish(j, ErrDeadlock)
+		}
+	}
+}
+
+// unparkAll re-readies every parked task: some sibling just made progress,
+// which is the only event that can change what a parked task waits on.
+func (j *job) unparkAll() {
+	if j.parked == 0 {
+		return
+	}
+	for _, t := range j.tasks {
+		if t.parked {
+			t.parked = false
+		}
+	}
+	j.parked = 0
+}
+
+// finish completes a session: tasks still live (a faulted session's
+// siblings, or the parked leftovers of a deliberate stop) are aborted so
+// their endpoint claims release, and a non-nil err is recorded as the
+// scheduler's first failure. It always reports false (drop from the active
+// list).
+func (s *Scheduler) finish(j *job, err error) bool {
+	for _, t := range j.tasks {
+		if !t.done {
+			if a, ok := t.s.(Aborter); ok {
+				a.Abort()
+			}
+			t.done = true
+		}
+	}
+	if err != nil {
+		s.fail(err)
+	}
+	if j.onDone != nil {
+		j.onDone(err)
+	}
+	s.jobs.Done()
+	return false
+}
+
+// indexOf locates a task within its job for error context.
+func indexOf(j *job, t *task) int {
+	for i, x := range j.tasks {
+		if x == t {
+			return i
+		}
+	}
+	return -1
+}

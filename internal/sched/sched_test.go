@@ -1,0 +1,212 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/session"
+	"repro/internal/types"
+)
+
+func adderSession(t *testing.T) *session.Session {
+	t.Helper()
+	g := types.MustParseGlobal("mu t.c->s:{add(i32).c->s:num(i32).s->c:sum(i32).t, bye.s->c:bye.end}")
+	sess, err := session.TopDown(g, nil, core.Options{})
+	if err != nil {
+		t.Fatalf("TopDown: %v", err)
+	}
+	return sess
+}
+
+func TestSchedManySessionsAcrossWorkers(t *testing.T) {
+	base := adderSession(t)
+	for _, workers := range []int{1, 4} {
+		s := New(Options{Workers: workers})
+		const n = 200
+		for i := 0; i < n; i++ {
+			inst := base.Fork()
+			err := s.GoSession(inst, 1000, func(types.Role) session.Strategy {
+				return session.FirstBranch{}
+			})
+			if err != nil {
+				t.Fatalf("workers=%d: GoSession %d: %v", workers, i, err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("workers=%d: Close: %v", workers, err)
+		}
+	}
+}
+
+func TestSchedCompletionCallbacksAndWait(t *testing.T) {
+	base := adderSession(t)
+	s := New(Options{Workers: 2})
+	const n = 50
+	var done atomic.Int64
+	for i := 0; i < n; i++ {
+		inst := base.Fork()
+		var steppers []Stepper
+		for _, r := range inst.Roles() {
+			ep, err := inst.Endpoint(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := session.NewStepper(ep, inst.FSM(r), session.FirstBranch{}, 1000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			steppers = append(steppers, st)
+		}
+		if err := s.GoWithDone(func(err error) {
+			if err == nil {
+				done.Add(1)
+			}
+		}, steppers...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if done.Load() != n {
+		t.Fatalf("%d of %d sessions completed cleanly", done.Load(), n)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// blockedStepper always would-blocks: the shape of a buggy hand stepper
+// waiting on a message no peer will send.
+type blockedStepper struct{ aborted bool }
+
+func (b *blockedStepper) Step() (bool, error) { return false, session.ErrWouldBlock }
+func (b *blockedStepper) Abort()              { b.aborted = true }
+
+func TestSchedDeadlockDetection(t *testing.T) {
+	s := New(Options{Workers: 1})
+	b1, b2 := &blockedStepper{}, &blockedStepper{}
+	if err := s.Go(b1, b2); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Close()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("all-blocked session ended with %v, want ErrDeadlock", err)
+	}
+	if !b1.aborted || !b2.aborted {
+		t.Fatalf("deadlocked tasks not aborted: %v %v", b1.aborted, b2.aborted)
+	}
+}
+
+// faultStepper makes k steps of progress then faults.
+type faultStepper struct{ left int }
+
+func (f *faultStepper) Step() (bool, error) {
+	if f.left == 0 {
+		return true, fmt.Errorf("injected fault")
+	}
+	f.left--
+	return false, nil
+}
+
+func TestSchedFaultAbortsSiblings(t *testing.T) {
+	s := New(Options{Workers: 1})
+	sib := &blockedStepper{}
+	if err := s.Go(&faultStepper{left: 3}, sib); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Close()
+	if err == nil || errors.Is(err, ErrDeadlock) {
+		t.Fatalf("faulted session ended with %v, want the injected fault", err)
+	}
+	if !sib.aborted {
+		t.Fatalf("sibling of a faulted task was not aborted")
+	}
+}
+
+// stopStepper stops deliberately after k steps, like a budgeted role of an
+// infinite protocol.
+type stopStepper struct{ left int }
+
+func (f *stopStepper) Step() (bool, error) {
+	if f.left == 0 {
+		return true, session.ErrStopped
+	}
+	f.left--
+	return false, nil
+}
+
+func TestSchedDeliberateStopQuiescesCleanly(t *testing.T) {
+	// One task stops after three actions while its sibling still waits for
+	// a message: that quiescence is a clean bounded run, not a deadlock —
+	// and the parked sibling must be aborted so its resources release.
+	s := New(Options{Workers: 1})
+	sib := &blockedStepper{}
+	if err := s.Go(&stopStepper{left: 3}, sib); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("bounded-stop session ended with %v, want nil", err)
+	}
+	if !sib.aborted {
+		t.Fatalf("parked sibling of a stopped task was not aborted")
+	}
+}
+
+func TestSchedCloseRejectsNewWork(t *testing.T) {
+	s := New(Options{Workers: 1})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Go(&stopStepper{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Go after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestSchedQuantumFairness(t *testing.T) {
+	// Two long sessions on one worker: with a small quantum, neither may
+	// finish wholly before the other starts. Track interleaving by
+	// recording which session each progress step belongs to.
+	var order []int
+	mk := func(id, steps int) Stepper {
+		return stepFunc(func() (bool, error) {
+			if steps == 0 {
+				return true, session.ErrStopped
+			}
+			steps--
+			order = append(order, id)
+			return false, nil
+		})
+	}
+	s := New(Options{Workers: 1, Quantum: 8})
+	if err := s.Go(mk(1, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Go(mk(2, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The worker is single-threaded, so order is well-defined. Fairness:
+	// session 2 must appear before session 1 has fully finished.
+	first2 := -1
+	for i, id := range order {
+		if id == 2 {
+			first2 = i
+			break
+		}
+	}
+	if first2 < 0 || first2 > 8+1 {
+		t.Fatalf("quantum rotation did not interleave sessions: first step of session 2 at %d", first2)
+	}
+}
+
+// stepFunc adapts a closure to Stepper (single-worker tests only; the
+// closure is not synchronised).
+type stepFunc func() (bool, error)
+
+func (f stepFunc) Step() (bool, error) { return f() }

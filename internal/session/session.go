@@ -1,26 +1,3 @@
-// Package session is the Go analogue of the Rumpsteak runtime (§2 of the
-// paper): roles communicate asynchronously over per-ordered-pair unbounded
-// FIFO channels; processes are goroutines driving one endpoint each.
-//
-// Because every ordered role pair has exactly one sender and one receiver,
-// the default communication substrate is the lock-free SPSC ring of package
-// channel (channel.RingQueue; channel.Ring for bounded networks): the
-// send/receive hot path is a dense-table route lookup, a slot write and one
-// atomic publication — no locks and no steady-state allocation. See Network
-// for substrate selection and NewQueueNetwork for the mutex baseline.
-//
-// Where the Rust framework uses the type checker to force each process to
-// conform to its verified FSM, Go has no affine types, so conformance is
-// enforced by a runtime monitor instead (see DESIGN.md for why this preserves
-// the paper's guarantees): every Send/Receive is checked against the
-// endpoint's FSM and faults deterministically on any deviation. Linearity is
-// enforced by TrySession, which consumes the endpoint for the duration of a
-// session and verifies that the protocol ran to completion.
-//
-// Deadlock-freedom is established *before* execution by the three workflows
-// of Fig. 1: TopDown (projection + asynchronous subtyping), BottomUp (k-MC
-// over the endpoint FSMs) and Hybrid (projection + subtyping against
-// developer-supplied FSMs).
 package session
 
 import (
@@ -40,6 +17,14 @@ import (
 // ErrLinearity is returned when an endpoint is used by two sessions at once
 // or reused without Reset.
 var ErrLinearity = errors.New("session: endpoint already in use (linearity violation)")
+
+// ErrWouldBlock is returned by the non-blocking endpoint operations
+// (TrySendMsg, TryRecvMsg, the Unchecked Try faces and the generated Try*
+// methods) when the substrate cannot make progress right now: the outgoing
+// route is full, or no message has arrived yet. The operation had no effect —
+// in particular the monitor did not move — so the caller retries after its
+// peer makes progress; internal/sched turns this sentinel into parking.
+var ErrWouldBlock = errors.New("session: operation would block")
 
 // ErrIncomplete is returned by TrySession when the process returned before
 // driving its protocol to a terminal state.
@@ -325,6 +310,81 @@ func (e *Endpoint) Receive(from types.Role) (types.Label, any, error) {
 	return m.Label, m.Value, nil
 }
 
+// TrySendMsg is the non-blocking Send: it delivers label(value) to the given
+// role if the outgoing route has room, and returns ErrWouldBlock — with no
+// observable effect — when it does not. With a monitor attached the action is
+// validated first (an ill-typed or protocol-violating send faults exactly as
+// in Send), but the FSM step commits only when the substrate accepts the
+// message: a would-block rewinds the monitor, so retrying later replays the
+// same transition. This ordering is what keeps the Tier-2 safety argument
+// intact under stepping (see DESIGN.md, "Non-blocking stepping and the
+// scheduler").
+func (e *Endpoint) TrySendMsg(to types.Role, label types.Label, value any) error {
+	if e.mon == nil {
+		q, err := e.outRoute(to)
+		if err != nil {
+			return err
+		}
+		ok, err := q.TrySend(channel.Message{Label: label, Value: value})
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return ErrWouldBlock
+		}
+		return nil
+	}
+	start := e.mon.cur
+	sort, err := e.mon.stepSort(fsm.Action{Dir: fsm.Send, Peer: to, Label: label})
+	if err != nil {
+		return err
+	}
+	if !sortAccepts(sort, value) {
+		e.mon.cur = start
+		return &SortError{Role: e.role, Act: fsm.Action{Dir: fsm.Send, Peer: to, Label: label, Sort: sort}, Value: value}
+	}
+	q, err := e.outRoute(to)
+	if err != nil {
+		e.mon.cur = start
+		return err
+	}
+	ok, err := q.TrySend(channel.Message{Label: label, Value: value})
+	if err != nil {
+		e.mon.cur = start
+		return err
+	}
+	if !ok {
+		e.mon.cur = start
+		return ErrWouldBlock
+	}
+	return nil
+}
+
+// TryRecvMsg is the non-blocking Receive: it returns the next message from
+// the given role if one has already arrived, and ErrWouldBlock — with no
+// observable effect — when none has. As in Receive, the monitor steps only
+// after the substrate delivered a message (commit on success); an unexpected
+// label then faults the session rather than being silently consumed.
+func (e *Endpoint) TryRecvMsg(from types.Role) (types.Label, any, error) {
+	q, err := e.inRoute(from)
+	if err != nil {
+		return "", nil, err
+	}
+	m, ok, err := q.TryRecv()
+	if err != nil {
+		return "", nil, err
+	}
+	if !ok {
+		return "", nil, ErrWouldBlock
+	}
+	if e.mon != nil {
+		if err := e.mon.step(fsm.Action{Dir: fsm.Recv, Peer: from, Label: m.Label}); err != nil {
+			return "", nil, err
+		}
+	}
+	return m.Label, m.Value, nil
+}
+
 // SendN delivers len(values) messages, all labelled label, to the given role
 // — the batched counterpart of Send for the runs of same-label messages the
 // paper's message-reordering optimisation creates (an unrolled source sends
@@ -542,6 +602,7 @@ var ErrStopped = errors.New("session: process stopped deliberately")
 type Session struct {
 	net  *Network
 	fsms map[types.Role]*fsm.FSM
+	mk   func(roles ...types.Role) *Network // substrate constructor; Fork reuses it
 
 	mu  sync.Mutex
 	eps map[types.Role]*Endpoint // memoized monitored endpoints
@@ -613,11 +674,17 @@ func BottomUp(k int, machines ...*fsm.FSM) (*Session, error) {
 }
 
 func newSession(fsms map[types.Role]*fsm.FSM) *Session {
+	return newSessionOn(fsms, NewNetwork)
+}
+
+// newSessionOn builds a session whose network (and every Fork's network)
+// comes from mk.
+func newSessionOn(fsms map[types.Role]*fsm.FSM, mk func(roles ...types.Role) *Network) *Session {
 	roles := make([]types.Role, 0, len(fsms))
 	for r := range fsms {
 		roles = append(roles, r)
 	}
-	return &Session{net: NewNetwork(roles...), fsms: fsms}
+	return &Session{net: mk(roles...), fsms: fsms, mk: mk}
 }
 
 // Roles returns the session's participants.
@@ -635,6 +702,7 @@ func (s *Session) Roles() []types.Role { return s.net.Roles() }
 func (s *Session) Rewire(mk func(roles ...types.Role) *Network) *Session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.mk = mk
 	s.net = mk(s.net.roles...)
 	s.eps = nil
 	return s
@@ -643,6 +711,23 @@ func (s *Session) Rewire(mk func(roles ...types.Role) *Network) *Session {
 // FSM returns the verified machine for a role, or nil if the role is
 // unknown.
 func (s *Session) FSM(role types.Role) *fsm.FSM { return s.fsms[role] }
+
+// Fork returns a fresh instance of the same verified protocol: the machines
+// (and the verification they passed) are shared, the network and endpoints
+// are new. The fork runs on the same substrate as its parent — a session
+// Rewired onto, say, a k-bounded network forks k-bounded instances. This is
+// the cheap way to run N concurrent copies of one protocol — verify once,
+// fork per session — and is what the internal/sched throughput benchmarks
+// and examples/manysessions do at 10⁴–10⁵ sessions.
+func (s *Session) Fork() *Session {
+	s.mu.Lock()
+	mk := s.mk
+	s.mu.Unlock()
+	if mk == nil {
+		mk = NewNetwork // hand-constructed Session literals (tests)
+	}
+	return newSessionOn(s.fsms, mk)
+}
 
 // Endpoint returns the monitored endpoint for role. Like Network.Endpoint,
 // calls for the same role return the same endpoint (one handle per role —

@@ -1,0 +1,166 @@
+package session
+
+import (
+	"fmt"
+
+	"repro/internal/fsm"
+	"repro/internal/types"
+)
+
+// Stepper drives a process for an endpoint directly from its verified
+// machine — exactly what Drive does — but in non-blocking units: each Step
+// performs at most one protocol action via TrySendMsg/TryRecvMsg and yields
+// ErrWouldBlock, with no effect, when the substrate cannot make progress.
+// That inversion is what lets thousands of sessions multiplex over a fixed
+// worker pool (internal/sched) instead of parking two goroutines each.
+//
+// Lifecycle: NewStepper claims the endpoint (the TrySession linearity CAS)
+// and Step releases it when the protocol completes, faults, or exhausts its
+// budget; Abort releases it early. A Stepper is not safe for concurrent use
+// — one goroutine steps it at a time, which is the scheduler's invariant
+// (each session is sharded whole onto one worker).
+//
+// Determinism: the strategy's Choose and Payload are consulted exactly once
+// per performed action — a would-block retry replays the cached decision —
+// so a stepped run makes the same choices, sends the same payloads and
+// observes the same per-role trace as Drive over the same strategy. The
+// equivalence property test in internal/sched pins this for every registry
+// protocol.
+type Stepper struct {
+	e        *Endpoint
+	m        *fsm.FSM
+	strat    Strategy
+	cur      fsm.State
+	steps    int
+	maxSteps int
+
+	// pending caches an internal-choice decision (transition index and
+	// payload) taken before a send that then would-block, so retries commit
+	// the decided action instead of re-asking the strategy.
+	pending        int
+	pendingPayload any
+
+	finished bool
+}
+
+// NewStepper claims the endpoint and returns a stepper that will drive it
+// through at most maxSteps actions of its verified machine, deciding
+// internal choices and payloads with strat. It fails with ErrLinearity if
+// the endpoint is already owned by a running session or another stepper.
+// A monitored endpoint's monitor is reset, as at TrySession entry.
+func NewStepper(e *Endpoint, m *fsm.FSM, strat Strategy, maxSteps int) (*Stepper, error) {
+	if !e.inUse.CompareAndSwap(false, true) {
+		return nil, ErrLinearity
+	}
+	if e.mon != nil {
+		e.mon.reset()
+	}
+	return &Stepper{e: e, m: m, strat: strat, cur: m.Initial(), maxSteps: maxSteps, pending: -1}, nil
+}
+
+// Role returns the stepped endpoint's role.
+func (s *Stepper) Role() types.Role { return s.e.role }
+
+// Steps returns the number of protocol actions performed so far.
+func (s *Stepper) Steps() int { return s.steps }
+
+// Done reports whether the stepper has finished (completed, faulted,
+// exhausted its budget, or been aborted) and released its endpoint.
+func (s *Stepper) Done() bool { return s.finished }
+
+// finish releases the endpoint exactly once and marks the stepper done.
+func (s *Stepper) finish() {
+	if !s.finished {
+		s.finished = true
+		s.e.inUse.Store(false)
+	}
+}
+
+// Abort releases the endpoint without completing the protocol: the
+// scheduler calls it on the live siblings of a faulted task so their
+// endpoints return to a claimable state.
+func (s *Stepper) Abort() { s.finish() }
+
+// Step performs at most one protocol action. It returns:
+//
+//   - (false, nil): one action was performed; step again.
+//   - (false, ErrWouldBlock): no effect — the next action cannot proceed
+//     until the peer makes progress; re-step after it does.
+//   - (true, nil): the protocol ran to completion (terminal state).
+//   - (true, ErrStopped): the step budget was exhausted mid-protocol — the
+//     bounded-execution sentinel, as from Drive.
+//   - (true, err): the process faulted (protocol, sort or channel error).
+//
+// Once done, further Steps return (true, ErrStepperDone), so a scheduler
+// bug that steps a finished task is loud.
+func (s *Stepper) Step() (bool, error) {
+	if s.finished {
+		return true, ErrStepperDone
+	}
+	ts := s.m.Transitions(s.cur)
+	if len(ts) == 0 {
+		// Terminal. Mirror TrySession's completion check on the monitor.
+		s.finish()
+		if s.e.mon != nil && !s.e.mon.Terminal() {
+			return true, fmt.Errorf("%w: role %s stopped in state %d", ErrIncomplete, s.e.role, s.e.mon.State())
+		}
+		return true, nil
+	}
+	if s.steps >= s.maxSteps {
+		s.finish()
+		if s.m.IsFinal(s.cur) {
+			return true, nil
+		}
+		return true, ErrStopped
+	}
+
+	if ts[0].Act.Dir == fsm.Send {
+		if s.pending < 0 {
+			i := s.strat.Choose(s.cur, ts)
+			if i < 0 || i >= len(ts) {
+				s.finish()
+				return true, fmt.Errorf("session: strategy chose %d of %d options", i, len(ts))
+			}
+			s.pending = i
+			s.pendingPayload = s.strat.Payload(ts[i].Act)
+		}
+		t := ts[s.pending]
+		switch err := s.e.TrySendMsg(t.Act.Peer, t.Act.Label, s.pendingPayload); err {
+		case nil:
+			s.pending = -1
+			s.pendingPayload = nil
+			s.cur = t.To
+			s.steps++
+			return false, nil
+		case ErrWouldBlock:
+			return false, ErrWouldBlock
+		default:
+			s.finish()
+			return true, err
+		}
+	}
+
+	label, value, err := s.e.TryRecvMsg(ts[0].Act.Peer)
+	if err == ErrWouldBlock {
+		return false, ErrWouldBlock
+	}
+	if err != nil {
+		s.finish()
+		return true, err
+	}
+	for _, t := range ts {
+		if t.Act.Label == label {
+			s.strat.Received(t.Act, value)
+			s.cur = t.To
+			s.steps++
+			return false, nil
+		}
+	}
+	s.finish()
+	return true, fmt.Errorf("session: role %s received unexpected label %s in state %d", s.e.Role(), label, s.cur)
+}
+
+// ErrStepperDone is returned by Step on a stepper that already finished with
+// an error or was aborted: stepping it again is a scheduler bug, not a
+// recoverable condition.
+var ErrStepperDone = fmt.Errorf("session: stepper already finished")

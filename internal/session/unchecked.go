@@ -114,6 +114,25 @@ func (s UncheckedSend) Send(label types.Label, value any) error {
 	return s.q.Send(channel.Message{Label: label, Value: value})
 }
 
+// TrySend delivers label(value) on the bound route if it has room, and
+// returns ErrWouldBlock — with no effect — when it is full. This is the
+// monitor-free leg of the non-blocking algebra: the generated Try* methods
+// (internal/codegen) call it so a scheduler can step generated sessions
+// instead of parking goroutines.
+func (s UncheckedSend) TrySend(label types.Label, value any) error {
+	if s.q == nil {
+		return fmt.Errorf("session: TrySend on zero UncheckedSend")
+	}
+	ok, err := s.q.TrySend(channel.Message{Label: label, Value: value})
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return ErrWouldBlock
+	}
+	return nil
+}
+
 // UncheckedRecv is a route-bound, monitor-free receiver. The zero value is
 // not usable; obtain one from Unchecked.From.
 type UncheckedRecv struct {
@@ -128,6 +147,23 @@ func (r UncheckedRecv) Recv() (types.Label, any, error) {
 	m, err := r.q.Recv()
 	if err != nil {
 		return "", nil, err
+	}
+	return m.Label, m.Value, nil
+}
+
+// TryRecv returns the next message on the bound route if one has arrived,
+// and ErrWouldBlock — with no effect — when none has; the receive-side leg
+// of the non-blocking algebra under the generated Try* methods.
+func (r UncheckedRecv) TryRecv() (types.Label, any, error) {
+	if r.q == nil {
+		return "", nil, fmt.Errorf("session: TryRecv on zero UncheckedRecv")
+	}
+	m, ok, err := r.q.TryRecv()
+	if err != nil {
+		return "", nil, err
+	}
+	if !ok {
+		return "", nil, ErrWouldBlock
 	}
 	return m.Label, m.Value, nil
 }

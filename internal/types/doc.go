@@ -1,0 +1,17 @@
+// Package types defines multiparty session types: the sorts, roles and labels
+// exchanged in a protocol, and the global and local type syntax of Definition 1
+// of the paper (Cutner, Yoshida, Vassor, PPoPP '22):
+//
+//	S ::= i32 | u32 | i64 | u64 | unit | ...
+//	G ::= end | p → q : {ℓᵢ(Sᵢ).Gᵢ}ᵢ∈I | μt.G | t
+//	T ::= end | ⊕ᵢ∈I p!ℓᵢ(Sᵢ).Tᵢ | &ᵢ∈I p?ℓᵢ(Sᵢ).Tᵢ | μt.T | t
+//
+// The package also provides a concrete text syntax (see Parse and ParseGlobal),
+// structural equality, substitution, one-step unfolding and well-formedness
+// checks used by the projection, subtyping and k-MC packages.
+//
+// DESIGN.md ("The typed-sort registry and its Go bindings") documents the
+// open sort registry this package hosts (sorts.go): built-in scalars,
+// derived vec<S> vector sorts, and user-registered opaque sorts with
+// their Go bindings.
+package types

@@ -1,0 +1,39 @@
+package repro
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestReadmeQuickstartCompiles pins the README's quickstart listing to
+// examples/quickstart/main.go byte for byte. The example package is built
+// by tier-1 (`go build ./...`), so the snippet in the README compiles
+// as-is — if either side drifts, this fails with instructions instead of
+// letting the front door rot.
+func TestReadmeQuickstartCompiles(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("README.md: %v", err)
+	}
+	const open, close_ = "```go\n", "```"
+	i := strings.Index(string(readme), open)
+	if i < 0 {
+		t.Fatalf("README.md has no ```go code block")
+	}
+	rest := string(readme)[i+len(open):]
+	j := strings.Index(rest, close_)
+	if j < 0 {
+		t.Fatalf("README.md ```go block is unterminated")
+	}
+	snippet := rest[:j]
+
+	example, err := os.ReadFile("examples/quickstart/main.go")
+	if err != nil {
+		t.Fatalf("examples/quickstart/main.go: %v", err)
+	}
+	if snippet != string(example) {
+		t.Fatalf("the README quickstart listing differs from examples/quickstart/main.go;\n" +
+			"update one to match the other (the README promises the listing verbatim)")
+	}
+}
