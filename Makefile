@@ -17,14 +17,19 @@
 #                       and every expected column (including
 #                       FFT×rumpsteak-gen and the sched matrix) is present
 #                       — the CI bench job
+#   make chaos-smoke    the seeded fault-injection soak (internal/chaos):
+#                       every registry protocol × fault-family seeds ×
+#                       {blocking, stepped, scheduler}, -timeout as the
+#                       hang detector — the CI chaos job
 #   make generate       regenerate the sessgen packages (examples/gen)
 #   make drift          the CI gate: regenerated sources must match what is
 #                       checked in, and the tree must be gofmt-clean
 #   make doccheck       every internal package must carry a package comment
 #                       (the README/doc.go front-door gate)
 #   make ci             the full CI pipeline locally: vet + doccheck +
-#                       verify + drift + race + bench-smoke, so a builder
-#                       can reproduce a CI failure before pushing
+#                       verify + drift + race + chaos-smoke + bench-smoke,
+#                       so a builder can reproduce a CI failure before
+#                       pushing
 
 GO ?= go
 # bash + pipefail: a failing benchmark run must fail `make bench`, not let
@@ -38,7 +43,7 @@ SHELL := /bin/bash
 # benchmarks (BenchmarkQueuePingPong, ...) duplicate table entries and are
 # excluded so BENCH_channel.json holds one entry per data point. (No '/' in
 # the pattern: go test splits -bench patterns on '/' into per-level regexes.)
-BENCH_PATTERN ?= BenchmarkSendRecv|BenchmarkPingPong|BenchmarkRingBatch|BenchmarkNetwork|BenchmarkSessionRunStreaming|BenchmarkMonitor
+BENCH_PATTERN ?= BenchmarkSendRecv|BenchmarkPingPong|BenchmarkRingBatch|BenchmarkNetwork|BenchmarkSessionRunStreaming|BenchmarkSessionSendRecvDeadline|BenchmarkMonitor
 BENCH_PKGS ?= ./internal/channel ./internal/session ./internal/bench
 
 # The codegen head-to-head: the monitor-free generated-API hot path against
@@ -66,7 +71,7 @@ BENCH_OUT ?= BENCH_channel.json
 CODEGEN_BENCH_OUT ?= BENCH_codegen.json
 SCHED_BENCH_OUT ?= BENCH_sched.json
 
-.PHONY: verify race bench bench-codegen bench-sched bench-smoke generate drift doccheck ci
+.PHONY: verify race bench bench-codegen bench-sched bench-smoke chaos-smoke generate drift doccheck ci
 
 verify:
 	$(GO) build ./...
@@ -74,6 +79,16 @@ verify:
 
 race:
 	$(GO) test -race -timeout 600s ./internal/channel ./internal/session ./internal/sched
+	$(GO) test -race -short -timeout 600s ./internal/chaos
+
+# chaos-smoke: the seeded fault-injection soak — every registry protocol ×
+# seeds covering all four fault families × {blocking, stepped, scheduler},
+# each cell asserted to land in the failure trichotomy (clean / typed
+# timeout / typed abort) with no goroutine leaks. -timeout is the hang
+# detector: a cell that neither completes nor fails typed stalls the binary
+# past it and fails the job.
+chaos-smoke:
+	$(GO) test -count=1 -timeout 300s ./internal/chaos
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem $(BENCH_FLAGS) -timeout 1800s $(BENCH_PKGS) \
@@ -103,6 +118,8 @@ bench-smoke:
 	$(GO) run ./cmd/benchcheck -file BENCH_smoke_channel.json \
 		-expect BenchmarkSendRecv -expect BenchmarkPingPong \
 		-expect BenchmarkSessionRunStreaming/ring -expect BenchmarkSessionRunStreaming/queue \
+		-expect BenchmarkSessionSendRecvDeadline/unarmed \
+		-expect BenchmarkSessionSendRecvDeadline/armed \
 		-expect BenchmarkMonitor
 	$(GO) run ./cmd/benchcheck -file BENCH_smoke_codegen.json \
 		-expect BenchmarkSendRecvMonitored -expect BenchmarkSendRecvUnchecked \
@@ -131,6 +148,7 @@ ci:
 	$(MAKE) verify
 	$(MAKE) drift
 	$(MAKE) race
+	$(MAKE) chaos-smoke
 	$(MAKE) bench-smoke
 	@echo "ci: all local gates passed"
 

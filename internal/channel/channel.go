@@ -3,6 +3,7 @@ package channel
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/types"
 )
@@ -16,6 +17,41 @@ type Message struct {
 // ErrClosed is returned by receives once a channel is closed and drained, and
 // by sends on a closed channel.
 var ErrClosed = errors.New("channel: closed")
+
+// CloseError is the error observed on a substrate that was torn down with
+// CloseWithError: it carries the cause the closer supplied. It matches both
+// halves of the failure contract — errors.Is(err, ErrClosed) holds (so code
+// written against the plain Close contract keeps working), and the cause is
+// reachable with errors.Is/errors.As through Unwrap (so a party blocked in
+// Recv learns *why* the session died, not just that it did).
+type CloseError struct {
+	Cause error
+}
+
+func (e *CloseError) Error() string { return "channel: closed: " + e.Cause.Error() }
+
+// Unwrap exposes the close cause to errors.Is/errors.As.
+func (e *CloseError) Unwrap() error { return e.Cause }
+
+// Is reports true for ErrClosed: a cause-carrying close is still a close.
+func (e *CloseError) Is(target error) bool { return target == ErrClosed }
+
+// Substrate is the full per-route channel contract the session runtimes
+// build networks from: both directions of the non-blocking algebra plus
+// teardown with and without a cause. All five substrates (Queue, Bounded,
+// Rendezvous, Ring, RingQueue) and the Faulty wrapper implement it.
+type Substrate interface {
+	Sender
+	Receiver
+	// Close tears the substrate down; blocked and future parties observe
+	// ErrClosed (after draining any buffered messages).
+	Close()
+	// CloseWithError is Close carrying a cause: blocked and future parties
+	// observe a *CloseError wrapping err instead of the bare ErrClosed.
+	// A nil err is equivalent to Close; the first cause wins — later
+	// closes (with or without cause) do not overwrite it.
+	CloseWithError(err error)
+}
 
 // Sender is the output half of a channel.
 type Sender interface {
@@ -61,6 +97,16 @@ type Queue struct {
 	buf    []Message
 	head   int
 	closed bool
+	cause  *CloseError
+}
+
+// closeErr returns the error a closed queue reports: the cause when one was
+// supplied, the bare ErrClosed otherwise. Assumes q.mu held.
+func (q *Queue) closeErr() error {
+	if q.cause != nil {
+		return q.cause
+	}
+	return ErrClosed
 }
 
 // NewQueue returns an empty unbounded queue.
@@ -78,7 +124,7 @@ func (q *Queue) Send(m Message) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
-		return ErrClosed
+		return q.closeErr()
 	}
 	q.buf = append(q.buf, m)
 	q.lockedCond().Signal()
@@ -93,7 +139,7 @@ func (q *Queue) Recv() (Message, error) {
 		q.lockedCond().Wait()
 	}
 	if q.head >= len(q.buf) {
-		return Message{}, ErrClosed
+		return Message{}, q.closeErr()
 	}
 	return q.pop(), nil
 }
@@ -114,7 +160,7 @@ func (q *Queue) TryRecv() (Message, bool, error) {
 		return q.pop(), true, nil
 	}
 	if q.closed {
-		return Message{}, false, ErrClosed
+		return Message{}, false, q.closeErr()
 	}
 	return Message{}, false, nil
 }
@@ -148,6 +194,17 @@ func (q *Queue) Close() {
 	q.lockedCond().Broadcast()
 }
 
+// CloseWithError closes the queue with a cause (first cause wins).
+func (q *Queue) CloseWithError(err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if err != nil && q.cause == nil && !q.closed {
+		q.cause = &CloseError{Cause: err}
+	}
+	q.closed = true
+	q.lockedCond().Broadcast()
+}
+
 // Bounded is a FIFO with a fixed capacity: sends block while full. It models
 // the k-bounded queues of the k-MC semantics (MPMC mutex baseline; the
 // lock-free SPSC equivalent is Ring).
@@ -164,6 +221,15 @@ type Bounded struct {
 	head     int
 	n        int
 	closed   bool
+	cause    *CloseError
+}
+
+// closeErr returns the error a closed queue reports; assumes b.mu held.
+func (b *Bounded) closeErr() error {
+	if b.cause != nil {
+		return b.cause
+	}
+	return ErrClosed
 }
 
 // NewBounded returns a queue with capacity k (k ≥ 1).
@@ -186,7 +252,7 @@ func (b *Bounded) Send(m Message) error {
 		b.notFull.Wait()
 	}
 	if b.closed {
-		return ErrClosed
+		return b.closeErr()
 	}
 	b.buf[(b.head+b.n)%len(b.buf)] = m
 	b.n++
@@ -203,7 +269,7 @@ func (b *Bounded) Recv() (Message, error) {
 		b.notEmpty.Wait()
 	}
 	if b.n == 0 {
-		return Message{}, ErrClosed
+		return Message{}, b.closeErr()
 	}
 	return b.pop(), nil
 }
@@ -214,7 +280,7 @@ func (b *Bounded) TrySend(m Message) (bool, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
-		return false, ErrClosed
+		return false, b.closeErr()
 	}
 	if b.n == len(b.buf) {
 		return false, nil
@@ -233,7 +299,7 @@ func (b *Bounded) TryRecv() (Message, bool, error) {
 		return b.pop(), true, nil
 	}
 	if b.closed {
-		return Message{}, false, ErrClosed
+		return Message{}, false, b.closeErr()
 	}
 	return Message{}, false, nil
 }
@@ -265,10 +331,36 @@ func (b *Bounded) Close() {
 	b.notEmpty.Broadcast()
 }
 
+// CloseWithError closes the queue with a cause (first cause wins): blocked
+// senders and receivers — after the drain — observe a *CloseError wrapping
+// err.
+func (b *Bounded) CloseWithError(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err != nil && b.cause == nil && !b.closed {
+		b.cause = &CloseError{Cause: err}
+	}
+	b.closed = true
+	b.notFull.Broadcast()
+	b.notEmpty.Broadcast()
+}
+
 // Rendezvous is a synchronous channel: Send blocks until a receiver takes the
 // message, as in the synchronous baselines (Sesh, MultiCrusty).
 type Rendezvous struct {
-	ch chan Message
+	ch     chan Message
+	cause  atomic.Pointer[CloseError]
+	closed atomic.Bool
+}
+
+// closeErr returns the error a closed rendezvous reports. The cause store in
+// CloseWithError is ordered before close(ch), and a receive observing !ok
+// synchronizes with that close, so the load here sees it.
+func (r *Rendezvous) closeErr() error {
+	if c := r.cause.Load(); c != nil {
+		return c
+	}
+	return ErrClosed
 }
 
 // NewRendezvous returns a fresh synchronous channel.
@@ -296,7 +388,7 @@ func (r *Rendezvous) TrySend(m Message) (bool, error) {
 func (r *Rendezvous) Recv() (Message, error) {
 	m, ok := <-r.ch
 	if !ok {
-		return Message{}, ErrClosed
+		return Message{}, r.closeErr()
 	}
 	return m, nil
 }
@@ -306,7 +398,7 @@ func (r *Rendezvous) TryRecv() (Message, bool, error) {
 	select {
 	case m, ok := <-r.ch:
 		if !ok {
-			return Message{}, false, ErrClosed
+			return Message{}, false, r.closeErr()
 		}
 		return m, true, nil
 	default:
@@ -315,13 +407,33 @@ func (r *Rendezvous) TryRecv() (Message, bool, error) {
 }
 
 // Close closes the channel; pending and future receivers observe ErrClosed.
-func (r *Rendezvous) Close() { close(r.ch) }
+// Close is idempotent (a CAS gates the native close), so repeated session
+// teardowns — an abort followed by the final Close — are safe.
+func (r *Rendezvous) Close() {
+	if r.closed.CompareAndSwap(false, true) {
+		close(r.ch)
+	}
+}
+
+// CloseWithError closes the channel with a cause (first cause wins); pending
+// and future receivers observe a *CloseError wrapping err. Like Close, it
+// must not race a blocked Send (native channel semantics); the session
+// runtimes close routes only on teardown.
+func (r *Rendezvous) CloseWithError(err error) {
+	if err != nil && !r.closed.Load() {
+		r.cause.CompareAndSwap(nil, &CloseError{Cause: err})
+	}
+	r.Close()
+}
 
 var (
-	_ Sender   = (*Queue)(nil)
-	_ Receiver = (*Queue)(nil)
-	_ Sender   = (*Bounded)(nil)
-	_ Receiver = (*Bounded)(nil)
-	_ Sender   = (*Rendezvous)(nil)
-	_ Receiver = (*Rendezvous)(nil)
+	_ Sender    = (*Queue)(nil)
+	_ Receiver  = (*Queue)(nil)
+	_ Substrate = (*Queue)(nil)
+	_ Sender    = (*Bounded)(nil)
+	_ Receiver  = (*Bounded)(nil)
+	_ Substrate = (*Bounded)(nil)
+	_ Sender    = (*Rendezvous)(nil)
+	_ Receiver  = (*Rendezvous)(nil)
+	_ Substrate = (*Rendezvous)(nil)
 )

@@ -1,0 +1,179 @@
+package channel
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+)
+
+// This file implements Faulty, the fault-injection wrapper substrate behind
+// internal/chaos: it surrounds any inner Substrate and perturbs its operations
+// on a deterministic, seed-derived schedule. The injectable faults are the
+// three ways a real peer misbehaves short of corrupting data — it is slow
+// (delay: blocking operations yield to the scheduler first), it exerts
+// backpressure it shouldn't (would-block storms: Try operations spuriously
+// report no progress), and it dies (early close-with-cause: the route is torn
+// down mid-protocol with ErrInjected). Payloads are never dropped, duplicated
+// or reordered: every fault is a refusal or a teardown, so the session
+// monitor's safety argument is untouched and any observed completion is still
+// a correct run.
+
+// ErrInjected is the default cause of a fault-injected close: observers see a
+// *CloseError wrapping it, so errors.Is(err, ErrInjected) identifies a chaos
+// teardown while errors.Is(err, ErrClosed) keeps the ordinary close contract.
+var ErrInjected = errors.New("channel: injected fault")
+
+// FaultPlan is one deterministic fault schedule. The zero value injects
+// nothing; all randomness derives from Seed, so a (plan, operation sequence)
+// pair always produces the same faults — a failing chaos schedule replays
+// exactly.
+type FaultPlan struct {
+	// Seed drives the per-operation fault rolls. Two plans with the same
+	// knobs but different seeds fault at different operations.
+	Seed uint64
+	// WouldBlockP is the per-mille probability that a TrySend/TryRecv
+	// spuriously reports no progress (a backpressure storm). The refused
+	// operation has no effect; a later retry proceeds normally.
+	WouldBlockP int
+	// DelayP is the per-mille probability that a blocking Send/Recv yields
+	// to the scheduler a few times before acting (a slow peer).
+	DelayP int
+	// StallAfter, when positive, stalls the route after that many total
+	// operations: every subsequent Try operation reports no progress until
+	// the route is closed. This is the "peer wedged" fault — only a
+	// deadline (or an abort elsewhere in the session) gets a party out.
+	StallAfter int
+	// CloseAfter, when positive, closes the route with CloseCause once that
+	// many total operations have been observed (a crashed peer).
+	CloseAfter int
+	// CloseCause is the cause used for the injected close; ErrInjected
+	// when nil.
+	CloseCause error
+}
+
+// Faulty wraps an inner substrate with a FaultPlan. It satisfies the same
+// Substrate contract (and concurrency contract — the fault state is split
+// into producer-owned, consumer-owned and atomic shared fields exactly like
+// the rings), so a session network built over Faulty routes behaves like the
+// inner substrate plus scheduled misbehaviour.
+//
+// Faulty deliberately does not implement BatchSender/BatchReceiver: batch
+// operations decay to per-message calls at the session layer, so every
+// message is a fault opportunity.
+type Faulty struct {
+	inner Substrate
+	plan  FaultPlan
+
+	ops    atomic.Int64 // operations observed, both sides
+	closed atomic.Bool  // a close passed through (or was injected) — stop stalling
+
+	sendRNG uint64 // producer-owned roll state
+	recvRNG uint64 // consumer-owned roll state
+}
+
+// NewFaulty wraps inner with the given fault plan.
+func NewFaulty(inner Substrate, plan FaultPlan) *Faulty {
+	f := &Faulty{inner: inner, plan: plan}
+	f.sendRNG = plan.Seed ^ 0xa5a5a5a5a5a5a5a5
+	f.recvRNG = plan.Seed ^ 0x5a5a5a5a5a5a5a5a
+	return f
+}
+
+// splitmix64 is the tiny deterministic PRNG behind the fault rolls.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// roll consumes one random draw from the side-owned state and reports whether
+// a fault with per-mille probability p fires.
+func roll(state *uint64, p int) bool {
+	if p <= 0 {
+		return false
+	}
+	return splitmix64(state)%1000 < uint64(p)
+}
+
+// tick counts one operation, fires the CloseAfter trigger when it is reached,
+// and reports whether the route is stalled.
+func (f *Faulty) tick() (stalled bool) {
+	n := f.ops.Add(1)
+	if f.plan.CloseAfter > 0 && n == int64(f.plan.CloseAfter) {
+		cause := f.plan.CloseCause
+		if cause == nil {
+			cause = ErrInjected
+		}
+		f.closed.Store(true)
+		f.inner.CloseWithError(cause)
+	}
+	return f.plan.StallAfter > 0 && n >= int64(f.plan.StallAfter)
+}
+
+// delay yields to the scheduler a few times: the slow-peer fault for the
+// blocking operations (Try operations model slowness as would-block instead).
+func (f *Faulty) delay(state *uint64) {
+	if !roll(state, f.plan.DelayP) {
+		return
+	}
+	yields := int(splitmix64(state)%4) + 1
+	for i := 0; i < yields; i++ {
+		runtime.Gosched()
+	}
+}
+
+// Send forwards to the inner substrate, possibly after a delay fault.
+func (f *Faulty) Send(m Message) error {
+	f.delay(&f.sendRNG)
+	f.tick()
+	return f.inner.Send(m)
+}
+
+// TrySend forwards to the inner substrate unless a stall or would-block
+// fault fires, in which case it reports (false, nil) with no effect. Once
+// the route is closed, faults stop masking the closure: the caller must
+// observe the teardown cause, not an eternal storm.
+func (f *Faulty) TrySend(m Message) (bool, error) {
+	stalled := f.tick()
+	if (stalled || roll(&f.sendRNG, f.plan.WouldBlockP)) && !f.closed.Load() {
+		return false, nil
+	}
+	return f.inner.TrySend(m)
+}
+
+// Recv forwards to the inner substrate, possibly after a delay fault.
+func (f *Faulty) Recv() (Message, error) {
+	f.delay(&f.recvRNG)
+	f.tick()
+	return f.inner.Recv()
+}
+
+// TryRecv forwards to the inner substrate unless a stall or would-block
+// fault fires, in which case it reports no message with no effect.
+func (f *Faulty) TryRecv() (Message, bool, error) {
+	stalled := f.tick()
+	if (stalled || roll(&f.recvRNG, f.plan.WouldBlockP)) && !f.closed.Load() {
+		return Message{}, false, nil
+	}
+	return f.inner.TryRecv()
+}
+
+// Close forwards the teardown and releases any stall.
+func (f *Faulty) Close() {
+	f.closed.Store(true)
+	f.inner.Close()
+}
+
+// CloseWithError forwards the cause-carrying teardown and releases any stall.
+func (f *Faulty) CloseWithError(err error) {
+	f.closed.Store(true)
+	f.inner.CloseWithError(err)
+}
+
+// Ops returns the number of operations observed so far (both sides); chaos
+// reports use it to describe how deep into a schedule a fault fired.
+func (f *Faulty) Ops() int { return int(f.ops.Load()) }
+
+var _ Substrate = (*Faulty)(nil)

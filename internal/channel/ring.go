@@ -113,8 +113,19 @@ type Ring struct {
 	_          cacheLinePad
 
 	closed   atomic.Bool
-	recvGate parkGate // receivers park here when the ring is empty
-	sendGate parkGate // senders park here when the ring is full
+	cause    atomic.Pointer[CloseError] // set before closed; first cause wins
+	recvGate parkGate                   // receivers park here when the ring is empty
+	sendGate parkGate                   // senders park here when the ring is full
+}
+
+// closeErr returns the error a closed ring reports. The cause pointer is
+// CAS-installed before the closed flag is stored, so any party that observed
+// closed == true also observes the cause.
+func (r *Ring) closeErr() error {
+	if c := r.cause.Load(); c != nil {
+		return c
+	}
+	return ErrClosed
 }
 
 // NewRing returns a ring with logical capacity k (k ≥ 1). The backing array
@@ -141,7 +152,7 @@ func (r *Ring) Len() int { return int(r.tail.Load() - r.head.Load()) }
 // the ring is (or becomes, while blocked) closed.
 func (r *Ring) Send(m Message) error {
 	if r.closed.Load() {
-		return ErrClosed
+		return r.closeErr()
 	}
 	t := r.tail.Load()
 	if t-r.cachedHead >= r.capacity {
@@ -162,7 +173,7 @@ func (r *Ring) Send(m Message) error {
 // (false, ErrClosed) once closed. Same single-producer contract as Send.
 func (r *Ring) TrySend(m Message) (bool, error) {
 	if r.closed.Load() {
-		return false, ErrClosed
+		return false, r.closeErr()
 	}
 	t := r.tail.Load()
 	if t-r.cachedHead >= r.capacity {
@@ -187,7 +198,7 @@ func (r *Ring) waitNotFull(t uint64) (uint64, error) {
 			return h, nil
 		}
 		if r.closed.Load() {
-			return 0, ErrClosed
+			return 0, r.closeErr()
 		}
 		spins++
 		switch {
@@ -237,7 +248,7 @@ func (r *Ring) waitNotEmpty(h uint64) (uint64, error) {
 			if t = r.tail.Load(); t != h {
 				return t, nil
 			}
-			return 0, ErrClosed
+			return 0, r.closeErr()
 		}
 		spins++
 		switch {
@@ -265,7 +276,7 @@ func (r *Ring) TryRecv() (Message, bool, error) {
 			}
 			// Drain messages racing the close before reporting it.
 			if r.cachedTail = r.tail.Load(); r.cachedTail == h {
-				return Message{}, false, ErrClosed
+				return Message{}, false, r.closeErr()
 			}
 		}
 	}
@@ -284,7 +295,7 @@ func (r *Ring) SendN(ms []Message) (int, error) {
 	sent := 0
 	for sent < len(ms) {
 		if r.closed.Load() {
-			return sent, ErrClosed
+			return sent, r.closeErr()
 		}
 		t := r.tail.Load()
 		if t-r.cachedHead >= r.capacity {
@@ -346,6 +357,15 @@ func (r *Ring) Close() {
 	r.sendGate.wake()
 }
 
+// CloseWithError closes the ring with a cause (first cause wins): blocked
+// and future parties — after the drain — observe a *CloseError wrapping err.
+func (r *Ring) CloseWithError(err error) {
+	if err != nil && !r.closed.Load() {
+		r.cause.CompareAndSwap(nil, &CloseError{Cause: err})
+	}
+	r.Close()
+}
+
 // ringSegShift sizes RingQueue segments: 64 messages (2 KiB) each, so the
 // amortised allocation cost of an unbounded send is 1/64 segment — and zero
 // in steady state, because drained segments are recycled through a one-slot
@@ -383,7 +403,17 @@ type RingQueue struct {
 	first    atomic.Pointer[ringSeg] // lazily allocated initial segment
 	free     atomic.Pointer[ringSeg] // one-slot recycle cache, consumer → producer
 	closed   atomic.Bool
+	cause    atomic.Pointer[CloseError] // set before closed; first cause wins
 	recvGate parkGate
+}
+
+// closeErr returns the error a closed queue reports; same publication
+// argument as Ring.closeErr.
+func (q *RingQueue) closeErr() error {
+	if c := q.cause.Load(); c != nil {
+		return c
+	}
+	return ErrClosed
 }
 
 // NewRingQueue returns an empty unbounded ring queue. No segment is
@@ -396,7 +426,7 @@ func (q *RingQueue) Len() int { return int(q.tail.Load() - q.head.Load()) }
 // Send appends m. It never blocks.
 func (q *RingQueue) Send(m Message) error {
 	if q.closed.Load() {
-		return ErrClosed
+		return q.closeErr()
 	}
 	t := q.tail.Load()
 	i := t & ringSegMask
@@ -438,7 +468,7 @@ func (q *RingQueue) growTail(t uint64) {
 // SendN appends all of ms with one atomic publication per segment run.
 func (q *RingQueue) SendN(ms []Message) (int, error) {
 	if q.closed.Load() {
-		return 0, ErrClosed
+		return 0, q.closeErr()
 	}
 	sent := 0
 	t := q.tail.Load()
@@ -507,7 +537,7 @@ func (q *RingQueue) waitNotEmpty(h uint64) (uint64, error) {
 			if t = q.tail.Load(); t != h {
 				return t, nil
 			}
-			return 0, ErrClosed
+			return 0, q.closeErr()
 		}
 		spins++
 		switch {
@@ -534,7 +564,7 @@ func (q *RingQueue) TryRecv() (Message, bool, error) {
 				return Message{}, false, nil
 			}
 			if q.cachedTail = q.tail.Load(); q.cachedTail == h {
-				return Message{}, false, ErrClosed
+				return Message{}, false, q.closeErr()
 			}
 		}
 	}
@@ -593,6 +623,15 @@ func (q *RingQueue) Close() {
 	q.recvGate.wake()
 }
 
+// CloseWithError closes the queue with a cause (first cause wins): blocked
+// and future parties — after the drain — observe a *CloseError wrapping err.
+func (q *RingQueue) CloseWithError(err error) {
+	if err != nil && !q.closed.Load() {
+		q.cause.CompareAndSwap(nil, &CloseError{Cause: err})
+	}
+	q.Close()
+}
+
 var (
 	_ Sender        = (*Ring)(nil)
 	_ Receiver      = (*Ring)(nil)
@@ -602,4 +641,6 @@ var (
 	_ Receiver      = (*RingQueue)(nil)
 	_ BatchSender   = (*RingQueue)(nil)
 	_ BatchReceiver = (*RingQueue)(nil)
+	_ Substrate     = (*Ring)(nil)
+	_ Substrate     = (*RingQueue)(nil)
 )

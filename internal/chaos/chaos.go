@@ -1,0 +1,387 @@
+// Package chaos is the fault-injection harness for the runtime's failure
+// semantics: it drives verified protocols over networks of channel.Faulty
+// routes — deterministic, seed-scheduled delays, would-block storms, stalls
+// and early closes — across the runtime's three execution modes, and
+// classifies each run against the failure trichotomy:
+//
+//   - Clean: the protocol completed (or stopped deliberately at its budget)
+//     despite the injected perturbation.
+//   - Timeout: a deadline fired and the run ended with a typed error
+//     reaching session.ErrTimeout — a stalled peer cost bounded time, not a
+//     hang.
+//   - Abort: a route was torn down and the run ended with a typed error
+//     reaching the root cause through channel.CloseError (and, where the
+//     session layer did the teardown, a session.ProtocolError naming the
+//     failing role).
+//
+// Anything else — a hang (enforced externally by the test deadline), a
+// leaked goroutine (counted by the test), or an error matching no arm —
+// fails the soak. The soak itself lives in the package's tests and in
+// `make chaos-smoke`; see EXPERIMENTS.md for the recipe.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/protocols"
+	"repro/internal/sched"
+	"repro/internal/session"
+	"repro/internal/types"
+)
+
+// Mode selects how a run executes its session.
+type Mode int
+
+const (
+	// ModeBlocking runs one goroutine per role over the blocking endpoint
+	// ops (session.Drive under session.Run), with per-endpoint deadlines.
+	ModeBlocking Mode = iota
+	// ModeStepped steps every role round-robin on the harness goroutine
+	// over the non-blocking Try* algebra (session.Stepper), with a
+	// wall-clock deadline on the whole run.
+	ModeStepped
+	// ModeScheduler multiplexes the session over an internal/sched worker
+	// pool with a per-session deadline (GoSessionWithDeadline).
+	ModeScheduler
+)
+
+// Modes lists every execution mode, in soak order.
+var Modes = []Mode{ModeBlocking, ModeStepped, ModeScheduler}
+
+func (m Mode) String() string {
+	switch m {
+	case ModeBlocking:
+		return "blocking"
+	case ModeStepped:
+		return "stepped"
+	case ModeScheduler:
+		return "scheduler"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Class is one arm of the failure trichotomy.
+type Class int
+
+const (
+	// Clean: completed or stopped deliberately.
+	Clean Class = iota
+	// Timeout: typed deadline expiry (session.ErrTimeout reachable).
+	Timeout
+	// Abort: typed teardown (channel.ErrClosed reachable with a cause).
+	Abort
+	// Unclassified: an error matching no arm — a soak failure.
+	Unclassified
+)
+
+func (c Class) String() string {
+	switch c {
+	case Clean:
+		return "clean"
+	case Timeout:
+		return "timeout"
+	case Abort:
+		return "abort"
+	}
+	return "UNCLASSIFIED"
+}
+
+// ErrBudgetCut is the cause runBlocking aborts a session with when one role
+// deliberately stops at its action budget (the bounded cut of an infinite
+// protocol): the teardown releases siblings blocked on messages the stopped
+// role will never send. Classify treats it as Clean — a budget cut is the
+// expected end of a bounded run, exactly as a deliberate stop is for
+// internal/sched's quiescence rule.
+var ErrBudgetCut = errors.New("chaos: bounded run reached its action budget")
+
+// Classify sorts a run outcome into the trichotomy. A nil error is Clean, as
+// is a teardown whose root cause is ErrBudgetCut (the bounded-run cut); a
+// timeout must reach session.ErrTimeout; an abort must reach
+// channel.ErrClosed and carry a cause — either a session.ProtocolError
+// (naming the failing role) or the injected channel.ErrInjected itself.
+// A bare cause-less close, or any unrelated error, is Unclassified.
+func Classify(err error) Class {
+	switch {
+	case err == nil:
+		return Clean
+	case errors.Is(err, ErrBudgetCut):
+		return Clean
+	case errors.Is(err, session.ErrTimeout):
+		return Timeout
+	case errors.Is(err, channel.ErrClosed):
+		var pe *session.ProtocolError
+		var ce *channel.CloseError
+		if errors.As(err, &pe) && pe.Cause != nil {
+			return Abort
+		}
+		if errors.As(err, &ce) {
+			return Abort
+		}
+		return Unclassified
+	default:
+		return Unclassified
+	}
+}
+
+// Config sizes a chaos run.
+type Config struct {
+	// Budget is the per-role action budget (bounds infinite protocols);
+	// 0 means 2048.
+	Budget int
+	// Timeout is the per-run deadline — the bound every non-clean,
+	// non-abort run must respect; 0 means 2s.
+	Timeout time.Duration
+	// Workers is the scheduler-mode pool size; 0 means 2.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Budget <= 0 {
+		c.Budget = 2048
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	return c
+}
+
+// Result is one classified run.
+type Result struct {
+	Protocol string
+	Seed     uint64
+	Mode     Mode
+	Class    Class
+	// Err is the run's error (nil for Clean) — for Abort and Timeout, the
+	// typed chain the classification verified.
+	Err error
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s seed=%d %s: %s (%v)", r.Protocol, r.Seed, r.Mode, r.Class, r.Err)
+}
+
+// mix64 is the chaos-side seed mixer (splitmix64 finalizer): per-route fault
+// plans derive from (run seed, route ordinal) so every route misbehaves
+// differently but reproducibly.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// planFor derives route number n's fault plan from the run seed. Seeds are
+// striped into four families so every soak exercises every trichotomy arm:
+//
+//	seed ≡ 0 (mod 4): transparent routes — the control arm, must end Clean.
+//	seed ≡ 1 (mod 4): transient noise (delays + would-block storms) on every
+//	                  route — must still end Clean: the faults always clear.
+//	seed ≡ 2 (mod 4): one route closes early with ErrInjected — the Abort
+//	                  arm (or Clean, if the protocol never uses that route).
+//	seed ≡ 3 (mod 4): one route stalls permanently — the Timeout arm (or
+//	                  Clean if unused; a sibling's teardown may also turn it
+//	                  into an Abort first).
+func planFor(seed uint64, n int) channel.FaultPlan {
+	h := mix64(seed ^ mix64(uint64(n)+1))
+	switch seed % 4 {
+	case 0:
+		return channel.FaultPlan{}
+	case 1:
+		return channel.FaultPlan{
+			Seed:        h,
+			WouldBlockP: 150 + int(h%200), // 15–35% spurious refusals
+			DelayP:      100,
+		}
+	case 2:
+		plan := channel.FaultPlan{Seed: h, WouldBlockP: 100}
+		if n == int(mix64(seed)%6) {
+			plan.CloseAfter = 1 + int(h%12)
+		}
+		return plan
+	default:
+		plan := channel.FaultPlan{Seed: h, WouldBlockP: 100}
+		if n == int(mix64(seed)%6) {
+			plan.StallAfter = 1 + int(h%12)
+		}
+		return plan
+	}
+}
+
+// Build constructs the verified base session for a registry entry (top-down
+// from its global type when it has one, bottom-up k-MC otherwise). Runs fork
+// this base, so verification cost is paid once per protocol, not per seed.
+func Build(e protocols.Entry) (*session.Session, error) {
+	if e.Global != nil {
+		return session.TopDown(e.Global, nil, core.Options{})
+	}
+	return session.BottomUp(e.KmcBound, protocols.Machines(protocols.FSMs(e.Locals))...)
+}
+
+// faultyNetwork returns a network constructor whose routes are Faulty
+// wrappers over the default unbounded rings, with per-route plans derived
+// from seed.
+func faultyNetwork(seed uint64) func(roles ...types.Role) *session.Network {
+	return func(roles ...types.Role) *session.Network {
+		n := 0
+		return session.NewCustomNetwork(func() channel.Substrate {
+			plan := planFor(seed, n)
+			n++
+			return channel.NewFaulty(channel.NewRingQueue(), plan)
+		}, roles...)
+	}
+}
+
+// Run executes one (protocol, seed, mode) cell: base is forked, rewired onto
+// seed-derived Faulty routes, executed in the given mode, and classified.
+func Run(name string, base *session.Session, seed uint64, mode Mode, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	inst := base.Fork().Rewire(faultyNetwork(seed))
+	deadline := time.Now().Add(cfg.Timeout)
+	var err error
+	switch mode {
+	case ModeBlocking:
+		err = runBlocking(inst, deadline, cfg.Budget)
+	case ModeStepped:
+		err = runStepped(inst, deadline, cfg.Budget)
+	case ModeScheduler:
+		err = runScheduler(inst, deadline, cfg.Budget, cfg.Workers)
+	default:
+		err = fmt.Errorf("chaos: unknown mode %d", int(mode))
+	}
+	return Result{Protocol: name, Seed: seed, Mode: mode, Class: Classify(err), Err: err}
+}
+
+// strategyFor returns the deterministic per-role driving strategy: cycling
+// real choices so branches are covered, nil payloads.
+func strategyFor(types.Role) session.Strategy { return &session.RoundRobin{} }
+
+// runBlocking is ModeBlocking: one goroutine per role, blocking ops, with
+// the run deadline armed on every endpoint so a stalled route times out
+// typed instead of hanging a goroutine. A role that stops at its budget
+// (the bounded cut of an infinite protocol) aborts the session with
+// ErrBudgetCut so siblings do not sit out the deadline waiting for messages
+// it will never send.
+func runBlocking(inst *session.Session, deadline time.Time, budget int) error {
+	procs := map[types.Role]func(*session.Endpoint) error{}
+	for _, r := range inst.Roles() {
+		role := r
+		procs[role] = func(e *session.Endpoint) error {
+			e.SetDeadline(deadline)
+			err := session.Drive(e, inst.FSM(role), strategyFor(role), budget)
+			if errors.Is(err, session.ErrStopped) {
+				inst.Abort(ErrBudgetCut)
+			}
+			return err
+		}
+	}
+	return inst.Run(procs)
+}
+
+// runStepped is ModeStepped: every role stepped round-robin on this
+// goroutine over the Try* algebra. A sterile pass inside the deadline naps
+// briefly and re-polls (injected storms clear with retries, not with peer
+// progress); at the deadline the run fails typed, naming the parked roles.
+func runStepped(inst *session.Session, deadline time.Time, budget int) error {
+	roles := inst.Roles()
+	steppers := make([]*session.Stepper, 0, len(roles))
+	abortAll := func() {
+		for _, st := range steppers {
+			st.Abort()
+		}
+	}
+	for _, r := range roles {
+		ep, err := inst.Endpoint(r)
+		if err != nil {
+			abortAll()
+			return err
+		}
+		st, err := session.NewStepper(ep, inst.FSM(r), strategyFor(r), budget)
+		if err != nil {
+			abortAll()
+			return err
+		}
+		steppers = append(steppers, st)
+	}
+	spins := 0
+	stopped := false
+	for {
+		progressed := false
+		live := 0
+		for _, st := range steppers {
+			if st.Done() {
+				continue
+			}
+			live++
+			done, err := st.Step()
+			if done {
+				if errors.Is(err, session.ErrStopped) {
+					stopped = true
+				} else if err != nil {
+					abortAll()
+					return fmt.Errorf("chaos: role %s: %w", st.Role(), err)
+				}
+				progressed = true
+				continue
+			}
+			if errors.Is(err, session.ErrWouldBlock) {
+				continue
+			}
+			if err != nil {
+				abortAll()
+				return fmt.Errorf("chaos: role %s: %w", st.Role(), err)
+			}
+			progressed = true
+		}
+		if live == 0 {
+			return nil
+		}
+		if progressed {
+			spins = 0
+			continue
+		}
+		if stopped {
+			// Quiescence after a deliberate stop is the expected end of a
+			// bounded run, not a stall — the same consistent-cut rule
+			// internal/sched applies.
+			abortAll()
+			return nil
+		}
+		if !time.Now().Before(deadline) {
+			var stuck []types.Role
+			for _, st := range steppers {
+				if !st.Done() {
+					stuck = append(stuck, st.Role())
+				}
+			}
+			abortAll()
+			return fmt.Errorf("chaos: stepped run: roles %v still parked: %w", stuck, session.ErrTimeout)
+		}
+		spins++
+		if spins < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// runScheduler is ModeScheduler: the session is multiplexed over a fresh
+// worker pool with a per-session deadline, and the pool is drained (the
+// worker-survival property — e.g. across stepper faults — is what the soak
+// exercises at scale here).
+func runScheduler(inst *session.Session, deadline time.Time, budget, workers int) error {
+	s := sched.New(sched.Options{Workers: workers})
+	if err := s.GoSessionWithDeadline(inst, budget, strategyFor, deadline); err != nil {
+		s.Close()
+		return err
+	}
+	return s.Close()
+}

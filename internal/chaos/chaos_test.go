@@ -1,0 +1,186 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/protocols"
+	"repro/internal/sched"
+	"repro/internal/session"
+)
+
+// soakConfig keeps the full soak around the 30s mark: the per-run deadline
+// bounds only the timeout arm (seeds ≡ 3 mod 4 with the stalled route
+// actually in use); every other cell finishes in microseconds.
+var soakConfig = Config{Timeout: 300 * time.Millisecond}
+
+// soakEntries is every registry protocol — the paper's Table 1 set plus the
+// extended registry.
+func soakEntries() []protocols.Entry {
+	return append(protocols.Registry(), protocols.ExtraRegistry()...)
+}
+
+// soakSeeds covers every fault family (seed mod 4; see planFor) twice in the
+// full soak, once in -short mode.
+func soakSeeds() []uint64 {
+	if testing.Short() {
+		return []uint64{0, 1, 2, 3}
+	}
+	return []uint64{0, 1, 2, 3, 4, 5, 6, 7}
+}
+
+// waitGoroutines polls until the goroutine count returns to (near) base,
+// failing the test if it does not: a leaked worker, watcher or process
+// goroutine is a soak failure even when every run classified.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("goroutines leaked: %d running, started with %d", n, base)
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestChaosSoak is the acceptance soak: every registry protocol × seeds
+// covering every fault family × the three execution modes. Each cell must
+// land in the trichotomy — Clean, typed Timeout, or typed Abort — with the
+// fault-free and transient-noise families required to end Clean, and the
+// whole soak leaking no goroutines. The go test -timeout flag is the hang
+// detector: a cell that neither completes nor fails typed within its
+// deadline would stall the test binary past it.
+func TestChaosSoak(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
+	var counts [4]int
+	for _, e := range soakEntries() {
+		base, err := Build(e)
+		if err != nil {
+			t.Fatalf("%s: building session: %v", e.Name, err)
+		}
+		for _, seed := range soakSeeds() {
+			for _, mode := range Modes {
+				res := Run(e.Name, base, seed, mode, soakConfig)
+				counts[res.Class]++
+				if res.Class == Unclassified {
+					t.Errorf("%s seed=%d %s: unclassified outcome: %v", e.Name, seed, mode, res.Err)
+				}
+				if seed%4 <= 1 && res.Class != Clean {
+					t.Errorf("%s seed=%d %s: fault family %d must end clean, got %s (%v)",
+						e.Name, seed, mode, seed%4, res.Class, res.Err)
+				}
+			}
+		}
+	}
+	t.Logf("soak outcomes: clean=%d timeout=%d abort=%d unclassified=%d",
+		counts[Clean], counts[Timeout], counts[Abort], counts[Unclassified])
+	if counts[Abort] == 0 {
+		t.Error("soak never exercised the abort arm")
+	}
+	if counts[Timeout] == 0 {
+		t.Error("soak never exercised the timeout arm")
+	}
+	waitGoroutines(t, baseGoroutines)
+}
+
+// TestChaosSteppedDeterministic pins replayability where the harness owns
+// the interleaving: in stepped mode (one goroutine, deterministic fault
+// schedule, deterministic strategy) the same (protocol, seed) cell always
+// produces the same class and error.
+func TestChaosSteppedDeterministic(t *testing.T) {
+	entries := soakEntries()[:3]
+	for _, e := range entries {
+		base, err := Build(e)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		for _, seed := range []uint64{1, 2, 3, 6, 7} {
+			a := Run(e.Name, base, seed, ModeStepped, soakConfig)
+			b := Run(e.Name, base, seed, ModeStepped, soakConfig)
+			if a.Class != b.Class || fmt.Sprint(a.Err) != fmt.Sprint(b.Err) {
+				t.Errorf("%s seed=%d replay diverged:\n  first:  %s\n  second: %s", e.Name, seed, a, b)
+			}
+		}
+	}
+}
+
+// TestClassify pins the classifier against hand-built error chains.
+func TestClassify(t *testing.T) {
+	root := errors.New("boom")
+	cases := []struct {
+		name string
+		err  error
+		want Class
+	}{
+		{"nil", nil, Clean},
+		{"budget cut through abort chain", &channel.CloseError{Cause: &session.ProtocolError{Cause: ErrBudgetCut}}, Clean},
+		{"endpoint timeout", &session.TimeoutError{Role: "a", Op: "send", Peer: "b"}, Timeout},
+		{"wrapped timeout", fmt.Errorf("role a: %w", &session.TimeoutError{Role: "a"}), Timeout},
+		{"abort with role and cause", &channel.CloseError{Cause: &session.ProtocolError{Role: "b", Cause: root}}, Abort},
+		{"injected close", &channel.CloseError{Cause: channel.ErrInjected}, Abort},
+		{"bare close", channel.ErrClosed, Unclassified},
+		{"unrelated", root, Unclassified},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("%s: Classify = %s, want %s", c.name, got, c.want)
+		}
+	}
+}
+
+// TestPanickingStepperUnderScheduler is the chaos-side half of the panic
+// satellite: a stepper that panics mid-protocol, multiplexed with healthy
+// sessions on the same pool, faults only its own session — the pool drains
+// and every healthy session completes.
+type chaosPanicStepper struct{ left int }
+
+func (p *chaosPanicStepper) Step() (bool, error) {
+	if p.left == 0 {
+		panic("chaos: injected panic")
+	}
+	p.left--
+	return false, nil
+}
+
+func (p *chaosPanicStepper) Abort() {}
+
+func TestPanickingStepperUnderScheduler(t *testing.T) {
+	e := soakEntries()[0]
+	base, err := Build(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.New(sched.Options{Workers: 2})
+	healthy := 0
+	for i := 0; i < 8; i++ {
+		if i == 3 {
+			if err := s.Go(&chaosPanicStepper{left: 2}); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		healthy++
+		inst := base.Fork()
+		if err := s.GoSessionWithDeadline(inst, 4096, strategyFor, time.Now().Add(5*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = s.Close()
+	if err == nil {
+		t.Fatal("Close returned nil despite a panicking stepper")
+	}
+	if Classify(err) != Unclassified {
+		// The panic is a harness bug, not a protocol failure mode: it must
+		// not masquerade as one of the trichotomy arms.
+		t.Errorf("panic classified as %s: %v", Classify(err), err)
+	}
+}

@@ -42,8 +42,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/session"
 	"repro/internal/types"
@@ -80,8 +82,67 @@ var ErrClosed = errors.New("sched: scheduler closed")
 // with no runnable peer: since a session is sharded whole onto one worker,
 // nothing outside the session can unblock it, so the scheduler fails it
 // rather than poll forever. Verified sessions cannot reach this state; a
-// hand-written stepper that forgets an action can.
+// hand-written stepper that forgets an action can. The error actually
+// surfaced is a *DeadlockError wrapping this sentinel, naming the session
+// and its stuck roles.
 var ErrDeadlock = errors.New("sched: session deadlocked (every task would-block, no peer can progress)")
+
+// DeadlockError is the typed form of ErrDeadlock: it names the session (its
+// enqueue sequence number) and the roles stuck at the sterile quiescence, so
+// a failure among thousands of multiplexed sessions is attributable.
+// errors.Is(err, ErrDeadlock) still holds.
+type DeadlockError struct {
+	// Session is the scheduler-wide enqueue sequence number of the session.
+	Session uint64
+	// Stuck lists the roles of the tasks that were parked (for steppers that
+	// expose a Role; empty otherwise).
+	Stuck []types.Role
+}
+
+func (e *DeadlockError) Error() string {
+	if len(e.Stuck) > 0 {
+		return fmt.Sprintf("sched: session %d deadlocked: roles %v all would-block with no runnable peer", e.Session, e.Stuck)
+	}
+	return fmt.Sprintf("sched: session %d deadlocked: every task would-block with no runnable peer", e.Session)
+}
+
+// Unwrap exposes the ErrDeadlock sentinel to errors.Is.
+func (e *DeadlockError) Unwrap() error { return ErrDeadlock }
+
+// TimeoutError reports a session that exceeded its deadline (GoWithDeadline,
+// GoSessionWithDeadline or Options.SessionTimeout) while parked: the
+// scheduler abandons it instead of re-polling forever. It unwraps to
+// session.ErrTimeout, the sentinel shared by every deadline expiry in the
+// runtime.
+type TimeoutError struct {
+	// Session is the scheduler-wide enqueue sequence number of the session.
+	Session uint64
+	// Stuck lists the roles still parked when the deadline passed.
+	Stuck []types.Role
+}
+
+func (e *TimeoutError) Error() string {
+	if len(e.Stuck) > 0 {
+		return fmt.Sprintf("sched: session %d deadline exceeded: roles %v still parked", e.Session, e.Stuck)
+	}
+	return fmt.Sprintf("sched: session %d deadline exceeded", e.Session)
+}
+
+// Unwrap exposes the session.ErrTimeout sentinel to errors.Is.
+func (e *TimeoutError) Unwrap() error { return session.ErrTimeout }
+
+// PanicError is a stepper panic converted into a session fault: the worker
+// survives (the panic is recovered in the step loop), the panicking task and
+// its siblings are aborted, and GoWithDone observes this error carrying the
+// recovered value and the stack at the panic site.
+type PanicError struct {
+	// Value is the value the stepper panicked with.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("sched: stepper panicked: %v", e.Value) }
 
 // Options configures a Scheduler.
 type Options struct {
@@ -91,6 +152,15 @@ type Options struct {
 	// perform per worker visit before the worker rotates to its next
 	// session; 0 means 64.
 	Quantum int
+	// SessionTimeout, when positive, arms a deadline of Now+SessionTimeout on
+	// every session at enqueue (unless the enqueue supplies its own): a
+	// session still parked at its deadline fails with a *TimeoutError instead
+	// of being re-polled forever. With no deadline the scheduler keeps
+	// today's fail-fast behaviour — sterile quiescence is an immediate
+	// *DeadlockError — which is the right inference only when routes never
+	// spuriously refuse; fault-injected substrates (channel.Faulty) need a
+	// timeout.
+	SessionTimeout time.Duration
 }
 
 // Scheduler runs sessions added with Go or GoSession until they complete.
@@ -99,7 +169,8 @@ type Options struct {
 type Scheduler struct {
 	workers []*worker
 	quantum int
-	next    atomic.Uint64 // round-robin shard counter
+	timeout time.Duration // Options.SessionTimeout
+	next    atomic.Uint64 // round-robin shard counter; also the session id
 
 	jobs sync.WaitGroup // in-flight sessions
 
@@ -119,12 +190,15 @@ type task struct {
 
 // job is one session on a worker: its tasks and their ready/parked counts.
 type job struct {
-	tasks   []*task
-	parked  int
-	done    int
-	stopped bool // some task stopped deliberately (session.ErrStopped)
-	onDone  func(error)
-	stepped int // actions performed during the current worker visit
+	id       uint64    // enqueue sequence number, for error attribution
+	deadline time.Time // zero: no deadline (sterile quiescence fails fast)
+	tasks    []*task
+	parked   int
+	done     int
+	stopped  bool // some task stopped deliberately (session.ErrStopped)
+	idle     bool // last visit was a sterile pass inside the deadline
+	onDone   func(error)
+	stepped  int // actions performed during the current worker visit
 }
 
 type worker struct {
@@ -146,7 +220,7 @@ func New(opts Options) *Scheduler {
 	if q <= 0 {
 		q = 64
 	}
-	s := &Scheduler{quantum: q}
+	s := &Scheduler{quantum: q, timeout: opts.SessionTimeout}
 	for i := 0; i < n; i++ {
 		w := &worker{}
 		w.cond = sync.NewCond(&w.mu)
@@ -169,10 +243,26 @@ func (s *Scheduler) Go(steppers ...Stepper) error {
 // (nil for clean completion — deliberate stops included — or its first
 // task's fault). The callback must be cheap; it runs on the worker.
 func (s *Scheduler) GoWithDone(onDone func(error), steppers ...Stepper) error {
+	return s.GoWithDeadline(time.Time{}, onDone, steppers...)
+}
+
+// GoWithDeadline is GoWithDone with a per-session deadline: a session still
+// parked when the deadline passes fails with a *TimeoutError (wrapping
+// session.ErrTimeout) naming the session and its stuck roles, instead of
+// being re-polled forever. A deadline also changes the meaning of sterile
+// quiescence: with one armed, a pass in which every task would-blocks is
+// treated as possibly-transient (a fault-injected route may admit the retry)
+// and the session is re-polled until the deadline; with the zero deadline
+// (and no Options.SessionTimeout) sterile quiescence keeps today's fail-fast
+// *DeadlockError semantics.
+func (s *Scheduler) GoWithDeadline(deadline time.Time, onDone func(error), steppers ...Stepper) error {
 	if len(steppers) == 0 {
 		return fmt.Errorf("sched: session with no tasks")
 	}
-	j := &job{onDone: onDone}
+	if deadline.IsZero() && s.timeout > 0 {
+		deadline = time.Now().Add(s.timeout)
+	}
+	j := &job{deadline: deadline, onDone: onDone}
 	for _, st := range steppers {
 		j.tasks = append(j.tasks, &task{s: st})
 	}
@@ -187,7 +277,8 @@ func (s *Scheduler) GoWithDone(onDone func(error), steppers ...Stepper) error {
 	}
 	s.jobs.Add(1)
 	s.mu.Unlock()
-	w := s.workers[int(s.next.Add(1))%len(s.workers)]
+	j.id = s.next.Add(1)
+	w := s.workers[int(j.id)%len(s.workers)]
 	w.mu.Lock()
 	if w.stopped {
 		w.mu.Unlock()
@@ -206,6 +297,13 @@ func (s *Scheduler) GoWithDone(onDone func(error), steppers ...Stepper) error {
 // benchmarks and examples/manysessions use — verify a protocol once, then
 // sess.Fork() per instance and GoSession each fork.
 func (s *Scheduler) GoSession(sess *session.Session, maxSteps int, strat func(types.Role) session.Strategy) error {
+	return s.GoSessionWithDeadline(sess, maxSteps, strat, time.Time{})
+}
+
+// GoSessionWithDeadline is GoSession with a per-session deadline (see
+// GoWithDeadline): the whole session — all roles — must complete before
+// deadline or it fails with a *TimeoutError naming the stuck roles.
+func (s *Scheduler) GoSessionWithDeadline(sess *session.Session, maxSteps int, strat func(types.Role) session.Strategy, deadline time.Time) error {
 	roles := sess.Roles()
 	steppers := make([]Stepper, 0, len(roles))
 	fail := func(err error) error {
@@ -225,7 +323,7 @@ func (s *Scheduler) GoSession(sess *session.Session, maxSteps int, strat func(ty
 		}
 		steppers = append(steppers, st)
 	}
-	if err := s.Go(steppers...); err != nil {
+	if err := s.GoWithDeadline(deadline, nil, steppers...); err != nil {
 		return fail(err)
 	}
 	return nil
@@ -270,13 +368,28 @@ func (s *Scheduler) fail(err error) {
 	s.mu.Unlock()
 }
 
+// idleSpins is the number of consecutive all-idle passes a worker yields
+// through before it starts napping, and idlePoll caps the nap: transient
+// refusals (a fault-injected would-block storm that clears on retry) stay on
+// the yield fast path, while a genuine stall stops burning the core — the
+// same spin-then-park shape as the channel substrates. The nap is short
+// enough to observe a cleared fault or a deadline expiry promptly.
+const (
+	idleSpins = 64
+	idlePoll  = 100 * time.Microsecond
+)
+
 // run is the worker loop: pull newly assigned sessions, then make one pass
 // over the active ones, stepping each for up to a quantum of actions. A
 // session leaves the active list only by completing or failing, so a pass
 // always makes global progress; when there is nothing to do the worker
 // sleeps on its condition variable until Go hands it work or Close stops it.
+// When every surviving session is deadline-parked (visit reported a sterile
+// pass inside an armed deadline), the worker naps briefly — capped by the
+// nearest deadline — instead of spinning.
 func (s *Scheduler) run(w *worker) {
 	defer s.join.Done()
+	idlePasses := 0
 	for {
 		w.mu.Lock()
 		for len(w.inbox) == 0 && len(w.active) == 0 && !w.stopped {
@@ -291,23 +404,94 @@ func (s *Scheduler) run(w *worker) {
 		w.mu.Unlock()
 
 		keep := w.active[:0]
+		stepsThisPass := 0
 		for _, j := range w.active {
 			if s.visit(j) {
 				keep = append(keep, j)
 			}
+			stepsThisPass += j.stepped
 		}
 		// Clear the dropped tail so finished jobs are collectable.
 		for i := len(keep); i < len(w.active); i++ {
 			w.active[i] = nil
 		}
 		w.active = keep
+
+		allIdle := len(keep) > 0
+		nearest := time.Time{}
+		for _, j := range keep {
+			if !j.idle {
+				allIdle = false
+				break
+			}
+			if nearest.IsZero() || j.deadline.Before(nearest) {
+				nearest = j.deadline
+			}
+		}
+		if stepsThisPass > 0 {
+			// Progress anywhere on the shard resets the spin budget: a visit
+			// that performed actions and then went sterile (the common shape
+			// under would-block noise — visits only exit on quantum or a
+			// sterile sweep) is not a stall.
+			idlePasses = 0
+		}
+		if !allIdle {
+			continue
+		}
+		idlePasses++
+		if idlePasses < idleSpins {
+			runtime.Gosched()
+			continue
+		}
+		nap := idlePoll
+		if d := time.Until(nearest); d < nap {
+			nap = d
+		}
+		if nap > 0 {
+			w.mu.Lock()
+			quiet := len(w.inbox) == 0 && !w.stopped
+			w.mu.Unlock()
+			if quiet {
+				time.Sleep(nap)
+			}
+		}
 	}
+}
+
+// stepSafe runs one Step with a recover barrier: a panicking stepper becomes
+// an ordinary task fault (*PanicError) instead of unwinding the worker
+// goroutine and stranding every session sharded onto it. The panicked task
+// is reported not-done, so finish aborts it like any other faulted sibling —
+// releasing its endpoint claim.
+func stepSafe(st Stepper) (done bool, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			done = false
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return st.Step()
+}
+
+// stuckRoles lists the roles of a job's not-done tasks, for attributing a
+// deadlock or timeout; steppers that do not expose a Role are skipped.
+func stuckRoles(j *job) []types.Role {
+	var rs []types.Role
+	for _, t := range j.tasks {
+		if !t.done {
+			if r, ok := t.s.(interface{ Role() types.Role }); ok {
+				rs = append(rs, r.Role())
+			}
+		}
+	}
+	return rs
 }
 
 // visit steps one session for at most a quantum of actions, maintaining the
 // ready/parked bookkeeping. It reports whether the session stays active.
 func (s *Scheduler) visit(j *job) bool {
 	j.stepped = 0
+	j.idle = false
 	for {
 		progressed := false
 		for _, t := range j.tasks {
@@ -317,7 +501,7 @@ func (s *Scheduler) visit(j *job) bool {
 			if j.stepped >= s.quantum {
 				return true // quantum exhausted mid-pass; stay active
 			}
-			done, err := t.s.Step()
+			done, err := stepSafe(t.s)
 			switch {
 			case done:
 				t.done = true
@@ -325,7 +509,7 @@ func (s *Scheduler) visit(j *job) bool {
 				if errors.Is(err, session.ErrStopped) {
 					j.stopped = true
 				} else if err != nil {
-					return s.finish(j, fmt.Errorf("sched: task %d: %w", indexOf(j, t), err))
+					return s.finish(j, fmt.Errorf("sched: session %d task %d: %w", j.id, indexOf(j, t), err))
 				}
 				// Completion is progress: a stop or finish may have
 				// published messages parked siblings wait for.
@@ -335,9 +519,12 @@ func (s *Scheduler) visit(j *job) bool {
 				t.parked = true
 				j.parked++
 			case err != nil:
-				// A stepper returning (false, err) for a real error is
-				// out of contract; treat as a fault all the same.
-				return s.finish(j, fmt.Errorf("sched: task %d: %w", indexOf(j, t), err))
+				// A stepper returning (false, err) for a real error is out
+				// of contract, and a recovered panic arrives here too; both
+				// fault the session. The task is left not-done so finish
+				// aborts it (releasing its endpoint claim) along with its
+				// siblings.
+				return s.finish(j, fmt.Errorf("sched: session %d task %d: %w", j.id, indexOf(j, t), err))
 			default:
 				j.stepped++
 				progressed = true
@@ -349,14 +536,28 @@ func (s *Scheduler) visit(j *job) bool {
 		}
 		if !progressed {
 			// A full pass with no progress parks every live task (each was
-			// either already parked or parked just now): nothing inside the
-			// session can unblock them, and nothing outside it ever will.
-			// When a sibling stopped deliberately, that quiescence is the
-			// expected end of a bounded run, not a deadlock.
+			// either already parked or parked just now). When a sibling
+			// stopped deliberately, that quiescence is the expected end of a
+			// bounded run, not a deadlock.
 			if j.stopped {
 				return s.finish(j, nil)
 			}
-			return s.finish(j, ErrDeadlock)
+			if j.deadline.IsZero() {
+				// No deadline: nothing inside the session can unblock it and
+				// nothing outside it ever will (routes refuse only for lack
+				// of peer progress) — fail fast, attributed.
+				return s.finish(j, &DeadlockError{Session: j.id, Stuck: stuckRoles(j)})
+			}
+			if !time.Now().Before(j.deadline) {
+				return s.finish(j, &TimeoutError{Session: j.id, Stuck: stuckRoles(j)})
+			}
+			// Deadline armed and not yet passed: the quiescence may be
+			// transient (a fault-injected route refuses spuriously and will
+			// admit a retry). Re-ready everything and stay active; the
+			// worker naps before re-polling an all-idle shard.
+			j.idle = true
+			j.unparkAll()
+			return true
 		}
 	}
 }

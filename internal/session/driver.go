@@ -1,6 +1,7 @@
 package session
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fsm"
@@ -102,6 +103,63 @@ func (r *RoundRobin) Received(act fsm.Action, value any) {
 func Drive(e *Endpoint, m *fsm.FSM, strat Strategy, maxSteps int) error {
 	cur := m.Initial()
 	for step := 0; step < maxSteps; step++ {
+		ts := m.Transitions(cur)
+		if len(ts) == 0 {
+			return nil // final
+		}
+		if ts[0].Act.Dir == fsm.Send {
+			i := strat.Choose(cur, ts)
+			if i < 0 || i >= len(ts) {
+				return fmt.Errorf("session: strategy chose %d of %d options", i, len(ts))
+			}
+			t := ts[i]
+			if err := e.Send(t.Act.Peer, t.Act.Label, strat.Payload(t.Act)); err != nil {
+				return err
+			}
+			cur = t.To
+			continue
+		}
+		label, value, err := e.Receive(ts[0].Act.Peer)
+		if err != nil {
+			return err
+		}
+		matched := false
+		for _, t := range ts {
+			if t.Act.Label == label {
+				strat.Received(t.Act, value)
+				cur = t.To
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return fmt.Errorf("session: role %s received unexpected label %s in state %d", e.Role(), label, cur)
+		}
+	}
+	if m.IsFinal(cur) {
+		return nil
+	}
+	return ErrStopped
+}
+
+// DriveContext is Drive bound to a context: the context's deadline (when it
+// has one) is armed on the endpoint for the duration, so every blocking step
+// parks with a deadline and fails with a *TimeoutError instead of hanging,
+// and cancellation is observed between steps (the step in flight still
+// returns first — pair DriveContext with Session.RunContext or an Abort
+// watcher for prompt mid-step cancellation). The endpoint's previous
+// deadline is restored on return.
+func DriveContext(ctx context.Context, e *Endpoint, m *fsm.FSM, strat Strategy, maxSteps int) error {
+	if dl, ok := ctx.Deadline(); ok {
+		prev := e.Deadline()
+		e.SetDeadline(dl)
+		defer e.SetDeadline(prev)
+	}
+	cur := m.Initial()
+	for step := 0; step < maxSteps; step++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		ts := m.Transitions(cur)
 		if len(ts) == 0 {
 			return nil // final

@@ -1,10 +1,13 @@
 package session
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/channel"
 	"repro/internal/core"
@@ -30,24 +33,78 @@ var ErrWouldBlock = errors.New("session: operation would block")
 // driving its protocol to a terminal state.
 var ErrIncomplete = errors.New("session: process returned before the protocol completed")
 
-// ProtocolError reports a process action that its verified FSM does not
-// allow. It is the runtime analogue of a Rust compile error.
+// ErrTimeout is the sentinel under every deadline expiry: an endpoint
+// operation that could not complete before the deadline armed with
+// SetDeadline (or a context deadline) fails with a *TimeoutError wrapping
+// it, so errors.Is(err, ErrTimeout) identifies the bounded-time failure mode
+// across all layers (internal/sched wraps the same sentinel for per-session
+// deadlines).
+var ErrTimeout = errors.New("session: deadline exceeded")
+
+// TimeoutError reports which role timed out doing what: the typed half of
+// the deadline contract. It unwraps to ErrTimeout.
+type TimeoutError struct {
+	// Role is the party whose operation timed out.
+	Role types.Role
+	// Op is the operation that was waiting ("send", "receive").
+	Op string
+	// Peer is the role the operation was waiting on.
+	Peer types.Role
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("session: role %s: %s %s %s: deadline exceeded", e.Role, e.Op, opPreposition(e.Op), e.Peer)
+}
+
+// Unwrap exposes the ErrTimeout sentinel to errors.Is.
+func (e *TimeoutError) Unwrap() error { return ErrTimeout }
+
+// opPreposition keeps TimeoutError messages readable ("send to b",
+// "receive from a").
+func opPreposition(op string) string {
+	if op == "send" {
+		return "to"
+	}
+	return "from"
+}
+
+// ProtocolError reports a process failing its protocol. It has two shapes:
+//
+//   - A conformance violation (Cause == nil): the role attempted Action in
+//     State, which its verified FSM does not allow — the runtime analogue of
+//     a Rust compile error.
+//   - An abort (Cause != nil): the session was torn down on behalf of Role
+//     with the given root cause. Every sibling's in-flight operation then
+//     observes this error (through the channel layer's *CloseError), so a
+//     party blocked on a message that will never arrive learns both *who*
+//     failed and *why*: errors.As recovers the ProtocolError (the role),
+//     errors.Is reaches the root cause through Unwrap.
 type ProtocolError struct {
 	Role   types.Role
 	State  fsm.State
 	Action fsm.Action
+	// Cause is the root cause of an abort; nil for a conformance violation.
+	Cause error
 }
 
 func (e *ProtocolError) Error() string {
+	if e.Cause != nil {
+		if e.Role != "" {
+			return fmt.Sprintf("session: aborted on behalf of role %s: %v", e.Role, e.Cause)
+		}
+		return fmt.Sprintf("session: aborted: %v", e.Cause)
+	}
 	return fmt.Sprintf("session: role %s attempted %s in state %d, not allowed by its verified FSM", e.Role, e.Action, e.State)
 }
 
-// route is the channel shape a network needs per ordered pair of roles.
-type route interface {
-	channel.Sender
-	channel.Receiver
-	Close()
-}
+// Unwrap exposes an abort's root cause to errors.Is/errors.As; nil for a
+// conformance violation.
+func (e *ProtocolError) Unwrap() error { return e.Cause }
+
+// route is the channel shape a network needs per ordered pair of roles:
+// both directions of the non-blocking algebra plus cause-carrying teardown.
+// Every substrate in package channel satisfies it.
+type route = channel.Substrate
 
 // Network connects a set of roles with one FIFO channel per ordered pair.
 // Channels are persistent across the whole session, mirroring Rumpsteak's
@@ -78,6 +135,8 @@ type Network struct {
 	index  map[types.Role]int // nil for small networks (linear scan wins)
 	routes []route            // row-major: routes[from*len(roles)+to]; nil diagonal
 
+	aborted atomic.Bool // a cause-carrying teardown already ran
+
 	mu  sync.Mutex
 	eps map[types.Role]*Endpoint // memoized per-role endpoints
 }
@@ -101,6 +160,16 @@ func NewQueueNetwork(roles ...types.Role) *Network {
 // Channels are lock-free SPSC rings with logical capacity exactly k.
 func NewBoundedNetwork(k int, roles ...types.Role) *Network {
 	return newNetwork(roles, func() route { return channel.NewRing(k) })
+}
+
+// NewCustomNetwork creates a network whose routes come from mk — one call
+// per ordered role pair. This is the extension point for substrates the
+// session package does not construct itself: wrapped substrates such as
+// channel.Faulty (the fault-injection harness in internal/chaos builds its
+// networks this way) or future wire-backed routes. The substrate must
+// respect the SPSC discipline of the built-in networks if it is lock-free.
+func NewCustomNetwork(mk func() channel.Substrate, roles ...types.Role) *Network {
+	return newNetwork(roles, mk)
 }
 
 // internThreshold is the role count above which the interner uses a map;
@@ -166,12 +235,44 @@ func (n *Network) closeAll() {
 	}
 }
 
+// closeAllWith closes every route with a cause, so blocked and future
+// parties observe why the session died instead of a bare channel.ErrClosed.
+// The channel layer makes the first cause win per route; the network-level
+// CAS below additionally keeps concurrent aborts from interleaving
+// different causes across routes.
+func (n *Network) closeAllWith(cause error) {
+	if cause == nil || !n.aborted.CompareAndSwap(false, true) {
+		n.closeAll()
+		return
+	}
+	for _, q := range n.routes {
+		if q != nil {
+			q.CloseWithError(cause)
+		}
+	}
+}
+
+// abort tears the network down on behalf of a failing role: every route is
+// closed with a *ProtocolError that carries the role and the root cause, so
+// a sibling blocked in Receive (or probing with Try*) observes an error
+// chain of channel.CloseError → ProtocolError → cause. errors.Is(err,
+// channel.ErrClosed) still holds — an abort is still a close.
+func (n *Network) abort(role types.Role, cause error) {
+	n.closeAllWith(&ProtocolError{Role: role, Cause: cause})
+}
+
 // Close tears the network down: every route is closed, so any process
 // blocked on a message that will never arrive fails promptly with
 // channel.ErrClosed instead of hanging. Session.Run does this automatically
 // when a process faults; callers driving raw endpoints (benchmark harnesses,
 // bottom-up experiments) use Close for the same first-error teardown.
 func (n *Network) Close() { n.closeAll() }
+
+// CloseWithError tears the network down with a cause: like Close, but every
+// blocked or future operation observes a channel.CloseError wrapping err
+// rather than the bare channel.ErrClosed. The first cause wins; a nil err
+// is equivalent to Close.
+func (n *Network) CloseWithError(err error) { n.closeAllWith(err) }
 
 // Endpoint returns the unmonitored endpoint for role — protocol conformance
 // is then the caller's responsibility, as in the bottom-up workflow before
@@ -216,6 +317,97 @@ type Endpoint struct {
 	// get past it.
 	inUse  atomic.Bool
 	closed bool
+	// deadline, when non-zero, bounds every blocking operation on the
+	// endpoint: Send/Receive/SendN/ReceiveN park-with-deadline over the
+	// Try* algebra instead of blocking on the substrate, and fail with a
+	// *TimeoutError once the deadline passes. Owned by the endpoint's
+	// process like the rest of the endpoint state (not synchronized).
+	deadline time.Time
+}
+
+// SetDeadline arms (or, with the zero time, clears) an absolute deadline for
+// every subsequent blocking operation on the endpoint. With a deadline
+// armed, Send/Receive and their batched forms are implemented by
+// park-with-deadline over the non-blocking Try* algebra — each refused probe
+// has no observable effect and the monitor commits only on success, so the
+// Tier-2 safety argument is exactly the one stepping already relies on (see
+// DESIGN.md, "Failure semantics"). On expiry the operation fails with a
+// *TimeoutError (errors.Is(err, ErrTimeout)) naming the role, the operation
+// and the peer; the session is otherwise untouched — the caller decides
+// whether to retry with a later deadline or Abort the session.
+//
+// Like every other endpoint operation, SetDeadline is owned by the
+// endpoint's process: arm it before handing the endpoint to Run/Drive or
+// from within the process itself, not concurrently with in-flight
+// operations.
+func (e *Endpoint) SetDeadline(t time.Time) { e.deadline = t }
+
+// Deadline returns the currently armed deadline (zero when none).
+func (e *Endpoint) Deadline() time.Time { return e.deadline }
+
+// deadlineYields is the number of scheduler yields a deadline-armed
+// operation performs between Try* probes before it starts napping; the naps
+// are then capped at deadlineNap so expiry is observed promptly without
+// spinning a core for the whole wait.
+const (
+	deadlineYields = 64
+	deadlineNap    = 100 * time.Microsecond
+)
+
+// parkDeadline is the wait half of park-with-deadline: called after a Try*
+// probe refused with ErrWouldBlock, it yields (then naps) until the next
+// probe is due, or reports a *TimeoutError once the deadline has passed.
+func (e *Endpoint) parkDeadline(spins *int, op string, peer types.Role) error {
+	now := time.Now()
+	if !now.Before(e.deadline) {
+		return &TimeoutError{Role: e.role, Op: op, Peer: peer}
+	}
+	*spins++
+	if *spins < deadlineYields {
+		runtime.Gosched()
+		return nil
+	}
+	nap := e.deadline.Sub(now)
+	if nap > deadlineNap {
+		nap = deadlineNap
+	}
+	time.Sleep(nap)
+	return nil
+}
+
+// sendDeadline is Send under an armed deadline: TrySendMsg until accepted,
+// timed out, or failed. Every refused probe left no trace (the monitor
+// rewinds on would-block), so the committed run is indistinguishable from a
+// blocking send that happened to wait.
+func (e *Endpoint) sendDeadline(to types.Role, label types.Label, value any) error {
+	spins := 0
+	for {
+		// Try* on an Endpoint reports a refusal as the bare ErrWouldBlock
+		// sentinel, so the probe loop compares directly instead of paying
+		// errors.Is (a reflect call) on every accepted message.
+		err := e.TrySendMsg(to, label, value)
+		if err != ErrWouldBlock {
+			return err
+		}
+		if err := e.parkDeadline(&spins, "send", to); err != nil {
+			return err
+		}
+	}
+}
+
+// receiveDeadline is Receive under an armed deadline, symmetric to
+// sendDeadline.
+func (e *Endpoint) receiveDeadline(from types.Role) (types.Label, any, error) {
+	spins := 0
+	for {
+		label, value, err := e.TryRecvMsg(from)
+		if err != ErrWouldBlock {
+			return label, value, err
+		}
+		if err := e.parkDeadline(&spins, "receive", from); err != nil {
+			return "", nil, err
+		}
+	}
 }
 
 // resolveRoutes caches the endpoint's route slices. Called at creation;
@@ -273,6 +465,9 @@ func (e *Endpoint) inRoute(from types.Role) (route, error) {
 // must be allowed by the FSM and a non-nil payload must inhabit the declared
 // sort.
 func (e *Endpoint) Send(to types.Role, label types.Label, value any) error {
+	if !e.deadline.IsZero() {
+		return e.sendDeadline(to, label, value)
+	}
 	if e.mon != nil {
 		sort, err := e.mon.stepSort(fsm.Action{Dir: fsm.Send, Peer: to, Label: label})
 		if err != nil {
@@ -294,6 +489,9 @@ func (e *Endpoint) Send(to types.Role, label types.Label, value any) error {
 // the FSM's expected inputs — an unexpected label faults the session rather
 // than being silently consumed.
 func (e *Endpoint) Receive(from types.Role) (types.Label, any, error) {
+	if !e.deadline.IsZero() {
+		return e.receiveDeadline(from)
+	}
 	q, err := e.inRoute(from)
 	if err != nil {
 		return "", nil, err
@@ -397,6 +595,19 @@ func (e *Endpoint) SendN(to types.Role, label types.Label, values []any) error {
 	if len(values) == 0 {
 		return nil
 	}
+	if !e.deadline.IsZero() {
+		// Deadline-armed batches decay to per-message park-with-deadline
+		// sends: each message commits (or times out) individually, so a
+		// mid-batch expiry reports exactly how far the batch got through the
+		// monitor — the same partial-prefix semantics a closed route gives
+		// SendN.
+		for _, v := range values {
+			if err := e.sendDeadline(to, label, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	if e.mon != nil {
 		// Validate the whole batch up front; on rejection, rewind the
 		// monitor so it never runs ahead of a channel that carried nothing
@@ -450,6 +661,19 @@ func (e *Endpoint) SendN(to types.Role, label types.Label, values []any) error {
 // implementing channel.BatchReceiver in whole available windows.
 func (e *Endpoint) ReceiveN(from types.Role, want types.Label, dst []any) error {
 	if len(dst) == 0 {
+		return nil
+	}
+	if !e.deadline.IsZero() {
+		for i := range dst {
+			label, v, err := e.receiveDeadline(from)
+			if err != nil {
+				return err
+			}
+			if label != want {
+				return fmt.Errorf("session: role %s expected label %s from %s, got %s (message %d of batch)", e.role, want, from, label, i)
+			}
+			dst[i] = v
+		}
 		return nil
 	}
 	q, err := e.inRoute(from)
@@ -752,11 +976,26 @@ func (s *Session) Endpoint(role types.Role) (*Endpoint, error) {
 	return ep, nil
 }
 
+// Abort tears the session down with a cause: every route of its network is
+// closed carrying a *ProtocolError that wraps cause, so every sibling's
+// in-flight (or future) operation fails with an error chain of
+// channel.CloseError → ProtocolError → cause rather than hanging or seeing a
+// bare channel.ErrClosed. The first abort wins; Abort is safe to call from
+// any goroutine (a supervisor, a context watcher, a chaos harness).
+func (s *Session) Abort(cause error) {
+	s.mu.Lock()
+	net := s.net
+	s.mu.Unlock()
+	net.abort("", cause)
+}
+
 // Run executes one process per role concurrently, each under TrySession, and
 // returns the first error (ErrStopped is filtered: deliberately stopped
 // benchmark loops are not failures). When a process faults, the session's
-// queues are closed so that sibling processes blocked on a message that will
-// never arrive fail promptly instead of deadlocking the run.
+// routes are closed *with the failure as cause* — on behalf of the faulting
+// role — so sibling processes blocked on a message that will never arrive
+// fail promptly with the full error chain (who failed and why) instead of
+// deadlocking the run or observing a cause-less close.
 func (s *Session) Run(procs map[types.Role]func(*Endpoint) error) error {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -773,7 +1012,7 @@ func (s *Session) Run(procs map[types.Role]func(*Endpoint) error) error {
 				mu.Lock()
 				if first == nil {
 					first = fmt.Errorf("role %s: %w", ep.Role(), err)
-					s.net.closeAll()
+					s.net.abort(ep.Role(), err)
 				}
 				mu.Unlock()
 			}
@@ -781,4 +1020,31 @@ func (s *Session) Run(procs map[types.Role]func(*Endpoint) error) error {
 	}
 	wg.Wait()
 	return first
+}
+
+// RunContext is Run bound to a context: when ctx is cancelled or its
+// deadline passes, the session is aborted with ctx.Err() as the root cause,
+// so every process blocked in a session operation fails promptly with a
+// typed error (errors.Is(err, context.Canceled) or context.DeadlineExceeded
+// through the ProtocolError chain). The watcher goroutine is always reaped
+// before RunContext returns.
+func (s *Session) RunContext(ctx context.Context, procs map[types.Role]func(*Endpoint) error) error {
+	if ctx.Done() == nil {
+		return s.Run(procs)
+	}
+	stop := make(chan struct{})
+	var watcher sync.WaitGroup
+	watcher.Add(1)
+	go func() {
+		defer watcher.Done()
+		select {
+		case <-ctx.Done():
+			s.Abort(ctx.Err())
+		case <-stop:
+		}
+	}()
+	err := s.Run(procs)
+	close(stop)
+	watcher.Wait()
+	return err
 }

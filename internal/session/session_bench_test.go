@@ -2,6 +2,7 @@ package session
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/fsm"
 	"repro/internal/types"
@@ -130,6 +131,45 @@ func BenchmarkSendRecvMonitored(b *testing.B) {
 		if _, _, err := eb.Receive("a"); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSessionSendRecvDeadline is BenchmarkSendRecvMonitored under the
+// failure-semantics machinery: the armed sub-run puts a far-future deadline
+// on both endpoints, so every Send/Receive takes the deadline path (Try*
+// probe loop with park-on-refusal) instead of the blocking fast path — but
+// the deadline never fires and the probes never refuse. The unarmed sub-run
+// is the identical workload on the blocking path, measured back to back so
+// the armed/unarmed ratio is robust to clock drift across a long bench
+// sweep. That ratio is the whole price of arming a deadline; the budget is
+// ≤10%.
+func BenchmarkSessionSendRecvDeadline(b *testing.B) {
+	for _, armed := range []bool{false, true} {
+		name := "unarmed"
+		if armed {
+			name = "armed"
+		}
+		b.Run(name, func(b *testing.B) {
+			net := NewNetwork("a", "b")
+			ma := fsm.MustFromLocal("a", types.MustParse("mu t.b!ping.t"))
+			mb := fsm.MustFromLocal("b", types.MustParse("mu t.a?ping.t"))
+			ea := &Endpoint{role: "a", net: net, mon: NewMonitor(ma)}
+			eb := &Endpoint{role: "b", net: net, mon: NewMonitor(mb)}
+			if armed {
+				far := time.Now().Add(24 * time.Hour)
+				ea.SetDeadline(far)
+				eb.SetDeadline(far)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := ea.Send("b", "ping", i); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := eb.Receive("a"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
