@@ -21,15 +21,23 @@
 #                       every registry protocol × fault-family seeds ×
 #                       {blocking, stepped, scheduler}, -timeout as the
 #                       hang detector — the CI chaos job
+#   make sessvet        build cmd/sessvet and run it over the whole module
+#                       through `go vet -vettool` — the session-misuse
+#                       gate (stateconsumed, statedropped, wouldblock,
+#                       branchsum) must report zero findings
+#   make lint           the CI lint job locally: staticcheck + govulncheck
+#                       at the pinned versions (skipped with a loud warning
+#                       when the tools are absent and cannot be installed,
+#                       e.g. offline)
 #   make generate       regenerate the sessgen packages (examples/gen)
 #   make drift          the CI gate: regenerated sources must match what is
 #                       checked in, and the tree must be gofmt-clean
 #   make doccheck       every internal package must carry a package comment
 #                       (the README/doc.go front-door gate)
-#   make ci             the full CI pipeline locally: vet + doccheck +
-#                       verify + drift + race + chaos-smoke + bench-smoke,
-#                       so a builder can reproduce a CI failure before
-#                       pushing
+#   make ci             the full CI pipeline locally: vet + sessvet +
+#                       doccheck + verify + drift + race + chaos-smoke +
+#                       bench-smoke + lint, so a builder can reproduce a
+#                       CI failure before pushing
 
 GO ?= go
 # bash + pipefail: a failing benchmark run must fail `make bench`, not let
@@ -71,7 +79,11 @@ BENCH_OUT ?= BENCH_channel.json
 CODEGEN_BENCH_OUT ?= BENCH_codegen.json
 SCHED_BENCH_OUT ?= BENCH_sched.json
 
-.PHONY: verify race bench bench-codegen bench-sched bench-smoke chaos-smoke generate drift doccheck ci
+.PHONY: verify race bench bench-codegen bench-sched bench-smoke chaos-smoke sessvet lint generate drift doccheck ci
+
+# The staticcheck/govulncheck pins must match .github/workflows/ci.yml.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
 
 verify:
 	$(GO) build ./...
@@ -133,6 +145,36 @@ bench-smoke:
 		-expect 'SchedThroughput/sessions=100000/procs=4' \
 		-expect SchedGoroutineBaseline
 
+# sessvet: the session-misuse gate. The analyzers run through the real
+# `go vet -vettool` protocol, exactly as CI does, so a diagnostic here
+# reproduces byte-for-byte in the lint-session job. Zero findings is the
+# bar: deliberate misuse in tests carries //sessvet:ignore comments.
+sessvet:
+	@mkdir -p .bin
+	$(GO) build -o .bin/sessvet ./cmd/sessvet
+	$(GO) vet -vettool=$(CURDIR)/.bin/sessvet ./... ./examples/...
+	@echo "sessvet: zero session-misuse findings"
+
+# lint: mirror the CI lint job locally. The tools are resolved from PATH
+# first, then via `go install` at the pinned versions; when neither works
+# (offline builder) the target warns loudly and skips instead of failing,
+# because these checks gate CI, not local iteration.
+lint:
+	@set -e; \
+	run_tool() { \
+		name="$$1"; mod="$$2"; shift 2; \
+		if command -v "$$name" >/dev/null 2>&1; then \
+			echo "lint: running $$name"; "$$name" "$$@"; \
+		elif $(GO) install "$$mod" >/dev/null 2>&1 && \
+			command -v "$$name" >/dev/null 2>&1; then \
+			echo "lint: running $$name (installed)"; "$$name" "$$@"; \
+		else \
+			echo "lint: WARNING: $$name unavailable and not installable (offline?); skipping" >&2; \
+		fi; \
+	}; \
+	run_tool staticcheck honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	run_tool govulncheck golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+
 # doccheck: the documentation front door must not regress — every internal
 # package needs a package comment (go list exposes the synopsis as .Doc).
 doccheck:
@@ -144,12 +186,14 @@ doccheck:
 
 ci:
 	$(GO) vet ./...
+	$(MAKE) sessvet
 	$(MAKE) doccheck
 	$(MAKE) verify
 	$(MAKE) drift
 	$(MAKE) race
 	$(MAKE) chaos-smoke
 	$(MAKE) bench-smoke
+	$(MAKE) lint
 	@echo "ci: all local gates passed"
 
 generate:

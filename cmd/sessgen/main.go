@@ -28,6 +28,16 @@
 // directory's base name. The checked-in packages under examples/gen carry
 // go:generate directives invoking sessgen, and CI regenerates them and fails
 // on drift.
+//
+// Generated packages also carry the marker contract the static analyzers
+// (internal/lint, cmd/sessvet) key on: every state struct embeds a
+// genrt.St stamp field and a //sessgen:state doc directive, and every
+// branch sum pairs its types.Label discriminant with <Arm>Next
+// continuation fields (//sessgen:branch). The analyzers recognise these
+// shapes structurally — no import-path knowledge — so `go vet
+// -vettool=sessvet` statically flags the misuses (state reuse, dropped
+// continuations, unchecked Try* errors, undiscriminated branches) that
+// the generated runtime would otherwise fault on with ErrStateConsumed.
 package main
 
 import (

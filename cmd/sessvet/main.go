@@ -1,0 +1,195 @@
+// Command sessvet runs the session-misuse analyzer suite (internal/lint)
+// over packages that use sessgen-generated state-pattern APIs, recovering
+// statically the guarantees the runtime one-shot stamps enforce dynamically:
+// no state reused, none dropped mid-protocol, the Try*/ErrWouldBlock
+// contract honoured, and branch sums discriminated before arm access.
+//
+// It runs in two modes:
+//
+//	sessvet [packages]            standalone: load, check and report
+//	go vet -vettool=$(which sessvet) [packages]
+//
+// The second form speaks cmd/go's vet tool protocol (the unitchecker
+// handshake): go vet invokes the tool once per package with a vet.cfg
+// describing the compilation unit, and the tool type-checks from source
+// against the export data cmd/go already built. Diagnostics can be waived
+// with a `//sessvet:ignore <analyzers> -- reason` comment on or directly
+// above the offending line.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && args[0] == "-V=full":
+		printVersion()
+	case len(args) == 1 && args[0] == "-flags":
+		// go vet probes the tool's flag surface; sessvet adds none.
+		fmt.Println("[]")
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		unitcheck(args[0])
+	case len(args) >= 1 && (args[0] == "-h" || args[0] == "-help" || args[0] == "--help"):
+		usage()
+	default:
+		standalone(args)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: sessvet [packages]\n   or: go vet -vettool=$(which sessvet) [packages]\n\nanalyzers:\n")
+	for _, a := range lint.Analyzers() {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		fmt.Fprintf(os.Stderr, "  %-15s %s\n", a.Name, doc)
+	}
+}
+
+// printVersion answers go vet's -V=full probe. cmd/go requires the first
+// two fields to be the executable path and "version", and a trailing
+// buildID=... on development builds; hashing the binary itself makes the
+// ID change exactly when the tool does, which is what keys vet's cache.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		exe = os.Args[0]
+	}
+	h := sha256.New()
+	if f, err := os.Open(exe); err == nil {
+		io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%x\n", os.Args[0], h.Sum(nil))
+}
+
+// ---- standalone mode ----
+
+func standalone(patterns []string) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint.Run(".", lint.Analyzers(), patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sessvet: %v\n", err)
+		os.Exit(1)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(2)
+	}
+}
+
+// ---- go vet -vettool mode ----
+
+// vetConfig is the unit description cmd/go writes for each package it asks
+// a vet tool to check.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgPath string) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatalf("reading %s: %v", cfgPath, err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing %s: %v", cfgPath, err)
+	}
+	// The driver always expects a facts file, even an empty one: sessvet
+	// exports no facts, but skipping the write makes cmd/go fail the run.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatalf("writing %s: %v", cfg.VetxOutput, err)
+		}
+	}
+	if cfg.VetxOnly {
+		return // dependency visited only for facts; none to produce
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			typecheckFailure(cfg, err)
+			return
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q in vet.cfg", path)
+		}
+		return os.Open(file)
+	}
+	pkg, info, err := lint.CheckFiles(fset, cfg.ImportPath, files, lookup)
+	if err != nil {
+		typecheckFailure(cfg, err)
+		return
+	}
+
+	findings, err := lint.RunAnalyzers(fset, files, pkg, info, lint.Analyzers())
+	if err != nil {
+		fatalf("%s: %v", cfg.ImportPath, err)
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", f.Pos, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		os.Exit(2)
+	}
+}
+
+// typecheckFailure honours cfg.SucceedOnTypecheckFailure, which cmd/go
+// sets so a package that fails to compile is reported by the compiler, not
+// by every vet tool again.
+func typecheckFailure(cfg vetConfig, err error) {
+	if cfg.SucceedOnTypecheckFailure {
+		return
+	}
+	fatalf("%s: %v", cfg.ImportPath, err)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sessvet: "+format+"\n", args...)
+	os.Exit(1)
+}

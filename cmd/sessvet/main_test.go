@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles sessvet into a temp dir once per test that needs it.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sessvet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building sessvet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestToolHandshake pins the cmd/go vet tool protocol surface: -V=full
+// must print the exact shape go vet parses for its cache key, and -flags
+// must answer with a JSON flag list.
+func TestToolHandshake(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	if ok, _ := regexp.Match(`^\S+ version devel .*buildID=[0-9a-f]{64}\n$`, out); !ok {
+		t.Errorf("-V=full output %q does not match the vettool version shape", out)
+	}
+	out, err = exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	if strings.TrimSpace(string(out)) != "[]" {
+		t.Errorf("-flags = %q, want []", out)
+	}
+}
+
+// TestGoVetCleanTree drives the real protocol end to end: go vet invokes
+// sessvet per package via vet.cfg, and the checked-in tree must be clean.
+func TestGoVetCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go vet over generated packages; skipped in -short")
+	}
+	bin := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin,
+		"repro/internal/lint", "repro/examples/gen/...")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool reported findings or failed: %v\n%s", err, out)
+	}
+}
+
+// TestUnitcheckerFindsMisuse handcrafts a vet.cfg — the same unit
+// description cmd/go writes — around a file that reuses a consumed
+// state, and asserts the unitchecker mode reports it and exits 2.
+func TestUnitcheckerFindsMisuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list -export; skipped in -short")
+	}
+	bin := buildTool(t)
+	dir := t.TempDir()
+
+	src := filepath.Join(dir, "misuse.go")
+	const misuse = `package misuse
+
+import streaming "repro/examples/gen/streaming"
+
+func reuse(s0 streaming.S0) {
+	s1, _ := s0.SendValue(1)
+	s1b, _ := s0.SendValue(2)
+	_, _ = s1, s1b
+}
+`
+	if err := os.WriteFile(src, []byte(misuse), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resolve export data for the imported package and its dependencies,
+	// exactly what cmd/go would put in PackageFile.
+	list := exec.Command("go", "list", "-export", "-deps",
+		"-json=ImportPath,Export", "repro/examples/gen/streaming")
+	list.Dir = "../.."
+	out, err := list.Output()
+	if err != nil {
+		t.Fatalf("go list -export: %v", err)
+	}
+	packageFile := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err != nil {
+			t.Fatal(err)
+		}
+		if p.Export != "" {
+			packageFile[p.ImportPath] = p.Export
+		}
+	}
+	if packageFile["repro/examples/gen/streaming"] == "" {
+		t.Fatal("no export data for repro/examples/gen/streaming")
+	}
+
+	vetx := filepath.Join(dir, "misuse.vetx")
+	cfg := map[string]any{
+		"ID":          "tmp/misuse",
+		"Compiler":    "gc",
+		"Dir":         dir,
+		"ImportPath":  "tmp/misuse",
+		"GoFiles":     []string{src},
+		"ImportMap":   map[string]string{"repro/examples/gen/streaming": "repro/examples/gen/streaming"},
+		"PackageFile": packageFile,
+		"VetxOutput":  vetx,
+	}
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin, cfgPath)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err = cmd.Run()
+	exit, ok := err.(*exec.ExitError)
+	if !ok || exit.ExitCode() != 2 {
+		t.Fatalf("unitchecker exit = %v (stderr %q), want exit status 2", err, stderr.String())
+	}
+	if got := stderr.String(); !strings.Contains(got, "genrt.ErrStateConsumed") ||
+		!strings.Contains(got, "[stateconsumed]") {
+		t.Errorf("diagnostics %q do not name the stateconsumed fault", got)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("unitchecker did not write the vetx facts file: %v", err)
+	}
+}

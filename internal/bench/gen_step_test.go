@@ -138,6 +138,7 @@ func TestGenTryWouldBlockKeepsStateLive(t *testing.T) {
 			}
 			// The state that produced s1 is consumed: its Try face must
 			// fault rather than re-send.
+			//sessvet:ignore stateconsumed -- this reuse is the fault under test
 			if _, err := s.TrySendValue(99); !errors.Is(err, genrt.ErrStateConsumed) {
 				return genstreaming.SEnd{}, errors.New("consumed state's TrySend did not fault")
 			}

@@ -485,6 +485,13 @@ func (g *generator) emitRole(rg *roleGen) {
 	}
 }
 
+// stateRef renders a state type's name as it appears in runtime linearity
+// faults (UseAs/PeekAs): qualified by the generated package name, e.g.
+// "streaming.B2", so a dynamic violation points at the violating state.
+func (g *generator) stateRef(state string) string {
+	return g.opts.Package + "." + state
+}
+
 // transitionsComment renders a state's outgoing edges for its doc comment.
 func transitionsComment(m *fsm.FSM, s fsm.State) string {
 	var parts []string
@@ -497,7 +504,11 @@ func transitionsComment(m *fsm.FSM, s fsm.State) string {
 func (g *generator) emitState(rg *roleGen, s fsm.State) {
 	name := rg.stateName(s)
 	ts := rg.m.Transitions(s)
-	g.pf("// %s is role %s's protocol state %d: %s.\ntype %s struct {\n\tep *%s\n\tst genrt.St\n}\n\n", name, rg.role, s, transitionsComment(rg.m, s), name, rg.ep)
+	// The //sessgen:state directive is the marker contract with sessvet
+	// (internal/lint): analyzers recognise state types structurally by the
+	// genrt.St stamp field, and the directive makes the contract visible to
+	// humans and other tools without hardcoding package paths.
+	g.pf("// %s is role %s's protocol state %d: %s.\n//\n//sessgen:state\ntype %s struct {\n\tep *%s\n\tst genrt.St\n}\n\n", name, rg.role, s, transitionsComment(rg.m, s), name, rg.ep)
 
 	if ts[0].Act.Dir == fsm.Send {
 		for _, t := range ts {
@@ -520,11 +531,11 @@ func (g *generator) emitSend(rg *roleGen, state string, t fsm.Transition) {
 	g.pf("// Send%s sends %s to %s, consuming the state and returning the next one.\n", label, t.Act, t.Act.Peer)
 	if goType == "" {
 		g.pf("func (s %s) Send%s() (%s, error) {\n", state, label, next)
-		g.pf("\tif err := s.st.Use(); err != nil {\n\t\treturn %s{}, err\n\t}\n", next)
+		g.pf("\tif err := s.st.UseAs(%q); err != nil {\n\t\treturn %s{}, err\n\t}\n", g.stateRef(state), next)
 		g.pf("\tif err := s.ep.send%s.Send(Label%s, nil); err != nil {\n\t\treturn %s{}, err\n\t}\n", peer, label, next)
 	} else {
 		g.pf("func (s %s) Send%s(payload %s) (%s, error) {\n", state, label, goType, next)
-		g.pf("\tif err := s.st.Use(); err != nil {\n\t\treturn %s{}, err\n\t}\n", next)
+		g.pf("\tif err := s.st.UseAs(%q); err != nil {\n\t\treturn %s{}, err\n\t}\n", g.stateRef(state), next)
 		g.pf("\tif err := s.ep.send%s.Send(Label%s, payload); err != nil {\n\t\treturn %s{}, err\n\t}\n", peer, label, next)
 	}
 	g.pf("\treturn %s{ep: s.ep, st: s.st.Next()}, nil\n}\n\n", next)
@@ -539,7 +550,7 @@ func (g *generator) emitSend(rg *roleGen, state string, t fsm.Transition) {
 	}
 	g.pf("// TrySend%s is the non-blocking Send%s: it returns session.ErrWouldBlock —\n// leaving the state live for a retry — when the outgoing route is full.\n", label, label)
 	g.pf("func (s %s) TrySend%s(%s) (%s, error) {\n", state, label, arg, next)
-	g.pf("\tif err := s.st.Peek(); err != nil {\n\t\treturn %s{}, err\n\t}\n", next)
+	g.pf("\tif err := s.st.PeekAs(%q); err != nil {\n\t\treturn %s{}, err\n\t}\n", g.stateRef(state), next)
 	g.pf("\tif err := s.ep.send%s.TrySend(Label%s, %s); err != nil {\n", peer, label, val)
 	g.pf("\t\tif !errors.Is(err, session.ErrWouldBlock) {\n\t\t\ts.st.Advance()\n\t\t}\n\t\treturn %s{}, err\n\t}\n", next)
 	g.pf("\treturn %s{ep: s.ep, st: s.st.Advance()}, nil\n}\n\n", next)
@@ -553,7 +564,7 @@ func (g *generator) emitRecvSingle(rg *roleGen, state string, t fsm.Transition) 
 	g.pf("// Recv%s receives %s from %s, consuming the state and returning the next one.\n", label, t.Act, t.Act.Peer)
 	if goType == "" {
 		g.pf("func (s %s) Recv%s() (%s, error) {\n", state, label, next)
-		g.pf("\tif err := s.st.Use(); err != nil {\n\t\treturn %s{}, err\n\t}\n", next)
+		g.pf("\tif err := s.st.UseAs(%q); err != nil {\n\t\treturn %s{}, err\n\t}\n", g.stateRef(state), next)
 		g.pf("\tlabel, _, err := s.ep.recv%s.Recv()\n\tif err != nil {\n\t\treturn %s{}, err\n\t}\n", peer, next)
 		g.pf("\tif label != Label%s {\n\t\treturn %s{}, genrt.Unexpected(Role%s, %q, Role%s, label)\n\t}\n", label, next, rg.ident, state, peer)
 		g.pf("\treturn %s{ep: s.ep, st: s.st.Next()}, nil\n}\n\n", next)
@@ -562,7 +573,7 @@ func (g *generator) emitRecvSingle(rg *roleGen, state string, t fsm.Transition) 
 	}
 	zero := zeroOf(goType)
 	g.pf("func (s %s) Recv%s() (%s, %s, error) {\n", state, label, goType, next)
-	g.pf("\tif err := s.st.Use(); err != nil {\n\t\treturn %s, %s{}, err\n\t}\n", zero, next)
+	g.pf("\tif err := s.st.UseAs(%q); err != nil {\n\t\treturn %s, %s{}, err\n\t}\n", g.stateRef(state), zero, next)
 	g.pf("\tlabel, v, err := s.ep.recv%s.Recv()\n\tif err != nil {\n\t\treturn %s, %s{}, err\n\t}\n", peer, zero, next)
 	g.pf("\tif label != Label%s {\n\t\treturn %s, %s{}, genrt.Unexpected(Role%s, %q, Role%s, label)\n\t}\n", label, zero, next, rg.ident, state, peer)
 	g.pf("\tpayload, err := %s\n\tif err != nil {\n\t\treturn %s, %s{}, err\n\t}\n", conv, zero, next)
@@ -581,7 +592,7 @@ func (g *generator) emitTryRecvSingle(rg *roleGen, state string, t fsm.Transitio
 	g.pf("// TryRecv%s is the non-blocking Recv%s: it returns session.ErrWouldBlock —\n// leaving the state live for a retry — when no message has arrived yet.\n", label, label)
 	if goType == "" {
 		g.pf("func (s %s) TryRecv%s() (%s, error) {\n", state, label, next)
-		g.pf("\tif err := s.st.Peek(); err != nil {\n\t\treturn %s{}, err\n\t}\n", next)
+		g.pf("\tif err := s.st.PeekAs(%q); err != nil {\n\t\treturn %s{}, err\n\t}\n", g.stateRef(state), next)
 		g.pf("\tlabel, _, err := s.ep.recv%s.TryRecv()\n\tif err != nil {\n", peer)
 		g.pf("\t\tif !errors.Is(err, session.ErrWouldBlock) {\n\t\t\ts.st.Advance()\n\t\t}\n\t\treturn %s{}, err\n\t}\n", next)
 		g.pf("\tif label != Label%s {\n\t\ts.st.Advance()\n\t\treturn %s{}, genrt.Unexpected(Role%s, %q, Role%s, label)\n\t}\n", label, next, rg.ident, state, peer)
@@ -590,7 +601,7 @@ func (g *generator) emitTryRecvSingle(rg *roleGen, state string, t fsm.Transitio
 	}
 	zero := zeroOf(goType)
 	g.pf("func (s %s) TryRecv%s() (%s, %s, error) {\n", state, label, goType, next)
-	g.pf("\tif err := s.st.Peek(); err != nil {\n\t\treturn %s, %s{}, err\n\t}\n", zero, next)
+	g.pf("\tif err := s.st.PeekAs(%q); err != nil {\n\t\treturn %s, %s{}, err\n\t}\n", g.stateRef(state), zero, next)
 	g.pf("\tlabel, v, err := s.ep.recv%s.TryRecv()\n\tif err != nil {\n", peer)
 	g.pf("\t\tif !errors.Is(err, session.ErrWouldBlock) {\n\t\t\ts.st.Advance()\n\t\t}\n\t\treturn %s, %s{}, err\n\t}\n", zero, next)
 	g.pf("\tif label != Label%s {\n\t\ts.st.Advance()\n\t\treturn %s, %s{}, genrt.Unexpected(Role%s, %q, Role%s, label)\n\t}\n", label, zero, next, rg.ident, state, peer)
@@ -609,7 +620,7 @@ func (g *generator) emitRecvBranch(rg *roleGen, state string, s fsm.State, ts []
 	}
 
 	g.pf("// %s is the one-shot outcome of %s.Branch: exactly one case is live,\n", sum, state)
-	g.pf("// discriminated by Label; the continuations of the cases not taken are\n// permanently consumed (driving them fails with genrt.ErrStateConsumed).\n")
+	g.pf("// discriminated by Label; the continuations of the cases not taken are\n// permanently consumed (driving them fails with genrt.ErrStateConsumed).\n//\n//sessgen:branch\n")
 	g.pf("type %s struct {\n\t// Label is the received label, selecting the live case.\n\tLabel types.Label\n", sum)
 	for _, t := range ts {
 		label := exportIdent(string(t.Act.Label))
@@ -626,7 +637,7 @@ func (g *generator) emitRecvBranch(rg *roleGen, state string, s fsm.State, ts []
 
 	g.pf("// Branch receives the next message from %s and returns the branch it\n// selects, consuming the state.\n", ts[0].Act.Peer)
 	g.pf("func (s %s) Branch() (%s, error) {\n", state, sum)
-	g.pf("\tif err := s.st.Use(); err != nil {\n\t\treturn %s{}, err\n\t}\n", sum)
+	g.pf("\tif err := s.st.UseAs(%q); err != nil {\n\t\treturn %s{}, err\n\t}\n", g.stateRef(state), sum)
 	if anyPayload {
 		g.pf("\tlabel, v, err := s.ep.recv%s.Recv()\n", peer)
 	} else {
@@ -649,7 +660,7 @@ func (g *generator) emitRecvBranch(rg *roleGen, state string, s fsm.State, ts []
 
 	g.pf("// TryBranch is the non-blocking Branch: it returns session.ErrWouldBlock —\n// leaving the state live for a retry — when no message has arrived yet.\n")
 	g.pf("func (s %s) TryBranch() (%s, error) {\n", state, sum)
-	g.pf("\tif err := s.st.Peek(); err != nil {\n\t\treturn %s{}, err\n\t}\n", sum)
+	g.pf("\tif err := s.st.PeekAs(%q); err != nil {\n\t\treturn %s{}, err\n\t}\n", g.stateRef(state), sum)
 	if anyPayload {
 		g.pf("\tlabel, v, err := s.ep.recv%s.TryRecv()\n", peer)
 	} else {

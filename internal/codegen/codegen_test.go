@@ -307,11 +307,13 @@ func TestGeneratedStateReuseFaults(t *testing.T) {
 	errc := make(chan error, 1)
 	go func() {
 		errc <- genstreaming.RunT(net, func(t0 genstreaming.T0) (genstreaming.TEnd, error) {
+			//sessvet:ignore statedropped -- next state discarded to stage the reuse below
 			if _, err := t0.SendReady(); err != nil {
 				return genstreaming.TEnd{}, err
 			}
 			// Reusing the consumed t0 must fault immediately, before any
 			// second message hits the wire.
+			//sessvet:ignore stateconsumed,statedropped -- this reuse is the fault under test
 			_, err := t0.SendReady()
 			return genstreaming.TEnd{}, err
 		})
@@ -319,6 +321,11 @@ func TestGeneratedStateReuseFaults(t *testing.T) {
 	err := <-errc
 	if !errors.Is(err, genrt.ErrStateConsumed) {
 		t.Fatalf("state reuse error = %v, want ErrStateConsumed", err)
+	}
+	// The dynamic fault names the violating generated state, mirroring the
+	// static diagnostic sessvet would have reported for the same reuse.
+	if !strings.Contains(err.Error(), "streaming.T0: ") {
+		t.Fatalf("state reuse error = %q, want it to name streaming.T0", err)
 	}
 }
 
@@ -336,6 +343,7 @@ func TestGeneratedWrongBranchConsumed(t *testing.T) {
 				return genstreaming.SEnd{}, err
 			}
 			// Keep the session open long enough for the sink to branch.
+			//sessvet:ignore statedropped -- deliberately left open for the peer's branch
 			if _, err := s2.SendValue(3); err != nil {
 				return genstreaming.SEnd{}, err
 			}
@@ -358,6 +366,7 @@ func TestGeneratedWrongBranchConsumed(t *testing.T) {
 			}
 			// The stop case was not taken: returning its (dead) End value
 			// must be rejected as incomplete, not accepted as completion.
+			//sessvet:ignore branchsum -- this dead-arm access is the fault under test
 			return b.StopNext, nil
 		})
 	}()
@@ -393,6 +402,7 @@ func TestGeneratedLinearityAcrossSessions(t *testing.T) {
 	})
 	<-started
 	err := genstreaming.RunT(net, func(t0 genstreaming.T0) (genstreaming.TEnd, error) {
+		//sessvet:ignore statedropped -- this proc must be rejected before it runs
 		return genstreaming.TEnd{}, nil
 	})
 	close(block)

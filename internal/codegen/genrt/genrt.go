@@ -83,6 +83,17 @@ func (s St) Use() error {
 	return nil
 }
 
+// UseAs is Use with the generated state type's name attached to the
+// fault, so a dynamic linearity violation that slipped past sessvet points
+// at the violating state (e.g. "streaming.B2: state value already
+// consumed..."). Generated transition methods call this form.
+func (s St) UseAs(state string) error {
+	if err := s.Use(); err != nil {
+		return fmt.Errorf("%s: %w", state, err)
+	}
+	return nil
+}
+
 // Next mints the stamp for the successor state value after a Use.
 func (s St) Next() St { return St{C: s.C, Seq: s.C.seq} }
 
@@ -92,6 +103,15 @@ func (s St) Next() St { return St{C: s.C, Seq: s.C.seq} }
 func (s St) Peek() error {
 	if s.C == nil || s.Seq != s.C.seq {
 		return ErrStateConsumed
+	}
+	return nil
+}
+
+// PeekAs is Peek with the generated state type's name attached to the
+// fault, mirroring UseAs for the non-blocking Try* entry check.
+func (s St) PeekAs(state string) error {
+	if err := s.Peek(); err != nil {
+		return fmt.Errorf("%s: %w", state, err)
 	}
 	return nil
 }

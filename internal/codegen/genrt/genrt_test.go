@@ -40,6 +40,40 @@ func TestStOneShot(t *testing.T) {
 	}
 }
 
+// TestStNamedFaults pins the generated diagnostic form: UseAs/PeekAs wrap
+// ErrStateConsumed with the violating state type's name, so dynamic
+// violations that slip past sessvet point at the state that faulted.
+func TestStNamedFaults(t *testing.T) {
+	var zero St
+	for _, probe := range []struct {
+		face string
+		err  error
+	}{
+		{"UseAs", zero.UseAs("streaming.B2")},
+		{"PeekAs", zero.PeekAs("streaming.B2")},
+	} {
+		if !errors.Is(probe.err, ErrStateConsumed) {
+			t.Errorf("%s = %v, want ErrStateConsumed", probe.face, probe.err)
+		}
+		if !strings.HasPrefix(probe.err.Error(), "streaming.B2: ") {
+			t.Errorf("%s message = %q, want the state name as prefix", probe.face, probe.err)
+		}
+	}
+	sessionErr := Session(session.NewNetwork("a", "b"), "a", func(c *Core) error {
+		st := c.Init()
+		if err := st.UseAs("p.S0"); err != nil {
+			t.Fatalf("live UseAs: %v", err)
+		}
+		if err := st.PeekAs("p.S0"); err == nil || !strings.Contains(err.Error(), "p.S0") {
+			t.Errorf("consumed PeekAs = %v, want named fault", err)
+		}
+		return nil
+	})
+	if sessionErr != nil {
+		t.Fatal(sessionErr)
+	}
+}
+
 func TestFinish(t *testing.T) {
 	net := session.NewNetwork("a", "b")
 	err := Session(net, "a", func(c *Core) error {

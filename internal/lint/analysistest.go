@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// This file is a minimal stand-in for golang.org/x/tools'
+// analysistest: corpus files under testdata/ annotate the lines where an
+// analyzer must report with
+//
+//	... // want "regexp"
+//
+// (several `// want` comments on one line mean several diagnostics
+// there). The harness type-checks the corpus package against the
+// enclosing module — corpus files import repro/... packages like any
+// other code — runs the analyzers, and fails on any unmatched finding or
+// expectation. Lines with no annotation double as non-diagnostic pins:
+// a spurious report there fails the test too.
+
+// wantRe extracts the quoted pattern of one `// want "..."` annotation.
+// Backquoted patterns are accepted as well for regexps heavy on quotes.
+var wantRe = regexp.MustCompile("// want (\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// RunCorpus type-checks the corpus directory dir (a package of Go files
+// under testdata/) and checks the analyzers' findings against the `//
+// want` annotations in those files.
+func RunCorpus(t *testing.T, dir string, analyzers []*Analyzer) {
+	t.Helper()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading corpus %s: %v", dir, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+		names = append(names, name)
+	}
+	if len(files) == 0 {
+		t.Fatalf("corpus %s has no Go files", dir)
+	}
+
+	// Corpus files import the module's packages; resolve export data from
+	// the module root so `go list` sees the right go.mod.
+	root, err := moduleRoot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolver := newExportResolver(root)
+	resolver.warm([]string{"./..."})
+	pkg, info, err := CheckFiles(fset, "testdata/"+filepath.Base(dir), files, resolver.lookup)
+	if err != nil {
+		t.Fatalf("type-checking corpus %s: %v", dir, err)
+	}
+
+	findings, err := RunAnalyzers(fset, files, pkg, info, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	expects := collectWants(t, fset, names)
+	for _, f := range findings {
+		pos := f.Pos
+		if e := matchWant(expects, pos.Filename, pos.Line, f.Message); e != nil {
+			e.matched = true
+			continue
+		}
+		t.Errorf("unexpected finding at %s:%d: %s [%s]",
+			filepath.Base(pos.Filename), pos.Line, f.Message, f.Analyzer)
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected a finding matching %q, got none",
+				filepath.Base(e.file), e.line, e.pattern)
+		}
+	}
+}
+
+// collectWants scans the corpus sources for `// want` annotations.
+func collectWants(t *testing.T, fset *token.FileSet, names []string) []*expectation {
+	t.Helper()
+	var expects []*expectation
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				raw := m[1]
+				var pat string
+				if raw[0] == '`' {
+					pat = raw[1 : len(raw)-1]
+				} else {
+					unq, err := unquote(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", name, i+1, raw, err)
+					}
+					pat = unq
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, pat, err)
+				}
+				expects = append(expects, &expectation{file: name, line: i + 1, pattern: re})
+			}
+		}
+	}
+	sort.Slice(expects, func(i, j int) bool {
+		if expects[i].file != expects[j].file {
+			return expects[i].file < expects[j].file
+		}
+		return expects[i].line < expects[j].line
+	})
+	return expects
+}
+
+func matchWant(expects []*expectation, file string, line int, message string) *expectation {
+	for _, e := range expects {
+		if !e.matched && e.file == file && e.line == line && e.pattern.MatchString(message) {
+			return e
+		}
+	}
+	return nil
+}
+
+// unquote resolves the escapes of a double-quoted want pattern without
+// pulling in strconv's full grammar: only \" and \\ occur in practice.
+func unquote(s string) (string, error) {
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("not a quoted string")
+	}
+	body := s[1 : len(s)-1]
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		if body[i] == '\\' && i+1 < len(body) {
+			i++
+		}
+		b.WriteByte(body[i])
+	}
+	return b.String(), nil
+}
+
+// moduleRoot walks up from dir to the directory containing go.mod.
+func moduleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,16 @@
+package lint
+
+// BranchSumAnalyzer checks that received branch sums are discriminated by
+// their Label before any arm is touched.
+var BranchSumAnalyzer = &Analyzer{
+	Name: catBranch,
+	Doc: `report branch-sum arms accessed without Label discrimination
+
+A received branching sum populates exactly the arm its Label selects; every
+other arm is a dead zero value whose continuation answers any use with
+genrt.ErrStateConsumed at best. Flags arm (Next or Payload) access before
+the sum is narrowed to a single label — by switching on .Label or comparing
+it — and access to an arm the Label is known not to select on the current
+path. Exhaustive label switches without a default are understood.`,
+	Run: func(p *Pass) error { return runSessionFlow(p, catBranch) },
+}

@@ -1,0 +1,47 @@
+// Package lint is sessvet's analyzer suite: vet-style static analyses that
+// recover, for users of the generated state-pattern APIs (internal/codegen,
+// cmd/sessgen), the compile-time guarantees the paper's Rust artifact gets
+// from affine types. Go's type system makes out-of-protocol actions
+// inexpressible — a state value only offers the methods its verified FSM
+// state allows — but it cannot make a *consumed* state value unusable, so
+// the generated runtime falls back on a dynamic one-shot stamp
+// (genrt.ErrStateConsumed). The analyzers in this package promote those
+// runtime faults, and the silent hangs no runtime check can see, to vet
+// diagnostics:
+//
+//   - stateconsumed: a generated state value is used twice on some path —
+//     the static ErrStateConsumed.
+//   - statedropped: a next-state result is discarded, or a function returns
+//     while still holding a live state of a terminating role — a protocol
+//     abandoned mid-session, which the peer observes only as a hang.
+//   - wouldblock: the non-blocking Try* face is driven without handling the
+//     session.ErrWouldBlock contract before reusing or advancing the state.
+//   - branchsum: an arm of a received branch sum is accessed before the sum
+//     is discriminated by its Label, or on a path where the Label is known
+//     to select a different arm — the static dead-branch ErrStateConsumed.
+//
+// The analyzers identify session-state types structurally, not by import
+// path: any struct carrying a genrt.St stamp field is a state, and any
+// struct with a types.Label discriminator plus *Next state fields is a
+// branch sum. internal/codegen additionally emits `//sessgen:state` and
+// `//sessgen:branch` directive comments on every generated type, so
+// generated packages are recognisable to humans and other tools as well.
+// Generated files themselves (ast.IsGenerated) are exempt: the analyzers
+// check use of the generated API, whose implementation is correct by
+// construction from the verified FSM.
+//
+// Flow sensitivity is a structured abstract interpretation over the AST
+// (branch/merge over if/switch/select, fixpoint over loops) rather than an
+// SSA pass, which keeps the suite dependency-free; what escapes it — states
+// captured by closures, stored in heap structures, or flowing through
+// interprocedural returns — deliberately degrades to silence, never to
+// false positives, and remains covered by the dynamic stamps (see DESIGN.md
+// "Recovering static guarantees without affine types"). A finding can be
+// waived with a `//sessvet:ignore <analyzers> -- reason` comment on or
+// directly above the offending line, which is how the deliberate misuse
+// regression tests in internal/codegen stay sessvet-clean.
+//
+// Drivers: cmd/sessvet runs the suite either standalone (sessvet ./...) or
+// as a `go vet -vettool` backend; `make sessvet` wires it over the whole
+// tree, and the repo-wide zero-findings gate is pinned by TestRepoClean.
+package lint

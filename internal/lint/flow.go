@@ -1,0 +1,1138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic categories. All four analyzers run the same flow engine; each
+// keeps only the findings in its own category, so the engine derives every
+// misuse from one pass over a function and the categories stay consistent.
+const (
+	catConsumed   = "stateconsumed"
+	catDropped    = "statedropped"
+	catWouldBlock = "wouldblock"
+	catBranch     = "branchsum"
+)
+
+// status of one tracked variable on the current abstract path.
+type status int
+
+const (
+	// stLive holds a usable protocol state.
+	stLive status = iota
+	// stZero holds a zero value: an error-path filler or an unpopulated
+	// variable. Uses of stZero are deliberately silent — the value is inert
+	// and the surrounding error handling is not this suite's business.
+	stZero
+	// stConsumed was moved or had a consuming method called.
+	stConsumed
+	// stEscaped left structured tracking (closure capture, &v, stored in a
+	// heap structure, handed to unknown code as a sum). Always silent: the
+	// dynamic genrt.St stamp still covers it.
+	stEscaped
+)
+
+type vkind int
+
+const (
+	vState vkind = iota
+	vSum
+)
+
+// vst is the abstract value of one tracked variable.
+type vst struct {
+	kind vkind
+	si   *stateInfo
+	su   *sumInfo
+	name string
+
+	status     status
+	maybe      bool // consumed on some merged-in path only
+	consumedAt token.Pos
+
+	// pendErr gates the definition: the variable came back alongside this
+	// error result and holds a real state only if the error resolves nil
+	// (for Try calls, only if it is not ErrWouldBlock either).
+	pendErr *types.Var
+	pendTry bool
+
+	// tryErr marks a consumed SOURCE of a Try call: on the ErrWouldBlock
+	// path the source state is still live, so it is consumed-unless-wb
+	// until the error is compared.
+	tryErr *types.Var
+	tryPos token.Pos
+
+	// possible is the set of arms a sum's Label may still select.
+	possible map[string]bool
+}
+
+func (v *vst) clone() *vst {
+	c := *v
+	if v.possible != nil {
+		c.possible = make(map[string]bool, len(v.possible))
+		for k := range v.possible {
+			c.possible[k] = true
+		}
+	}
+	return &c
+}
+
+type env map[*types.Var]*vst
+
+func cloneEnv(e env) env {
+	out := make(env, len(e))
+	for k, v := range e {
+		out[k] = v.clone()
+	}
+	return out
+}
+
+// mergeEnv joins two path environments. Variables present on only one side
+// (declared in a branch whose sibling path diverged) are kept as-is.
+func mergeEnv(a, b env) env {
+	out := make(env, len(a))
+	for k, av := range a {
+		if bv, ok := b[k]; ok {
+			out[k] = mergeVst(av, bv)
+		} else {
+			out[k] = av.clone()
+		}
+	}
+	for k, bv := range b {
+		if _, ok := a[k]; !ok {
+			out[k] = bv.clone()
+		}
+	}
+	return out
+}
+
+func mergeVst(a, b *vst) *vst {
+	if a.status == stEscaped || b.status == stEscaped {
+		out := a.clone()
+		out.status = stEscaped
+		out.pendErr, out.pendTry, out.tryErr = nil, false, nil
+		return out
+	}
+	out := a.clone()
+	switch {
+	case a.status == stConsumed || b.status == stConsumed:
+		out.status = stConsumed
+		out.maybe = a.maybe || b.maybe ||
+			(a.status == stLive || b.status == stLive)
+		if a.status == stConsumed {
+			out.consumedAt = a.consumedAt
+		} else {
+			out.consumedAt = b.consumedAt
+		}
+		if !(a.status == stConsumed && b.status == stConsumed && a.tryErr == b.tryErr) {
+			out.tryErr = nil
+		}
+	case a.status == stLive || b.status == stLive:
+		out.status = stLive
+		out.tryErr = nil
+	default:
+		out.status = stZero
+		out.tryErr = nil
+	}
+	if a.pendErr != b.pendErr || a.pendTry != b.pendTry {
+		out.pendErr, out.pendTry = nil, false
+	}
+	if a.possible != nil || b.possible != nil {
+		out.possible = map[string]bool{}
+		for k := range a.possible {
+			out.possible[k] = true
+		}
+		for k := range b.possible {
+			out.possible[k] = true
+		}
+	}
+	return out
+}
+
+func mergeAll(envs []env) env {
+	out := envs[0]
+	for _, e := range envs[1:] {
+		out = mergeEnv(out, e)
+	}
+	return out
+}
+
+func vstEqual(a, b *vst) bool {
+	if a.status != b.status || a.maybe != b.maybe ||
+		a.consumedAt != b.consumedAt ||
+		a.pendErr != b.pendErr || a.pendTry != b.pendTry ||
+		a.tryErr != b.tryErr {
+		return false
+	}
+	if len(a.possible) != len(b.possible) {
+		return false
+	}
+	for k := range a.possible {
+		if !b.possible[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func envEqual(a, b env) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok || !vstEqual(av, bv) {
+			return false
+		}
+	}
+	return true
+}
+
+// flow runs the engine over one package for one category.
+type flow struct {
+	pass *Pass
+	s    *sess
+	cat  string
+}
+
+// runSessionFlow is the shared Run body of all four analyzers.
+func runSessionFlow(pass *Pass, cat string) error {
+	f := &flow{pass: pass, s: newSess(pass.TypesInfo), cat: cat}
+	for _, file := range pass.Files {
+		if ast.IsGenerated(file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				f.analyzeFunc(fd.Type, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+func (f *flow) emit(cat string, pos token.Pos, format string, args ...any) {
+	if cat == f.cat {
+		f.pass.Reportf(pos, format, args...)
+	}
+}
+
+// at renders a position for inclusion inside a message (basename only).
+func (f *flow) at(pos token.Pos) string {
+	p := f.pass.Fset.Position(pos)
+	p.Filename = filepath.Base(p.Filename)
+	return p.String()
+}
+
+// analyzeFunc runs the structured interpreter over one function body.
+// Functions containing goto are skipped wholesale: unstructured control
+// flow would need a real CFG, and silence is this suite's failure mode.
+func (f *flow) analyzeFunc(ft *ast.FuncType, body *ast.BlockStmt) {
+	hasGoto := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if br, ok := n.(*ast.BranchStmt); ok && br.Tok == token.GOTO {
+			hasGoto = true
+		}
+		return !hasGoto
+	})
+	if hasGoto {
+		return
+	}
+	ff := &funcFlow{f: f, env: env{}}
+	if ft.Results != nil {
+		for _, field := range ft.Results.List {
+			if t := f.pass.TypesInfo.TypeOf(field.Type); t != nil && isErrorType(t) {
+				ff.hasErrResult = true
+			}
+		}
+	}
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				obj, ok := f.pass.TypesInfo.Defs[name].(*types.Var)
+				if !ok {
+					continue
+				}
+				if nv := ff.newVst(obj.Type(), name.Name); nv != nil {
+					ff.env[obj] = nv
+				}
+			}
+		}
+	}
+	ff.walkStmts(body.List)
+	if !ff.dead {
+		ff.dropCheck(body.Rbrace)
+	}
+}
+
+type breakCtx struct {
+	isLoop    bool
+	label     string
+	breaks    []env
+	continues []env
+}
+
+type funcFlow struct {
+	f    *flow
+	env  env
+	dead bool
+	ctxs []*breakCtx
+
+	// hasErrResult: the function signature returns an error. Returning a
+	// non-nil error is the sanctioned abort path — the runner tears the
+	// session down — so live states are not "dropped" on such returns.
+	hasErrResult bool
+
+	pendingLabel string
+}
+
+func (ff *funcFlow) info() *types.Info { return ff.f.pass.TypesInfo }
+
+// newVst builds the abstract value for a fresh live variable of type t, or
+// nil if t is neither a session state nor a branch sum.
+func (ff *funcFlow) newVst(t types.Type, name string) *vst {
+	if si := ff.f.s.state(t); si != nil {
+		return &vst{kind: vState, si: si, name: name, status: stLive}
+	}
+	if su := ff.f.s.sum(t); su != nil {
+		possible := make(map[string]bool, len(su.arms))
+		for a := range su.arms {
+			possible[a] = true
+		}
+		return &vst{kind: vSum, su: su, name: name, status: stLive, possible: possible}
+	}
+	return nil
+}
+
+func (ff *funcFlow) takeLabel() string {
+	l := ff.pendingLabel
+	ff.pendingLabel = ""
+	return l
+}
+
+func (ff *funcFlow) push(c *breakCtx) { ff.ctxs = append(ff.ctxs, c) }
+func (ff *funcFlow) pop()             { ff.ctxs = ff.ctxs[:len(ff.ctxs)-1] }
+
+func (ff *funcFlow) findCtx(label string, loopOnly bool) *breakCtx {
+	for i := len(ff.ctxs) - 1; i >= 0; i-- {
+		c := ff.ctxs[i]
+		if loopOnly && !c.isLoop {
+			continue
+		}
+		if label == "" || c.label == label {
+			return c
+		}
+	}
+	return nil
+}
+
+func (ff *funcFlow) walkStmts(list []ast.Stmt) {
+	for _, s := range list {
+		if ff.dead {
+			return
+		}
+		ff.stmt(s)
+	}
+}
+
+func (ff *funcFlow) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		ff.walkStmts(s.List)
+	case *ast.ExprStmt:
+		if call, ok := unparen(s.X).(*ast.CallExpr); ok {
+			ff.call(call, nil, true)
+			if isTerminatorCall(call, ff.info()) {
+				ff.dead = true
+			}
+			return
+		}
+		ff.scanValue(s.X)
+	case *ast.AssignStmt:
+		ff.assign(s)
+	case *ast.DeclStmt:
+		ff.declStmt(s)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			ff.scanValue(r)
+		}
+		if !ff.isAbortReturn(s) {
+			ff.dropCheck(s.Pos())
+		}
+		ff.dead = true
+	case *ast.IfStmt:
+		ff.ifStmt(s)
+	case *ast.ForStmt:
+		ff.forStmt(s)
+	case *ast.RangeStmt:
+		ff.rangeStmt(s)
+	case *ast.SwitchStmt:
+		ff.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		ff.typeSwitchStmt(s)
+	case *ast.SelectStmt:
+		ff.selectStmt(s)
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if c := ff.findCtx(labelName(s), false); c != nil {
+				c.breaks = append(c.breaks, cloneEnv(ff.env))
+			}
+			ff.dead = true
+		case token.CONTINUE:
+			if c := ff.findCtx(labelName(s), true); c != nil {
+				c.continues = append(c.continues, cloneEnv(ff.env))
+			}
+			ff.dead = true
+		case token.FALLTHROUGH:
+			// Handled by the enclosing switch clause walker.
+		}
+	case *ast.LabeledStmt:
+		ff.pendingLabel = s.Label.Name
+		ff.stmt(s.Stmt)
+	case *ast.DeferStmt:
+		ff.scanValue(s.Call)
+	case *ast.GoStmt:
+		ff.scanValue(s.Call)
+	case *ast.SendStmt:
+		ff.scanValue(s.Chan)
+		ff.scanValue(s.Value)
+	case *ast.IncDecStmt:
+		ff.scanValue(s.X)
+	case *ast.EmptyStmt:
+	}
+}
+
+func labelName(s *ast.BranchStmt) string {
+	if s.Label != nil {
+		return s.Label.Name
+	}
+	return ""
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// isTerminatorCall reports calls after which control does not continue on
+// this path: panic, testing fatals, os.Exit, runtime.Goexit, log fatals.
+func isTerminatorCall(call *ast.CallExpr, info *types.Info) bool {
+	switch fn := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name == "panic" && info.ObjectOf(fn) == nil
+	case *ast.SelectorExpr:
+		switch fn.Sel.Name {
+		case "Fatal", "Fatalf", "Fatalln", "FailNow",
+			"Skip", "Skipf", "SkipNow", "Exit", "Goexit",
+			"Panic", "Panicf", "Panicln":
+			return true
+		}
+	}
+	return false
+}
+
+// ---- declarations and assignment ----
+
+func (ff *funcFlow) declStmt(s *ast.DeclStmt) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		if len(vs.Values) > 0 {
+			as := &ast.AssignStmt{Tok: token.DEFINE}
+			for _, n := range vs.Names {
+				as.Lhs = append(as.Lhs, n)
+			}
+			as.Rhs = vs.Values
+			ff.assign(as)
+			continue
+		}
+		// var x T with no initializer: a zero filler until assigned.
+		for _, n := range vs.Names {
+			obj, ok := ff.info().Defs[n].(*types.Var)
+			if !ok {
+				continue
+			}
+			if nv := ff.newVst(obj.Type(), n.Name); nv != nil {
+				nv.status = stZero
+				ff.env[obj] = nv
+			}
+		}
+	}
+}
+
+func (ff *funcFlow) assign(as *ast.AssignStmt) {
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		// +=, etc. — cannot apply to session values; just scan.
+		for _, r := range as.Rhs {
+			ff.scanValue(r)
+		}
+		return
+	}
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		if call, ok := unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			ff.call(call, as.Lhs, false)
+			ff.scanNonIdentLhs(as.Lhs)
+			return
+		}
+		// Multi-value from type assertion / map index / channel recv:
+		// session values arriving this way are untracked aliases.
+		ff.scanValue(as.Rhs[0])
+		for _, l := range as.Lhs {
+			ff.untrackTarget(l)
+		}
+		return
+	}
+	for i, rhs := range as.Rhs {
+		ff.assignOne(as.Lhs[i], rhs, as.Tok)
+	}
+}
+
+// scanNonIdentLhs processes assignment targets that are not plain idents
+// (x.f = ..., m[k] = ...): the base expressions are read.
+func (ff *funcFlow) scanNonIdentLhs(lhs []ast.Expr) {
+	for _, l := range lhs {
+		if _, ok := unparen(l).(*ast.Ident); !ok {
+			ff.scanValue(l)
+		}
+	}
+}
+
+func (ff *funcFlow) assignOne(lhs, rhs ast.Expr, tok token.Token) {
+	rhs = unparen(rhs)
+	lhsID, lhsIsIdent := unparen(lhs).(*ast.Ident)
+	blank := lhsIsIdent && lhsID.Name == "_"
+
+	switch r := rhs.(type) {
+	case *ast.CallExpr:
+		ff.call(r, []ast.Expr{lhs}, false)
+		if !lhsIsIdent {
+			ff.scanValue(lhs)
+		}
+		return
+	case *ast.Ident:
+		if obj, vs := ff.lookup(r); vs != nil {
+			if blank {
+				// `_ = v` is the sanctioned explicit drop.
+				if vs.status == stLive {
+					vs.status = stConsumed
+					vs.consumedAt = r.Pos()
+					vs.pendErr, vs.pendTry = nil, false
+				}
+				return
+			}
+			if lhsIsIdent {
+				ff.transfer(lhsID, r, obj, vs, tok)
+				return
+			}
+			// Stored into a structure: moved out of tracking.
+			ff.useVar(r, obj, vs, "")
+			return
+		}
+	case *ast.SelectorExpr:
+		if si := ff.sumSelector(r, true); si != nil {
+			// Arm extraction b.XNext.
+			if lhsIsIdent && !blank {
+				nv := &vst{kind: vState, si: si, name: lhsID.Name, status: stLive}
+				ff.introduce(lhsID, nv, tok)
+			}
+			return
+		}
+		ff.scanValue(rhs)
+	case *ast.CompositeLit:
+		ff.scanValue(rhs)
+		if lhsIsIdent && !blank {
+			if t := ff.info().TypeOf(rhs); t != nil {
+				if nv := ff.newVst(t, lhsID.Name); nv != nil {
+					// S{} literal: a zero filler, inert until overwritten.
+					nv.status = stZero
+					ff.introduce(lhsID, nv, tok)
+					return
+				}
+			}
+		}
+		if !lhsIsIdent {
+			ff.scanValue(lhs)
+		}
+		return
+	default:
+		ff.scanValue(rhs)
+	}
+	ff.untrackTarget(lhs)
+}
+
+// untrackTarget handles an assignment target receiving a value of unknown
+// provenance: a previously tracked variable leaves tracking (after an
+// overwrite check), everything else is ignored.
+func (ff *funcFlow) untrackTarget(lhs ast.Expr) {
+	id, ok := unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		if !ok {
+			ff.scanValue(lhs)
+		}
+		return
+	}
+	obj, vs := ff.lookup(id)
+	if vs == nil {
+		return
+	}
+	ff.overwriteCheck(id.Pos(), vs)
+	nv := vs.clone()
+	nv.status = stEscaped
+	nv.pendErr, nv.pendTry, nv.tryErr = nil, false, nil
+	ff.env[obj] = nv
+}
+
+// transfer models `w := v` / `w = v` for tracked v.
+func (ff *funcFlow) transfer(lhs *ast.Ident, rhs *ast.Ident, obj *types.Var, vs *vst, tok token.Token) {
+	switch vs.kind {
+	case vState:
+		wasLive := vs.status == stLive
+		ff.useVar(rhs, obj, vs, "")
+		nv := &vst{kind: vState, si: vs.si, name: lhs.Name, status: stLive}
+		if !wasLive {
+			// The source was already dead; don't cascade from the copy.
+			nv.status = stEscaped
+		}
+		ff.introduce(lhs, nv, tok)
+	case vSum:
+		nv := vs.clone()
+		nv.name = lhs.Name
+		vs.status = stEscaped // alias: report through the copy only
+		ff.introduce(lhs, nv, tok)
+	}
+}
+
+// introduce binds an abstract value to an assignment target. Plain `=` to a
+// variable the function does not track (e.g. one declared outside a closure)
+// introduces nothing — cross-function flows stay with the dynamic stamps.
+func (ff *funcFlow) introduce(id *ast.Ident, nv *vst, tok token.Token) {
+	obj, ok := ff.info().ObjectOf(id).(*types.Var)
+	if !ok {
+		return
+	}
+	old := ff.env[obj]
+	if old == nil && tok == token.ASSIGN {
+		return
+	}
+	if old != nil {
+		ff.overwriteCheck(id.Pos(), old)
+	}
+	ff.env[obj] = nv
+}
+
+// overwriteCheck fires statedropped when an assignment buries a still-live
+// terminating state or an undriven branch sum.
+func (ff *funcFlow) overwriteCheck(pos token.Pos, old *vst) {
+	if old.status != stLive || old.pendErr != nil {
+		return
+	}
+	switch old.kind {
+	case vState:
+		if ff.f.s.terminating(old.si) {
+			ff.f.emit(catDropped, pos,
+				"%s (%s) overwritten while still live: the previous protocol state is dropped and the session abandoned",
+				old.name, stateName(old.si.named))
+		}
+	case vSum:
+		if ff.sumTerminating(old.su) {
+			ff.f.emit(catDropped, pos,
+				"branch result %s (%s) overwritten without driving any arm",
+				old.name, stateName(old.su.named))
+		}
+	}
+}
+
+func (ff *funcFlow) sumTerminating(su *sumInfo) bool {
+	for _, si := range su.arms {
+		if ff.f.s.terminating(si) {
+			return true
+		}
+	}
+	return false
+}
+
+func (ff *funcFlow) lookup(id *ast.Ident) (*types.Var, *vst) {
+	obj, ok := ff.info().ObjectOf(id).(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	return obj, ff.env[obj]
+}
+
+// ---- uses and calls ----
+
+// useVar consumes a tracked variable as a value: moved into a call, an
+// assignment, a return, or used as a method receiver (what names the
+// method when so).
+func (ff *funcFlow) useVar(id *ast.Ident, obj *types.Var, vs *vst, what string) {
+	pos := id.Pos()
+	desc := "used"
+	if what != "" {
+		desc = what + " called on it"
+	}
+	if vs.kind == vSum && what == "" {
+		// A sum moved wholesale (helper arg, channel, ...): the callee may
+		// drive it; stop tracking rather than guess.
+		vs.status = stEscaped
+		vs.pendErr, vs.pendTry = nil, false
+		return
+	}
+	switch vs.status {
+	case stEscaped, stZero:
+		return
+	case stConsumed:
+		if vs.tryErr != nil {
+			ff.f.emit(catWouldBlock, pos,
+				"%s (%s) may still be consumed by the non-blocking call at %s: compare its error against session.ErrWouldBlock before reusing the state",
+				vs.name, stateName(vs.si.named), ff.f.at(vs.tryPos))
+			vs.tryErr = nil
+			return
+		}
+		if vs.maybe {
+			ff.f.emit(catConsumed, pos,
+				"%s (%s) may already be consumed: %s on a path at %s (genrt.ErrStateConsumed at run time)",
+				vs.name, stateName(vs.si.named), desc, ff.f.at(vs.consumedAt))
+		} else {
+			ff.f.emit(catConsumed, pos,
+				"%s (%s) %s after being consumed at %s: the static form of genrt.ErrStateConsumed",
+				vs.name, stateName(vs.si.named), desc, ff.f.at(vs.consumedAt))
+		}
+	case stLive:
+		if vs.pendErr != nil && vs.pendTry {
+			ff.f.emit(catWouldBlock, pos,
+				"%s (%s) used before its non-blocking error is checked: on the session.ErrWouldBlock path no state was produced",
+				vs.name, stateName(vs.si.named))
+		}
+		vs.pendErr, vs.pendTry = nil, false
+		vs.status = stConsumed
+		vs.consumedAt = pos
+		vs.maybe = false
+	}
+}
+
+// sumSelector handles b.<field> on a tracked sum. extract reports whether
+// an <Arm>Next access should move the continuation out (true for value
+// reads; the caller then owns the returned state). Returns the arm's state
+// for Next accesses, nil otherwise.
+func (ff *funcFlow) sumSelector(sel *ast.SelectorExpr, extract bool) *stateInfo {
+	id, ok := unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	_, vs := ff.lookup(id)
+	if vs == nil || vs.kind != vSum {
+		return nil
+	}
+	field := sel.Sel.Name
+	pos := sel.Sel.Pos()
+	sumName := stateName(vs.su.named)
+
+	if field == "Label" {
+		if vs.pendErr != nil && vs.pendTry {
+			ff.f.emit(catWouldBlock, pos,
+				"%s.Label read before the non-blocking error is checked against session.ErrWouldBlock",
+				vs.name)
+			vs.pendErr, vs.pendTry = nil, false
+		}
+		return nil
+	}
+
+	arm, isNext := strings.CutSuffix(field, "Next")
+	if !isNext {
+		if p, ok := strings.CutSuffix(field, "Payload"); ok {
+			arm = p
+		} else {
+			return nil
+		}
+	}
+	if vs.su.arms[arm] == nil {
+		return nil
+	}
+	if vs.status == stEscaped || vs.status == stZero {
+		if isNext {
+			return vs.su.arms[arm]
+		}
+		return nil
+	}
+	if vs.pendErr != nil {
+		if vs.pendTry {
+			ff.f.emit(catWouldBlock, pos,
+				"arm %s of %s accessed before the non-blocking error is checked against session.ErrWouldBlock",
+				field, vs.name)
+		}
+		vs.pendErr, vs.pendTry = nil, false
+	}
+	if isNext && vs.status == stConsumed {
+		ff.f.emit(catConsumed, pos,
+			"arm %s of %s (%s) extracted again: its continuation already moved out at %s",
+			field, vs.name, sumName, ff.f.at(vs.consumedAt))
+		return vs.su.arms[arm]
+	}
+	switch {
+	case !vs.possible[arm]:
+		ff.f.emit(catBranch, pos,
+			"dead arm %s of %s (%s) accessed: Label is known to be one of {%s} on this path",
+			field, vs.name, sumName, armSetString(vs.possible))
+	case len(vs.possible) > 1:
+		ff.f.emit(catBranch, pos,
+			"arm %s of %s (%s) accessed before the sum is discriminated by Label (possible arms: %s)",
+			field, vs.name, sumName, armSetString(vs.possible))
+	}
+	if isNext && extract {
+		vs.status = stConsumed
+		vs.consumedAt = pos
+		vs.maybe = false
+	}
+	if isNext {
+		return vs.su.arms[arm]
+	}
+	return nil
+}
+
+// call processes one CallExpr. lhs, when non-nil, are the assignment
+// targets receiving the results; isStmt marks statement position, where
+// discarded session results are reported.
+func (ff *funcFlow) call(call *ast.CallExpr, lhs []ast.Expr, isStmt bool) {
+	var recvVS *vst
+	var methName string
+	fun := unparen(call.Fun)
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if id, ok := unparen(sel.X).(*ast.Ident); ok {
+			if obj, vs := ff.lookup(id); vs != nil && vs.kind == vState {
+				recvVS = vs
+				methName = sel.Sel.Name
+				_ = obj
+			}
+		}
+		if recvVS == nil {
+			ff.scanValue(sel.X)
+		}
+	} else {
+		ff.scanValue(fun)
+	}
+
+	try := recvVS != nil && isTryName(methName)
+
+	// Find the bound error result, if any.
+	var errVar *types.Var
+	errBound := false
+	results := resultTypes(ff.info(), call)
+	if lhs != nil {
+		for i, l := range lhs {
+			if i >= len(results) || !isErrorType(results[i]) {
+				continue
+			}
+			if id, ok := unparen(l).(*ast.Ident); ok && id.Name != "_" {
+				if obj, ok := ff.info().ObjectOf(id).(*types.Var); ok {
+					errVar = obj
+					errBound = true
+				}
+			}
+		}
+	}
+
+	if recvVS != nil {
+		if id, ok := unparen(unparen(call.Fun).(*ast.SelectorExpr).X).(*ast.Ident); ok {
+			obj, _ := ff.lookup(id)
+			wasLive := recvVS.status == stLive
+			ff.useVar(id, obj, recvVS, methName)
+			if try && wasLive && recvVS.status == stConsumed {
+				if errBound {
+					recvVS.tryErr = errVar
+					recvVS.tryPos = call.Pos()
+				} else {
+					ff.f.emit(catWouldBlock, call.Pos(),
+						"error result of non-blocking %s discarded: compare it against session.ErrWouldBlock before advancing",
+						methName)
+				}
+			}
+		}
+	}
+
+	for _, a := range call.Args {
+		ff.scanValue(a)
+	}
+
+	// Bind or report the results.
+	hasErrResult := false
+	for _, r := range results {
+		if isErrorType(r) {
+			hasErrResult = true
+		}
+	}
+	for i, r := range results {
+		var target *ast.Ident
+		blank := false
+		if lhs != nil && i < len(lhs) {
+			if id, ok := unparen(lhs[i]).(*ast.Ident); ok {
+				if id.Name == "_" {
+					blank = true
+				} else {
+					target = id
+				}
+			}
+		}
+		si := ff.f.s.state(r)
+		su := ff.f.s.sum(r)
+		if si == nil && su == nil {
+			continue
+		}
+		dropped := lhs == nil && isStmt || blank
+		if dropped {
+			if recvVS == nil {
+				continue // helper results: unknown contract, stay silent
+			}
+			if try && errBound {
+				continue // Try-probe idiom: peek, keep state on wb
+			}
+			what := "state"
+			name := ""
+			if si != nil {
+				name = stateName(si.named)
+			} else {
+				what = "branch result"
+				name = stateName(su.named)
+			}
+			ff.f.emit(catDropped, call.Pos(),
+				"next %s %s returned by %s is discarded: the protocol is abandoned mid-session (the peer can only observe a hang)",
+				what, name, methName)
+			continue
+		}
+		if target == nil {
+			continue // nested expression: results flow onward untracked
+		}
+		nv := ff.newVst(r, target.Name)
+		if nv == nil {
+			continue
+		}
+		if errVar != nil && hasErrResult {
+			nv.pendErr = errVar
+			nv.pendTry = try
+		}
+		ff.introduce(target, nv, token.DEFINE)
+	}
+}
+
+func resultTypes(info *types.Info, call *ast.CallExpr) []types.Type {
+	t := info.TypeOf(call)
+	if t == nil {
+		return nil
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		out := make([]types.Type, tup.Len())
+		for i := 0; i < tup.Len(); i++ {
+			out[i] = tup.At(i).Type()
+		}
+		return out
+	}
+	return []types.Type{t}
+}
+
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "error" && n.Obj().Pkg() == nil
+}
+
+// scanValue walks an expression in value position: tracked idents are
+// moves, sum field accesses are checked, closures escape their captures.
+func (ff *funcFlow) scanValue(e ast.Expr) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.Ident:
+		if obj, vs := ff.lookup(e); vs != nil {
+			ff.useVar(e, obj, vs, "")
+		}
+	case *ast.SelectorExpr:
+		if ff.sumSelector(e, true) != nil {
+			return
+		}
+		if id, ok := unparen(e.X).(*ast.Ident); ok {
+			if obj, vs := ff.lookup(id); vs != nil {
+				if vs.kind == vState {
+					// Method value v.Send — the state escapes into it.
+					ff.useVar(id, obj, vs, "")
+				}
+				return
+			}
+			return // package or untracked selector base
+		}
+		ff.scanValue(e.X)
+	case *ast.CallExpr:
+		ff.call(e, nil, false)
+	case *ast.FuncLit:
+		ff.escapeFreeVars(e)
+		ff.f.analyzeFunc(e.Type, e.Body)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if id, ok := unparen(e.X).(*ast.Ident); ok {
+				if _, vs := ff.lookup(id); vs != nil {
+					vs.status = stEscaped
+					vs.pendErr, vs.pendTry, vs.tryErr = nil, false, nil
+					return
+				}
+			}
+		}
+		ff.scanValue(e.X)
+	case *ast.BinaryExpr:
+		// Comparisons read, they don't move; skip top-level tracked idents
+		// but still walk nested expressions.
+		if e.Op == token.EQL || e.Op == token.NEQ {
+			ff.scanComparisonOperand(e.X)
+			ff.scanComparisonOperand(e.Y)
+			return
+		}
+		ff.scanValue(e.X)
+		ff.scanValue(e.Y)
+	case *ast.ParenExpr:
+		ff.scanValue(e.X)
+	case *ast.StarExpr:
+		ff.scanValue(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				ff.scanValue(kv.Value)
+				continue
+			}
+			ff.scanValue(el)
+		}
+	case *ast.IndexExpr:
+		ff.scanValue(e.X)
+		ff.scanValue(e.Index)
+	case *ast.SliceExpr:
+		ff.scanValue(e.X)
+		ff.scanValue(e.Low)
+		ff.scanValue(e.High)
+		ff.scanValue(e.Max)
+	case *ast.TypeAssertExpr:
+		ff.scanValue(e.X)
+	case *ast.KeyValueExpr:
+		ff.scanValue(e.Value)
+	}
+}
+
+func (ff *funcFlow) scanComparisonOperand(e ast.Expr) {
+	e = unparen(e)
+	if _, ok := e.(*ast.Ident); ok {
+		return
+	}
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		// b.Label == ... is a read handled by refinement, not a move — but
+		// discriminating before the non-blocking error is checked inspects
+		// a sum that is empty on the ErrWouldBlock path.
+		if id, ok := unparen(sel.X).(*ast.Ident); ok {
+			if _, vs := ff.lookup(id); vs != nil {
+				if vs.kind == vSum && vs.pendTry && sel.Sel.Name == "Label" {
+					ff.f.emit(catWouldBlock, sel.Pos(),
+						"%s.Label read before the non-blocking error is checked against session.ErrWouldBlock",
+						vs.name)
+					vs.pendErr, vs.pendTry = nil, false
+				}
+				return
+			}
+		}
+	}
+	ff.scanValue(e)
+}
+
+// escapeFreeVars marks every tracked variable referenced by a closure as
+// escaped: the closure may use it at any time, so structured tracking ends.
+func (ff *funcFlow) escapeFreeVars(lit *ast.FuncLit) {
+	ast.Inspect(lit, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if _, vs := ff.lookup(id); vs != nil {
+			vs.status = stEscaped
+			vs.pendErr, vs.pendTry, vs.tryErr = nil, false, nil
+		}
+		return true
+	})
+}
+
+// isAbortReturn reports whether a return statement takes the sanctioned
+// abort path: the function has an error result and this return's error
+// value is not a literal nil (a sentinel, a propagated err, a constructed
+// error — or unknowable, as in naked returns and `return f()`). On abort
+// the runner observes the failure and tears the session down, so holding
+// live states here is not a drop.
+func (ff *funcFlow) isAbortReturn(s *ast.ReturnStmt) bool {
+	if !ff.hasErrResult {
+		return false
+	}
+	if len(s.Results) == 0 {
+		return true // naked return: the error value is out of view
+	}
+	for _, r := range s.Results {
+		t := ff.info().TypeOf(r)
+		if t == nil {
+			continue
+		}
+		if tup, ok := t.(*types.Tuple); ok {
+			// return f(): the error comes from the call, value unknown.
+			for i := 0; i < tup.Len(); i++ {
+				if isErrorType(tup.At(i).Type()) {
+					return true
+				}
+			}
+			continue
+		}
+		if isErrorType(t) {
+			if tv, ok := ff.info().Types[r]; ok && tv.IsNil() {
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// ---- drop checks ----
+
+// dropCheck fires statedropped for live values abandoned at a function
+// exit. Pending (unchecked-error) values and states of non-terminating
+// roles — whose documented stop convention is returning while live — are
+// exempt.
+func (ff *funcFlow) dropCheck(pos token.Pos) {
+	vars := make([]*vst, 0, len(ff.env))
+	for _, vs := range ff.env {
+		vars = append(vars, vs)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].name < vars[j].name })
+	for _, vs := range vars {
+		if vs.status != stLive || vs.pendErr != nil {
+			continue
+		}
+		switch vs.kind {
+		case vState:
+			if ff.f.s.terminating(vs.si) {
+				ff.f.emit(catDropped, pos,
+					"%s (%s) is still live at return: the terminating protocol is abandoned mid-session (the peer can hang); pass it on or drop it explicitly with _ = %s",
+					vs.name, stateName(vs.si.named), vs.name)
+			}
+		case vSum:
+			if ff.sumTerminating(vs.su) {
+				ff.f.emit(catDropped, pos,
+					"branch result %s (%s) is still live at return: no arm was driven",
+					vs.name, stateName(vs.su.named))
+			}
+		}
+	}
+}

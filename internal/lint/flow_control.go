@@ -1,0 +1,569 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// This file holds the branching/looping half of the flow engine: condition
+// refinement (error verdicts, ErrWouldBlock, Label narrowing) and the
+// structured walkers for if/for/range/switch/select.
+
+// errVerdict is what a condition establishes about an error variable on
+// one refined path.
+type errVerdict int
+
+const (
+	vdIsNil errVerdict = iota
+	vdNonNil
+	vdIsWouldBlock
+	vdNotWouldBlock
+)
+
+// applyErrVerdict resolves every pending definition and Try marker gated
+// on errVar according to what the path now knows about it.
+func applyErrVerdict(e env, errVar *types.Var, v errVerdict) {
+	for _, vs := range e {
+		if vs.pendErr == errVar {
+			switch v {
+			case vdIsNil:
+				vs.pendErr, vs.pendTry = nil, false
+			case vdNonNil, vdIsWouldBlock:
+				vs.status = stZero
+				vs.pendErr, vs.pendTry = nil, false
+			case vdNotWouldBlock:
+				// nil-or-hard-error: the success half resolves it live.
+				vs.pendErr, vs.pendTry = nil, false
+			}
+		}
+		if vs.tryErr == errVar && vs.status == stConsumed {
+			switch v {
+			case vdIsNil, vdNotWouldBlock:
+				vs.tryErr = nil // firmly consumed
+			case vdIsWouldBlock:
+				// The Try call did nothing: the source state is still live.
+				vs.status = stLive
+				vs.tryErr = nil
+				vs.consumedAt = token.NoPos
+			case vdNonNil:
+				// could still be ErrWouldBlock; keep the marker
+			}
+		}
+	}
+}
+
+// refineEnv mutates e with what cond being true (positive) or false
+// establishes, and returns e.
+func (ff *funcFlow) refineEnv(e env, cond ast.Expr, positive bool) env {
+	cond = unparen(cond)
+	switch c := cond.(type) {
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			return ff.refineEnv(e, c.X, !positive)
+		}
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			if positive {
+				ff.refineEnv(e, c.X, true)
+				ff.refineEnv(e, c.Y, true)
+			}
+		case token.LOR:
+			if !positive {
+				ff.refineEnv(e, c.X, false)
+				ff.refineEnv(e, c.Y, false)
+			}
+		case token.EQL, token.NEQ:
+			eq := (c.Op == token.EQL) == positive
+			ff.refineCompare(e, c.X, c.Y, eq)
+		}
+	case *ast.CallExpr:
+		if errVar, wb, ok := ff.errorsIsCall(c); ok {
+			if wb {
+				if positive {
+					applyErrVerdict(e, errVar, vdIsWouldBlock)
+				} else {
+					applyErrVerdict(e, errVar, vdNotWouldBlock)
+				}
+			} else if positive {
+				// errors.Is(err, someOtherSentinel): err is non-nil.
+				applyErrVerdict(e, errVar, vdNonNil)
+			}
+		}
+	}
+	return e
+}
+
+// refineCompare handles x ==/!= y under "the comparison holds iff eq".
+func (ff *funcFlow) refineCompare(e env, x, y ast.Expr, eq bool) {
+	x, y = unparen(x), unparen(y)
+	// err <op> nil / err <op> session.ErrWouldBlock
+	for _, pair := range [2][2]ast.Expr{{x, y}, {y, x}} {
+		errVar := ff.errorVar(pair[0])
+		if errVar == nil {
+			continue
+		}
+		if isNilIdent(pair[1], ff.info()) {
+			if eq {
+				applyErrVerdict(e, errVar, vdIsNil)
+			} else {
+				applyErrVerdict(e, errVar, vdNonNil)
+			}
+			return
+		}
+		if isWouldBlockExpr(pair[1], ff.info()) {
+			if eq {
+				applyErrVerdict(e, errVar, vdIsWouldBlock)
+			} else {
+				applyErrVerdict(e, errVar, vdNotWouldBlock)
+			}
+			return
+		}
+	}
+	// b.Label <op> LabelConst
+	for _, pair := range [2][2]ast.Expr{{x, y}, {y, x}} {
+		obj, vs := ff.labelSelector(pair[0])
+		if vs == nil {
+			continue
+		}
+		arm, ok := ff.labelArm(vs.su, pair[1])
+		if !ok {
+			return
+		}
+		nvs := e[obj]
+		if nvs == nil || nvs.possible == nil {
+			return
+		}
+		if eq {
+			if nvs.possible[arm] {
+				nvs.possible = map[string]bool{arm: true}
+			}
+		} else {
+			delete(nvs.possible, arm)
+		}
+		return
+	}
+}
+
+// errorVar returns the *types.Var behind an error-typed ident, else nil.
+func (ff *funcFlow) errorVar(e ast.Expr) *types.Var {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj, ok := ff.info().ObjectOf(id).(*types.Var)
+	if !ok || !isErrorType(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+func isNilIdent(e ast.Expr, info *types.Info) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.ObjectOf(id).(*types.Nil)
+	return isNil || id.Name == "nil"
+}
+
+// isWouldBlockExpr matches any reference to a sentinel named ErrWouldBlock
+// (session.ErrWouldBlock or a dot-imported alias).
+func isWouldBlockExpr(e ast.Expr, info *types.Info) bool {
+	var obj types.Object
+	switch e := unparen(e).(type) {
+	case *ast.SelectorExpr:
+		obj = info.ObjectOf(e.Sel)
+	case *ast.Ident:
+		obj = info.ObjectOf(e)
+	}
+	return obj != nil && obj.Name() == "ErrWouldBlock"
+}
+
+// errorsIsCall matches errors.Is(err, sentinel) and reports whether the
+// sentinel is ErrWouldBlock.
+func (ff *funcFlow) errorsIsCall(call *ast.CallExpr) (errVar *types.Var, wouldBlock bool, ok bool) {
+	sel, isSel := unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != "Is" || len(call.Args) != 2 {
+		return nil, false, false
+	}
+	pkgID, isIdent := unparen(sel.X).(*ast.Ident)
+	if !isIdent {
+		return nil, false, false
+	}
+	if pn, isPkg := ff.info().ObjectOf(pkgID).(*types.PkgName); !isPkg || pn.Imported().Path() != "errors" {
+		return nil, false, false
+	}
+	errVar = ff.errorVar(call.Args[0])
+	if errVar == nil {
+		return nil, false, false
+	}
+	return errVar, isWouldBlockExpr(call.Args[1], ff.info()), true
+}
+
+// labelSelector matches b.Label on a tracked sum.
+func (ff *funcFlow) labelSelector(e ast.Expr) (*types.Var, *vst) {
+	sel, ok := unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Label" {
+		return nil, nil
+	}
+	id, ok := unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	obj, vs := ff.lookup(id)
+	if vs == nil || vs.kind != vSum {
+		return nil, nil
+	}
+	return obj, vs
+}
+
+// labelArm resolves a label-constant expression to an arm name of su.
+func (ff *funcFlow) labelArm(su *sumInfo, e ast.Expr) (string, bool) {
+	var obj types.Object
+	switch e := unparen(e).(type) {
+	case *ast.SelectorExpr:
+		obj = ff.info().ObjectOf(e.Sel)
+	case *ast.Ident:
+		obj = ff.info().ObjectOf(e)
+	}
+	cst, ok := obj.(*types.Const)
+	if !ok || !isTypesLabel(cst.Type()) {
+		return "", false
+	}
+	val := ""
+	haveVal := false
+	if cst.Val().Kind() == constant.String {
+		val = constant.StringVal(cst.Val())
+		haveVal = true
+	}
+	return su.armForLabel(cst.Name(), val, haveVal)
+}
+
+// ---- structured statements ----
+
+func (ff *funcFlow) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		ff.stmt(s.Init)
+	}
+	ff.scanValue(s.Cond)
+	base := ff.env
+
+	ff.env = ff.refineEnv(cloneEnv(base), s.Cond, true)
+	ff.walkStmts(s.Body.List)
+	thenDead, thenOut := ff.dead, ff.env
+
+	ff.dead = false
+	ff.env = ff.refineEnv(cloneEnv(base), s.Cond, false)
+	if s.Else != nil {
+		ff.stmt(s.Else)
+	}
+	elseDead, elseOut := ff.dead, ff.env
+
+	switch {
+	case thenDead && elseDead:
+		ff.dead = true
+	case thenDead:
+		ff.dead = false
+		ff.env = elseOut
+	case elseDead:
+		ff.dead = false
+		ff.env = thenOut
+	default:
+		ff.dead = false
+		ff.env = mergeEnv(thenOut, elseOut)
+	}
+}
+
+// maxLoopIterations bounds the fixpoint; statuses only weaken across
+// iterations, so small protocols converge in two or three.
+const maxLoopIterations = 6
+
+func (ff *funcFlow) forStmt(s *ast.ForStmt) {
+	label := ff.takeLabel()
+	if s.Init != nil {
+		ff.stmt(s.Init)
+	}
+	entry := cloneEnv(ff.env)
+	var exits []env
+	for iter := 0; iter < maxLoopIterations; iter++ {
+		exits = nil
+		ff.env = cloneEnv(entry)
+		ff.dead = false
+		if s.Cond != nil {
+			ff.scanValue(s.Cond)
+			exits = append(exits, ff.refineEnv(cloneEnv(ff.env), s.Cond, false))
+			ff.env = ff.refineEnv(ff.env, s.Cond, true)
+		}
+		ctx := &breakCtx{isLoop: true, label: label}
+		ff.push(ctx)
+		ff.walkStmts(s.Body.List)
+		backs := ctx.continues
+		if !ff.dead {
+			backs = append(backs, ff.env)
+		}
+		ff.pop()
+		exits = append(exits, ctx.breaks...)
+		if len(backs) == 0 {
+			break // the body always leaves the loop
+		}
+		back := mergeAll(backs)
+		if s.Post != nil {
+			ff.env = back
+			ff.dead = false
+			ff.stmt(s.Post)
+			back = ff.env
+		}
+		next := mergeEnv(entry, back)
+		if envEqual(next, entry) {
+			break
+		}
+		entry = next
+	}
+	if len(exits) == 0 {
+		ff.dead = true
+		return
+	}
+	ff.dead = false
+	ff.env = mergeAll(exits)
+}
+
+func (ff *funcFlow) rangeStmt(s *ast.RangeStmt) {
+	label := ff.takeLabel()
+	ff.scanValue(s.X)
+	entry := cloneEnv(ff.env)
+	exits := []env{cloneEnv(entry)} // zero-iteration path
+	for iter := 0; iter < maxLoopIterations; iter++ {
+		exits = exits[:1]
+		ff.env = cloneEnv(entry)
+		ff.dead = false
+		// Key/value vars of session type would be collection aliases;
+		// they stay untracked, which keeps the engine silent about them.
+		ctx := &breakCtx{isLoop: true, label: label}
+		ff.push(ctx)
+		ff.walkStmts(s.Body.List)
+		backs := ctx.continues
+		if !ff.dead {
+			backs = append(backs, ff.env)
+		}
+		ff.pop()
+		exits = append(exits, ctx.breaks...)
+		if len(backs) == 0 {
+			break
+		}
+		back := mergeAll(backs)
+		exits = append(exits, cloneEnv(back)) // loop may stop after any trip
+		next := mergeEnv(entry, back)
+		if envEqual(next, entry) {
+			break
+		}
+		entry = next
+	}
+	ff.dead = false
+	ff.env = mergeAll(exits)
+}
+
+func endsWithFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func (ff *funcFlow) switchStmt(s *ast.SwitchStmt) {
+	label := ff.takeLabel()
+	if s.Init != nil {
+		ff.stmt(s.Init)
+	}
+	var sumObj *types.Var
+	var sumVS *vst
+	if s.Tag != nil {
+		if obj, vs := ff.labelSelector(s.Tag); vs != nil {
+			sumObj, sumVS = obj, vs
+		}
+		ff.scanValue(s.Tag)
+	}
+
+	// Pre-resolve every case expression to an arm for narrowing and
+	// exhaustiveness. Any unresolvable expression disables both.
+	covered := map[string]bool{}
+	hasDefault := false
+	allResolved := sumVS != nil
+	clauseArms := map[*ast.CaseClause][]string{}
+	for _, cs := range s.Body.List {
+		clause := cs.(*ast.CaseClause)
+		if clause.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, e := range clause.List {
+			if sumVS == nil {
+				continue
+			}
+			if arm, ok := ff.labelArm(sumVS.su, e); ok {
+				covered[arm] = true
+				clauseArms[clause] = append(clauseArms[clause], arm)
+			} else {
+				allResolved = false
+			}
+		}
+	}
+
+	base := cloneEnv(ff.env)
+	running := cloneEnv(ff.env) // tagless switch sequencing
+	ctx := &breakCtx{label: label}
+	ff.push(ctx)
+	var results []env
+	var fall env
+	for _, cs := range s.Body.List {
+		clause := cs.(*ast.CaseClause)
+		var centr env
+		switch {
+		case s.Tag == nil:
+			centr = cloneEnv(running)
+			for _, e := range clause.List {
+				ff.env = centr
+				ff.scanValue(e)
+			}
+			if len(clause.List) == 1 {
+				centr = ff.refineEnv(centr, clause.List[0], true)
+				running = ff.refineEnv(running, clause.List[0], false)
+			}
+		default:
+			centr = cloneEnv(base)
+			if sumObj != nil && allResolved {
+				if vs := centr[sumObj]; vs != nil && vs.possible != nil {
+					narrowed := map[string]bool{}
+					if clause.List == nil {
+						for a := range vs.possible {
+							if !covered[a] {
+								narrowed[a] = true
+							}
+						}
+					} else {
+						for _, a := range clauseArms[clause] {
+							if vs.possible[a] {
+								narrowed[a] = true
+							}
+						}
+					}
+					if len(narrowed) > 0 {
+						vs.possible = narrowed
+					}
+				}
+			}
+		}
+		if fall != nil {
+			centr = mergeEnv(centr, fall)
+			fall = nil
+		}
+		ff.env = centr
+		ff.dead = false
+		ff.walkStmts(clause.Body)
+		if endsWithFallthrough(clause.Body) {
+			fall = ff.env
+		} else if !ff.dead {
+			results = append(results, ff.env)
+		}
+	}
+	ff.pop()
+	results = append(results, ctx.breaks...)
+
+	if !hasDefault {
+		exhaustive := false
+		if sumObj != nil && allResolved {
+			if vs := base[sumObj]; vs != nil && vs.possible != nil {
+				exhaustive = true
+				for a := range vs.possible {
+					if !covered[a] {
+						exhaustive = false
+						break
+					}
+				}
+			}
+		}
+		if !exhaustive {
+			if s.Tag == nil {
+				results = append(results, running)
+			} else {
+				results = append(results, base)
+			}
+		}
+	}
+
+	if len(results) == 0 {
+		ff.dead = true
+		return
+	}
+	ff.dead = false
+	ff.env = mergeAll(results)
+}
+
+func (ff *funcFlow) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	label := ff.takeLabel()
+	if s.Init != nil {
+		ff.stmt(s.Init)
+	}
+	ff.stmt(s.Assign)
+	base := cloneEnv(ff.env)
+	ctx := &breakCtx{label: label}
+	ff.push(ctx)
+	var results []env
+	for _, cs := range s.Body.List {
+		clause := cs.(*ast.CaseClause)
+		ff.env = cloneEnv(base)
+		ff.dead = false
+		ff.walkStmts(clause.Body)
+		if !ff.dead {
+			results = append(results, ff.env)
+		}
+	}
+	ff.pop()
+	results = append(results, ctx.breaks...)
+	hasDefault := false
+	for _, cs := range s.Body.List {
+		if cs.(*ast.CaseClause).List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		results = append(results, base)
+	}
+	if len(results) == 0 {
+		ff.dead = true
+		return
+	}
+	ff.dead = false
+	ff.env = mergeAll(results)
+}
+
+func (ff *funcFlow) selectStmt(s *ast.SelectStmt) {
+	label := ff.takeLabel()
+	base := cloneEnv(ff.env)
+	ctx := &breakCtx{label: label}
+	ff.push(ctx)
+	var results []env
+	for _, cs := range s.Body.List {
+		clause := cs.(*ast.CommClause)
+		ff.env = cloneEnv(base)
+		ff.dead = false
+		if clause.Comm != nil {
+			ff.stmt(clause.Comm)
+		}
+		ff.walkStmts(clause.Body)
+		if !ff.dead {
+			results = append(results, ff.env)
+		}
+	}
+	ff.pop()
+	results = append(results, ctx.breaks...)
+	if len(results) == 0 {
+		ff.dead = true
+		return
+	}
+	ff.dead = false
+	ff.env = mergeAll(results)
+}

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named static analysis, shaped after
+// golang.org/x/tools/go/analysis so the suite can migrate to the real
+// framework wholesale if the dependency ever becomes available; until then
+// the drivers in this package and cmd/sessvet stand in for multichecker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //sessvet:ignore directives.
+	Name string
+	// Doc is the one-paragraph description printed by `sessvet -help`.
+	Doc string
+	// Run reports this analyzer's diagnostics over one package.
+	Run func(*Pass) error
+}
+
+// Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report receives each diagnostic. The driver installs suppression
+	// filtering (//sessvet:ignore) and generated-file exemption before the
+	// analyzer sees this.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Analyzers returns the full sessvet suite in deterministic order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		StateConsumedAnalyzer,
+		StateDroppedAnalyzer,
+		WouldBlockAnalyzer,
+		BranchSumAnalyzer,
+	}
+}
+
+// Finding is a positioned diagnostic with its analyzer, the unit the
+// drivers and tests consume.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// sortFindings orders findings by file, line, column, analyzer for
+// deterministic output.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// RunAnalyzers runs the given analyzers over one type-checked package and
+// returns the surviving findings: diagnostics in generated files
+// (ast.IsGenerated) and diagnostics waived by //sessvet:ignore directives
+// are dropped here, so every driver — unitchecker, standalone, tests —
+// shares one exemption policy.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+	sup := collectSuppressions(fset, files)
+	generated := map[string]bool{}
+	for _, f := range files {
+		if ast.IsGenerated(f) {
+			generated[fset.Position(f.Package).Filename] = true
+		}
+	}
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			pos := fset.Position(d.Pos)
+			if generated[pos.Filename] {
+				return
+			}
+			if sup.suppressed(name, pos) {
+				return
+			}
+			out = append(out, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sortFindings(out)
+	return dedupe(out), nil
+}
+
+// dedupe removes exact duplicates (the loop fixpoint may revisit a
+// statement and re-derive the same diagnostic).
+func dedupe(fs []Finding) []Finding {
+	seen := map[string]bool{}
+	var out []Finding
+	for _, f := range fs {
+		k := f.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// suppressions records //sessvet:ignore directives: which analyzers are
+// waived on which lines of which files.
+type suppressions struct {
+	// byLine maps filename -> line -> analyzer set ("all" waives every
+	// analyzer).
+	byLine map[string]map[int]map[string]bool
+}
+
+// suppressed reports whether analyzer name is waived at pos: a directive
+// suppresses findings on its own line and on the line directly below it,
+// so both trailing and standalone-above placements work.
+func (s *suppressions) suppressed(name string, pos token.Position) bool {
+	lines := s.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if set := lines[line]; set != nil && (set["all"] || set[name]) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectSuppressions scans every comment for //sessvet:ignore directives.
+// Syntax: //sessvet:ignore name1,name2 -- reason  (the reason is free text;
+// "all" waives the whole suite). A directive with no names is an error in
+// spirit but is treated as "all" rather than silently ignored.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{byLine: map[string]map[int]map[string]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//sessvet:ignore")
+				if !ok {
+					continue
+				}
+				text, _, _ = strings.Cut(text, "--")
+				names := map[string]bool{}
+				for _, n := range strings.FieldsFunc(text, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+					names[n] = true
+				}
+				if len(names) == 0 {
+					names["all"] = true
+				}
+				pos := fset.Position(c.Pos())
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					s.byLine[pos.Filename] = lines
+				}
+				end := fset.Position(c.End()).Line
+				set := lines[end]
+				if set == nil {
+					set = map[string]bool{}
+					lines[end] = set
+				}
+				for n := range names {
+					set[n] = true
+				}
+			}
+		}
+	}
+	return s
+}

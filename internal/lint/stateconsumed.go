@@ -1,0 +1,16 @@
+package lint
+
+// StateConsumedAnalyzer is the static form of genrt.ErrStateConsumed: a
+// generated session-state value used twice on some path.
+var StateConsumedAnalyzer = &Analyzer{
+	Name: catConsumed,
+	Doc: `report session state values used twice on any path
+
+A generated state value is one-shot: every Send*/Recv*/Try* call and every
+move (assignment, call argument, return) consumes it, and the runtime
+one-shot stamp answers any further use with genrt.ErrStateConsumed. This
+analyzer promotes that fault to a vet diagnostic, flow-sensitively within
+a function, including continuations extracted twice from the same received
+branch sum.`,
+	Run: func(p *Pass) error { return runSessionFlow(p, catConsumed) },
+}

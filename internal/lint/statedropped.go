@@ -1,0 +1,17 @@
+package lint
+
+// StateDroppedAnalyzer reports protocol states abandoned mid-session: a
+// silent hang for the peer, which no runtime check can observe.
+var StateDroppedAnalyzer = &Analyzer{
+	Name: catDropped,
+	Doc: `report session states discarded or abandoned mid-protocol
+
+Flags a next-state result of a Send*/Recv*/Try* call assigned to the blank
+identifier, a still-live state of a terminating role at a return (the peer
+then blocks forever with no fault to observe), a live state buried by
+reassignment, and a received branch sum dropped without driving any arm.
+States of non-terminating (infinite) roles are exempt at return — abandoning
+the state is their documented stop convention — and an explicit "_ = v" is
+always accepted as a deliberate drop.`,
+	Run: func(p *Pass) error { return runSessionFlow(p, catDropped) },
+}

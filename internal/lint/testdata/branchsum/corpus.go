@@ -1,0 +1,100 @@
+// Package corpus exercises the branchsum analyzer: branch sums must be
+// discriminated by Label before an arm is trusted, and an arm ruled out
+// by the discrimination is dead.
+package corpus
+
+import (
+	streaming "repro/examples/gen/streaming"
+)
+
+// Accessing an arm before any Label comparison trusts a continuation
+// that is only populated for the received label.
+func undiscriminated(t2 streaming.T2) (streaming.T0, error) {
+	b, err := t2.Branch()
+	if err != nil {
+		return streaming.T0{}, err
+	}
+	return b.ValueNext, nil // want `accessed before the sum is discriminated by Label`
+}
+
+// Reading the payload is the same mistake: on the stop path it is the
+// zero value, silently.
+func payloadUndiscriminated(t2 streaming.T2) (int32, error) {
+	b, err := t2.Branch()
+	if err != nil {
+		return 0, err
+	}
+	v := b.ValuePayload // want `accessed before the sum is discriminated by Label`
+	return v, nil
+}
+
+// An arm the discrimination has ruled out is dead: driving it faults
+// with genrt.ErrStateConsumed at run time.
+func deadArm(t2 streaming.T2) (streaming.TEnd, error) {
+	b, err := t2.Branch()
+	if err != nil {
+		return streaming.TEnd{}, err
+	}
+	if b.Label == streaming.LabelValue {
+		return b.StopNext, nil // want `dead arm StopNext of b \(streaming\.T2Branch\) accessed: Label is known to be one of \{Value\}`
+	}
+	return b.StopNext, nil
+}
+
+// The switch form of the same bug: inside a case the other arms are dead.
+func deadArmSwitch(t2 streaming.T2) (streaming.TEnd, error) {
+	b, err := t2.Branch()
+	if err != nil {
+		return streaming.TEnd{}, err
+	}
+	switch b.Label {
+	case streaming.LabelValue:
+		end := b.StopNext // want `dead arm StopNext of b \(streaming\.T2Branch\) accessed: Label is known to be one of \{Value\}`
+		return end, nil
+	case streaming.LabelStop:
+		return b.StopNext, nil
+	}
+	return streaming.TEnd{}, nil
+}
+
+// Non-diagnostic: the exhaustive label switch is the canonical driver.
+func exhaustiveSwitch(t2 streaming.T2) (streaming.TEnd, error) {
+	b, err := t2.Branch()
+	if err != nil {
+		return streaming.TEnd{}, err
+	}
+	switch b.Label {
+	case streaming.LabelValue:
+		return drive(b.ValueNext)
+	case streaming.LabelStop:
+		return b.StopNext, nil
+	}
+	return streaming.TEnd{}, nil
+}
+
+// Non-diagnostic: an if-chain on Label narrows the sum the same way.
+func ifChain(t2 streaming.T2) (streaming.TEnd, error) {
+	b, err := t2.Branch()
+	if err != nil {
+		return streaming.TEnd{}, err
+	}
+	if b.Label == streaming.LabelStop {
+		return b.StopNext, nil
+	}
+	return drive(b.ValueNext)
+}
+
+func drive(t0 streaming.T0) (streaming.TEnd, error) {
+	t2, err := t0.SendReady()
+	if err != nil {
+		return streaming.TEnd{}, err
+	}
+	b, err := t2.Branch()
+	if err != nil {
+		return streaming.TEnd{}, err
+	}
+	if b.Label == streaming.LabelStop {
+		return b.StopNext, nil
+	}
+	return drive(b.ValueNext)
+}

@@ -1,0 +1,144 @@
+// Package corpus exercises the stateconsumed analyzer: every `// want`
+// line must be reported, every unannotated session operation must not be.
+package corpus
+
+import (
+	streaming "repro/examples/gen/streaming"
+)
+
+// A state driven twice on a straight line is the static form of the
+// runtime's genrt.ErrStateConsumed fault.
+func reuseStraightLine(s0 streaming.S0) (streaming.SEnd, error) {
+	s1, err := s0.SendValue(1)
+	if err != nil {
+		return streaming.SEnd{}, err
+	}
+	s1b, err := s0.SendValue(2) // want `after being consumed at .*: the static form of genrt\.ErrStateConsumed`
+	_ = s1b
+	s2, err := s1.SendValue(3)
+	if err != nil {
+		return streaming.SEnd{}, err
+	}
+	return drain(s2)
+}
+
+// Non-diagnostic: consuming the state once on each of two exclusive
+// paths is fine — no path drives the same stamp twice.
+func consumeOnEachPath(s0 streaming.S0, flip bool) (streaming.SEnd, error) {
+	if flip {
+		s1, err := s0.SendValue(1)
+		if err != nil {
+			return streaming.SEnd{}, err
+		}
+		return finishFromS1(s1)
+	}
+	s1, err := s0.SendValue(2)
+	if err != nil {
+		return streaming.SEnd{}, err
+	}
+	return finishFromS1(s1)
+}
+
+func maybeConsumed(s0 streaming.S0, flip bool) (streaming.SEnd, error) {
+	if flip {
+		if _, err := s0.SendValue(1); err != nil { //sessvet:ignore statedropped -- staging the merge-path reuse below
+			return streaming.SEnd{}, err
+		}
+	}
+	s1, err := s0.SendValue(2) // want `may already be consumed: .* on a path at .*\(genrt\.ErrStateConsumed at run time\)`
+	if err != nil {
+		return streaming.SEnd{}, err
+	}
+	return finishFromS1(s1)
+}
+
+// Extracting the same branch continuation twice replays a consumed stamp.
+func doubleExtract(t2 streaming.T2) (streaming.TEnd, error) {
+	b, err := t2.Branch()
+	if err != nil {
+		return streaming.TEnd{}, err
+	}
+	if b.Label == streaming.LabelStop {
+		return b.StopNext, nil
+	}
+	first := b.ValueNext
+	second := b.ValueNext // want `extracted again: its continuation already moved out at .*`
+	_ = second
+	return pump(first)
+}
+
+// Non-diagnostic: reassigning the loop variable each iteration is the
+// idiomatic generated-API loop; no stamp is ever touched twice.
+func loopReassign(s0 streaming.S0) (streaming.SEnd, error) {
+	s1, err := s0.SendValue(0)
+	if err != nil {
+		return streaming.SEnd{}, err
+	}
+	s2, err := s1.SendValue(1)
+	if err != nil {
+		return streaming.SEnd{}, err
+	}
+	for i := 0; i < 4; i++ {
+		s4, err := s2.SendValue(int32(i))
+		if err != nil {
+			return streaming.SEnd{}, err
+		}
+		s2, err = s4.RecvReady()
+		if err != nil {
+			return streaming.SEnd{}, err
+		}
+	}
+	return drain(s2)
+}
+
+// Non-diagnostic: moving a state into a helper consumes it here; the
+// helper owns it from then on.
+func moveToHelper(s0 streaming.S0) (streaming.SEnd, error) {
+	s1, err := s0.SendValue(7)
+	if err != nil {
+		return streaming.SEnd{}, err
+	}
+	return finishFromS1(s1)
+}
+
+func finishFromS1(s1 streaming.S1) (streaming.SEnd, error) {
+	s2, err := s1.SendValue(0)
+	if err != nil {
+		return streaming.SEnd{}, err
+	}
+	return drain(s2)
+}
+
+func drain(s2 streaming.S2) (streaming.SEnd, error) {
+	s5, err := s2.SendStop()
+	if err != nil {
+		return streaming.SEnd{}, err
+	}
+	s6, err := s5.RecvReady()
+	if err != nil {
+		return streaming.SEnd{}, err
+	}
+	s7, err := s6.RecvReady()
+	if err != nil {
+		return streaming.SEnd{}, err
+	}
+	return s7.RecvReady()
+}
+
+func pump(t0 streaming.T0) (streaming.TEnd, error) {
+	t2, err := t0.SendReady()
+	if err != nil {
+		return streaming.TEnd{}, err
+	}
+	b, err := t2.Branch()
+	if err != nil {
+		return streaming.TEnd{}, err
+	}
+	switch b.Label {
+	case streaming.LabelValue:
+		return pump(b.ValueNext)
+	case streaming.LabelStop:
+		return b.StopNext, nil
+	}
+	return streaming.TEnd{}, nil
+}

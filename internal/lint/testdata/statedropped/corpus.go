@@ -1,0 +1,120 @@
+// Package corpus exercises the statedropped analyzer: dropped
+// next-states and states still live at return on a terminating protocol.
+package corpus
+
+import (
+	"errors"
+
+	ring "repro/examples/gen/ring"
+	streaming "repro/examples/gen/streaming"
+)
+
+// Discarding the successor state abandons the protocol: the peer can
+// only observe a hang.
+func blankDrop(s0 streaming.S0) error {
+	_, err := s0.SendValue(1) // want `next state streaming\.S1 returned by .*SendValue is discarded`
+	return err
+}
+
+// Calling a session operation for effect drops the state the same way.
+func exprDrop(s0 streaming.S0) {
+	s0.SendValue(1) // want `next state streaming\.S1 returned by .*SendValue is discarded`
+}
+
+// Returning nil with a live state in hand is a stale-session bug: the
+// caller sees success but the protocol never completes.
+func liveAtReturn(s1 streaming.S1) error {
+	return nil // want `s1 \(streaming\.S1\) is still live at return: the terminating protocol is abandoned`
+}
+
+// The stale-End variant of the same bug: an End that is never driven to
+// the runtime's Finish leaves the peer waiting on teardown.
+func staleEnd(end streaming.SEnd) error {
+	return nil // want `end \(streaming\.SEnd\) is still live at return: the terminating protocol is abandoned`
+}
+
+// Overwriting a live state buries it: the old stamp can never be driven.
+func overwrite(s0a, s0b streaming.S0) (streaming.SEnd, error) {
+	next, err := s0a.SendValue(1)
+	if err != nil {
+		return streaming.SEnd{}, err
+	}
+	next, err = s0b.SendValue(2) // want `next \(streaming\.S1\) overwritten while still live`
+	if err != nil {
+		return streaming.SEnd{}, err
+	}
+	return finishFromS1(next)
+}
+
+// A branch sum none of whose arms was driven is the same abandonment.
+func sumAtReturn(t2 streaming.T2) error {
+	b, err := t2.Branch()
+	if err != nil {
+		return err
+	}
+	_ = b.Label
+	return nil // want `branch result b \(streaming\.T2Branch\) is still live at return: no arm was driven`
+}
+
+// Non-diagnostic: an explicit `_ = v` is the sanctioned way to abandon a
+// session on purpose (tests staging deliberate faults do this).
+func explicitDrop(s0 streaming.S0) {
+	s1, err := s0.SendValue(1)
+	if err != nil {
+		return
+	}
+	_ = s1
+}
+
+// Non-diagnostic: returning a non-nil error is the sanctioned abort path;
+// the runner owns teardown from there.
+func abortPath(s0 streaming.S0) (streaming.SEnd, error) {
+	s1, err := s0.SendValue(1)
+	if err != nil {
+		return streaming.SEnd{}, err
+	}
+	if bad() {
+		return streaming.SEnd{}, errAbandon
+	}
+	return finishFromS1(s1)
+}
+
+// Non-diagnostic: the ring protocol never terminates, so a live ring
+// state at return is a handoff, not an abandoned session. Contrast with
+// staleEnd above, which has the same shape on a terminating protocol.
+func infiniteRole(a0 ring.A0) error {
+	return nil
+}
+
+// Non-diagnostic: the Try-probe idiom inspects readiness without
+// claiming the successor; the state is deliberately left to the caller.
+func tryProbe(s0 streaming.S0) error {
+	if _, err := s0.TrySendValue(1); err != nil {
+		return err
+	}
+	return nil
+}
+
+func finishFromS1(s1 streaming.S1) (streaming.SEnd, error) {
+	s2, err := s1.SendValue(0)
+	if err != nil {
+		return streaming.SEnd{}, err
+	}
+	s5, err := s2.SendStop()
+	if err != nil {
+		return streaming.SEnd{}, err
+	}
+	s6, err := s5.RecvReady()
+	if err != nil {
+		return streaming.SEnd{}, err
+	}
+	s7, err := s6.RecvReady()
+	if err != nil {
+		return streaming.SEnd{}, err
+	}
+	return s7.RecvReady()
+}
+
+var errAbandon = errors.New("abandon")
+
+func bad() bool { return false }

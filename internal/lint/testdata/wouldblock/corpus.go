@@ -1,0 +1,111 @@
+// Package corpus exercises the wouldblock analyzer: every Try* caller
+// must compare the error against session.ErrWouldBlock before trusting
+// either the old state or the new one.
+package corpus
+
+import (
+	"errors"
+
+	streaming "repro/examples/gen/streaming"
+	"repro/internal/session"
+)
+
+// Discarding the non-blocking error makes the would-block path
+// indistinguishable from success.
+func errDiscarded(s0 streaming.S0) (streaming.S1, error) {
+	s1, _ := s0.TrySendValue(1) // want `error result of non-blocking .*TrySendValue discarded`
+	return s1, nil
+}
+
+// Using the successor before the error is checked trusts a state that
+// does not exist on the ErrWouldBlock path.
+func successorBeforeCheck(s0 streaming.S0) (streaming.SEnd, error) {
+	s1, err := s0.TrySendValue(1)
+	s2, err2 := s1.SendValue(2) // want `used before its non-blocking error is checked`
+	_, _ = err, err2
+	_ = s2
+	return streaming.SEnd{}, errGiveUp
+}
+
+// Reusing the original state without the ErrWouldBlock comparison is a
+// latent double-consume: on the success path the stamp is already spent.
+func retryWithoutCheck(s0 streaming.S0) (streaming.SEnd, error) {
+	s1, err := s0.TrySendValue(1)
+	if err != nil {
+		s1, err = s0.SendValue(1) // want `may still be consumed by the non-blocking call at`
+		if err != nil {
+			return streaming.SEnd{}, err
+		}
+	}
+	return finishFromS1(s1)
+}
+
+// Reading a branch sum's Label before the non-blocking error is checked
+// inspects a sum that is empty on the would-block path.
+func labelBeforeCheck(t2 streaming.T2) error {
+	b, err := t2.TryBranch()
+	if b.Label == streaming.LabelStop { // want `Label read before the non-blocking error is checked`
+		return nil
+	}
+	return err
+}
+
+// Non-diagnostic: the canonical retry loop — errors.Is gates the reuse,
+// so the state is provably still live when it is driven again.
+func retryLoop(s0 streaming.S0) (streaming.SEnd, error) {
+	for {
+		s1, err := s0.TrySendValue(1)
+		if errors.Is(err, session.ErrWouldBlock) {
+			continue
+		}
+		if err != nil {
+			return streaming.SEnd{}, err
+		}
+		return finishFromS1(s1)
+	}
+}
+
+// Non-diagnostic: propagating any non-nil error without touching either
+// state never trusts the ambiguous stamp.
+func propagate(s0 streaming.S0) (streaming.SEnd, error) {
+	s1, err := s0.TrySendValue(1)
+	if err != nil {
+		return streaming.SEnd{}, err
+	}
+	return finishFromS1(s1)
+}
+
+// Non-diagnostic: falling back to the blocking call after the
+// ErrWouldBlock comparison is the other sanctioned shape.
+func fallbackToBlocking(s0 streaming.S0) (streaming.SEnd, error) {
+	s1, err := s0.TrySendValue(1)
+	if errors.Is(err, session.ErrWouldBlock) {
+		s1, err = s0.SendValue(1)
+	}
+	if err != nil {
+		return streaming.SEnd{}, err
+	}
+	return finishFromS1(s1)
+}
+
+func finishFromS1(s1 streaming.S1) (streaming.SEnd, error) {
+	s2, err := s1.SendValue(0)
+	if err != nil {
+		return streaming.SEnd{}, err
+	}
+	s5, err := s2.SendStop()
+	if err != nil {
+		return streaming.SEnd{}, err
+	}
+	s6, err := s5.RecvReady()
+	if err != nil {
+		return streaming.SEnd{}, err
+	}
+	s7, err := s6.RecvReady()
+	if err != nil {
+		return streaming.SEnd{}, err
+	}
+	return s7.RecvReady()
+}
+
+var errGiveUp = errors.New("give up")

@@ -1,0 +1,17 @@
+package lint
+
+// WouldBlockAnalyzer enforces the non-blocking stepping contract: a Try*
+// error must be compared against session.ErrWouldBlock before the state
+// or its results are reused.
+var WouldBlockAnalyzer = &Analyzer{
+	Name: catWouldBlock,
+	Doc: `report Try* callers that ignore the session.ErrWouldBlock contract
+
+The non-blocking face (TrySend*/TryRecv*/TryBranch) leaves the source state
+live when it returns session.ErrWouldBlock and consumes it otherwise, so the
+error must be inspected before either the source state is reused or the
+returned next state is touched. Flags discarded Try errors, reuse of the
+source state before the comparison, and use of the next state (or a received
+sum's Label/arms) on paths where the error is still unchecked.`,
+	Run: func(p *Pass) error { return runSessionFlow(p, catWouldBlock) },
+}
