@@ -12,6 +12,14 @@
 #                       session count 1→100k at GOMAXPROCS 1/2/4, plus the
 #                       2-goroutines-per-session baseline), parsed JSON to
 #                       BENCH_sched.json
+#   make bench-net      network-vs-ring substrate columns (send+recv,
+#                       ping-pong and batched-64 over same-host Unix
+#                       sockets and loopback TCP against the in-memory
+#                       ring), parsed JSON to BENCH_net.json
+#   make net-smoke      build cmd/sessnet and run the multi-process demo
+#                       (one OS process per role over Unix sockets) with a
+#                       short timeout as the hang detector — the CI
+#                       net-smoke job
 #   make bench-smoke    all bench targets at one iteration per benchmark,
 #                       then cmd/benchcheck asserts the JSON is well-formed
 #                       and every expected column (including
@@ -36,8 +44,8 @@
 #                       (the README/doc.go front-door gate)
 #   make ci             the full CI pipeline locally: vet + sessvet +
 #                       doccheck + verify + drift + race + chaos-smoke +
-#                       bench-smoke + lint, so a builder can reproduce a
-#                       CI failure before pushing
+#                       net-smoke + bench-smoke + lint, so a builder can
+#                       reproduce a CI failure before pushing
 
 GO ?= go
 # bash + pipefail: a failing benchmark run must fail `make bench`, not let
@@ -69,6 +77,12 @@ CODEGEN_BENCH_PKGS ?= ./internal/session ./internal/bench
 SCHED_BENCH_PATTERN ?= BenchmarkSchedThroughput|BenchmarkSchedGoroutineBaseline
 SCHED_BENCH_PKGS ?= ./internal/bench
 
+# The network substrate axis: one message, a round trip and a 64-message
+# batch over Unix sockets and loopback TCP against the in-memory ring the
+# session layer wires by default.
+NET_BENCH_PATTERN ?= BenchmarkNetSendRecv|BenchmarkNetPingPong|BenchmarkNetBatch64
+NET_BENCH_PKGS ?= ./internal/netchan
+
 # Extra flags for the bench targets; bench-smoke passes -benchtime 1x so the
 # whole suite runs in seconds while still producing parseable JSON.
 BENCH_FLAGS ?=
@@ -78,8 +92,9 @@ BENCH_FLAGS ?=
 BENCH_OUT ?= BENCH_channel.json
 CODEGEN_BENCH_OUT ?= BENCH_codegen.json
 SCHED_BENCH_OUT ?= BENCH_sched.json
+NET_BENCH_OUT ?= BENCH_net.json
 
-.PHONY: verify race bench bench-codegen bench-sched bench-smoke chaos-smoke sessvet lint generate drift doccheck ci
+.PHONY: verify race bench bench-codegen bench-sched bench-net bench-smoke chaos-smoke net-smoke sessvet lint generate drift doccheck ci
 
 # The staticcheck/govulncheck pins must match .github/workflows/ci.yml.
 STATICCHECK_VERSION ?= 2025.1.1
@@ -90,7 +105,7 @@ verify:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -timeout 600s ./internal/channel ./internal/session ./internal/sched
+	$(GO) test -race -timeout 600s ./internal/channel ./internal/session ./internal/sched ./internal/wire ./internal/netchan
 	$(GO) test -race -short -timeout 600s ./internal/chaos
 
 # chaos-smoke: the seeded fault-injection soak — every registry protocol ×
@@ -117,6 +132,11 @@ bench-sched:
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > $(SCHED_BENCH_OUT)
 	@echo "wrote $(SCHED_BENCH_OUT)"
 
+bench-net:
+	$(GO) test -run '^$$' -bench '$(NET_BENCH_PATTERN)' -benchmem $(BENCH_FLAGS) -timeout 1800s $(NET_BENCH_PKGS) \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > $(NET_BENCH_OUT)
+	@echo "wrote $(NET_BENCH_OUT)"
+
 # bench-smoke: the CI bench job. One iteration per benchmark keeps it fast;
 # benchcheck then fails the pipeline if either JSON is malformed or an
 # expected column is missing — including the FFT×rumpsteak-gen row that
@@ -127,6 +147,7 @@ bench-smoke:
 	$(MAKE) bench BENCH_FLAGS='-benchtime 1x' BENCH_OUT=BENCH_smoke_channel.json
 	$(MAKE) bench-codegen BENCH_FLAGS='-benchtime 1x' CODEGEN_BENCH_OUT=BENCH_smoke_codegen.json
 	$(MAKE) bench-sched BENCH_FLAGS='-benchtime 1x' SCHED_BENCH_OUT=BENCH_smoke_sched.json
+	$(MAKE) bench-net BENCH_FLAGS='-benchtime 1x' NET_BENCH_OUT=BENCH_smoke_net.json
 	$(GO) run ./cmd/benchcheck -file BENCH_smoke_channel.json \
 		-expect BenchmarkSendRecv -expect BenchmarkPingPong \
 		-expect BenchmarkSessionRunStreaming/ring -expect BenchmarkSessionRunStreaming/queue \
@@ -144,6 +165,20 @@ bench-smoke:
 		-expect 'SchedThroughput/sessions=10000/procs=2' \
 		-expect 'SchedThroughput/sessions=100000/procs=4' \
 		-expect SchedGoroutineBaseline
+	$(GO) run ./cmd/benchcheck -file BENCH_smoke_net.json \
+		-expect BenchmarkNetSendRecv/ring -expect BenchmarkNetSendRecv/unix \
+		-expect BenchmarkNetSendRecv/tcp \
+		-expect BenchmarkNetPingPong/ring -expect BenchmarkNetPingPong/tcp \
+		-expect BenchmarkNetBatch64/ring -expect BenchmarkNetBatch64/unix \
+		-expect BenchmarkNetBatch64/tcp
+
+# net-smoke: the CI network job — build cmd/sessnet, then run the
+# multi-process demo (one OS process per role, Unix sockets) over every
+# registry protocol with a short per-child deadline as the hang detector.
+net-smoke:
+	@mkdir -p .bin
+	$(GO) build -o .bin/sessnet ./cmd/sessnet
+	.bin/sessnet -all -net unix -timeout 60s
 
 # sessvet: the session-misuse gate. The analyzers run through the real
 # `go vet -vettool` protocol, exactly as CI does, so a diagnostic here
@@ -192,6 +227,7 @@ ci:
 	$(MAKE) drift
 	$(MAKE) race
 	$(MAKE) chaos-smoke
+	$(MAKE) net-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) lint
 	@echo "ci: all local gates passed"

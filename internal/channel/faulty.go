@@ -17,6 +17,16 @@ import (
 // or reordered: every fault is a refusal or a teardown, so the session
 // monitor's safety argument is untouched and any observed completion is still
 // a correct run.
+//
+// Every fault decision is keyed to a per-side MESSAGE ORDINAL — the k-th
+// message sent (or received) through the route — never to a probe count.
+// Over an in-memory ring a Try probe almost always succeeds, but over a
+// substrate with real latency (internal/netchan) the same message may be
+// probed many times before it lands, and the number of retries is timing
+// noise. Rolling a PRNG per probe would let that noise drift the schedule;
+// rolling a pure hash of (seed, side, k) keeps the schedule a function of
+// the protocol's message sequence alone, so a chaos seed replays exactly on
+// any substrate.
 
 // ErrInjected is the default cause of a fault-injected close: observers see a
 // *CloseError wrapping it, so errors.Is(err, ErrInjected) identifies a chaos
@@ -24,27 +34,31 @@ import (
 var ErrInjected = errors.New("channel: injected fault")
 
 // FaultPlan is one deterministic fault schedule. The zero value injects
-// nothing; all randomness derives from Seed, so a (plan, operation sequence)
-// pair always produces the same faults — a failing chaos schedule replays
-// exactly.
+// nothing; all fault decisions are pure functions of (Seed, side, message
+// ordinal), so a (plan, message sequence) pair always produces the same
+// faults — a failing chaos schedule replays exactly, regardless of how many
+// times a would-block probe was retried along the way.
 type FaultPlan struct {
-	// Seed drives the per-operation fault rolls. Two plans with the same
-	// knobs but different seeds fault at different operations.
+	// Seed keys the per-message fault rolls. Two plans with the same knobs
+	// but different seeds fault at different messages.
 	Seed uint64
-	// WouldBlockP is the per-mille probability that a TrySend/TryRecv
-	// spuriously reports no progress (a backpressure storm). The refused
-	// operation has no effect; a later retry proceeds normally.
+	// WouldBlockP is the per-mille probability that a message's FIRST
+	// TrySend/TryRecv probe spuriously reports no progress (a backpressure
+	// storm). The refusal is charged to the message ordinal, not the probe:
+	// retries of the same message pass through to the inner substrate, so a
+	// faulted message costs exactly one spurious refusal.
 	WouldBlockP int
 	// DelayP is the per-mille probability that a blocking Send/Recv yields
 	// to the scheduler a few times before acting (a slow peer).
 	DelayP int
-	// StallAfter, when positive, stalls the route after that many total
-	// operations: every subsequent Try operation reports no progress until
-	// the route is closed. This is the "peer wedged" fault — only a
+	// StallAfter, when positive, stalls the route at that effective
+	// operation (messages moved, both sides): the first StallAfter-1
+	// operations complete, then every Try operation reports no progress
+	// until the route is closed. This is the "peer wedged" fault — only a
 	// deadline (or an abort elsewhere in the session) gets a party out.
 	StallAfter int
 	// CloseAfter, when positive, closes the route with CloseCause once that
-	// many total operations have been observed (a crashed peer).
+	// many effective operations have completed (a crashed peer).
 	CloseAfter int
 	// CloseCause is the cause used for the injected close; ErrInjected
 	// when nil.
@@ -64,19 +78,22 @@ type Faulty struct {
 	inner Substrate
 	plan  FaultPlan
 
-	ops    atomic.Int64 // operations observed, both sides
+	ops    atomic.Int64 // effective operations completed, both sides
 	closed atomic.Bool  // a close passed through (or was injected) — stop stalling
 
-	sendRNG uint64 // producer-owned roll state
-	recvRNG uint64 // consumer-owned roll state
+	// Producer-owned ordinal state: sendK counts messages accepted by the
+	// inner substrate; sendRefused marks that message sendK+1 already paid
+	// its spurious refusal.
+	sendK       uint64
+	sendRefused bool
+	// Consumer-owned ordinal state, same shape.
+	recvK       uint64
+	recvRefused bool
 }
 
 // NewFaulty wraps inner with the given fault plan.
 func NewFaulty(inner Substrate, plan FaultPlan) *Faulty {
-	f := &Faulty{inner: inner, plan: plan}
-	f.sendRNG = plan.Seed ^ 0xa5a5a5a5a5a5a5a5
-	f.recvRNG = plan.Seed ^ 0x5a5a5a5a5a5a5a5a
-	return f
+	return &Faulty{inner: inner, plan: plan}
 }
 
 // splitmix64 is the tiny deterministic PRNG behind the fault rolls.
@@ -88,18 +105,34 @@ func splitmix64(state *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
-// roll consumes one random draw from the side-owned state and reports whether
-// a fault with per-mille probability p fires.
-func roll(state *uint64, p int) bool {
+// Side/purpose salts for the ordinal hash: each (side, purpose) pair draws
+// from an independent stream over the message ordinals.
+const (
+	saltSendBlock uint64 = 0xa5a5a5a5a5a5a5a5
+	saltRecvBlock uint64 = 0x5a5a5a5a5a5a5a5a
+	saltSendDelay uint64 = 0xc3c3c3c3c3c3c3c3
+	saltRecvDelay uint64 = 0x3c3c3c3c3c3c3c3c
+)
+
+// draw is the stateless ordinal hash: a pure function of (seed, salt, k),
+// independent of how many probes preceded it.
+func draw(seed, salt, k uint64) uint64 {
+	st := seed ^ salt ^ k*0x9e3779b97f4a7c15
+	return splitmix64(&st)
+}
+
+// ordinalRoll reports whether the fault with per-mille probability p fires
+// for message ordinal k.
+func ordinalRoll(seed, salt, k uint64, p int) bool {
 	if p <= 0 {
 		return false
 	}
-	return splitmix64(state)%1000 < uint64(p)
+	return draw(seed, salt, k)%1000 < uint64(p)
 }
 
-// tick counts one operation, fires the CloseAfter trigger when it is reached,
-// and reports whether the route is stalled.
-func (f *Faulty) tick() (stalled bool) {
+// effective counts one completed operation and fires the CloseAfter trigger
+// when its threshold is reached.
+func (f *Faulty) effective() {
 	n := f.ops.Add(1)
 	if f.plan.CloseAfter > 0 && n == int64(f.plan.CloseAfter) {
 		cause := f.plan.CloseCause
@@ -109,16 +142,21 @@ func (f *Faulty) tick() (stalled bool) {
 		f.closed.Store(true)
 		f.inner.CloseWithError(cause)
 	}
-	return f.plan.StallAfter > 0 && n >= int64(f.plan.StallAfter)
+}
+
+// stalled reports whether the StallAfter threshold has been crossed: the
+// operation after the first StallAfter-1 completed ones is the one stalled.
+func (f *Faulty) stalled() bool {
+	return f.plan.StallAfter > 0 && f.ops.Load() >= int64(f.plan.StallAfter)-1
 }
 
 // delay yields to the scheduler a few times: the slow-peer fault for the
 // blocking operations (Try operations model slowness as would-block instead).
-func (f *Faulty) delay(state *uint64) {
-	if !roll(state, f.plan.DelayP) {
+func (f *Faulty) delay(salt, k uint64) {
+	if !ordinalRoll(f.plan.Seed, salt, k, f.plan.DelayP) {
 		return
 	}
-	yields := int(splitmix64(state)%4) + 1
+	yields := int(draw(f.plan.Seed, salt^0xffff, k)%4) + 1
 	for i := 0; i < yields; i++ {
 		runtime.Gosched()
 	}
@@ -126,38 +164,68 @@ func (f *Faulty) delay(state *uint64) {
 
 // Send forwards to the inner substrate, possibly after a delay fault.
 func (f *Faulty) Send(m Message) error {
-	f.delay(&f.sendRNG)
-	f.tick()
-	return f.inner.Send(m)
+	k := f.sendK + 1
+	f.delay(saltSendDelay, k)
+	err := f.inner.Send(m)
+	f.sendK = k
+	f.effective()
+	return err
 }
 
-// TrySend forwards to the inner substrate unless a stall or would-block
-// fault fires, in which case it reports (false, nil) with no effect. Once
-// the route is closed, faults stop masking the closure: the caller must
-// observe the teardown cause, not an eternal storm.
+// TrySend forwards to the inner substrate unless a stall fault holds or the
+// message's would-block fault fires, in which case it reports (false, nil)
+// with no effect. The would-block refusal is charged once per message:
+// retries pass through. Once the route is closed, faults stop masking the
+// closure: the caller must observe the teardown cause, not an eternal storm.
 func (f *Faulty) TrySend(m Message) (bool, error) {
-	stalled := f.tick()
-	if (stalled || roll(&f.sendRNG, f.plan.WouldBlockP)) && !f.closed.Load() {
+	if f.stalled() && !f.closed.Load() {
 		return false, nil
 	}
-	return f.inner.TrySend(m)
+	k := f.sendK + 1
+	if !f.sendRefused && !f.closed.Load() &&
+		ordinalRoll(f.plan.Seed, saltSendBlock, k, f.plan.WouldBlockP) {
+		f.sendRefused = true
+		return false, nil
+	}
+	ok, err := f.inner.TrySend(m)
+	if ok {
+		f.sendK = k
+		f.sendRefused = false
+		f.effective()
+	}
+	return ok, err
 }
 
 // Recv forwards to the inner substrate, possibly after a delay fault.
 func (f *Faulty) Recv() (Message, error) {
-	f.delay(&f.recvRNG)
-	f.tick()
-	return f.inner.Recv()
+	k := f.recvK + 1
+	f.delay(saltRecvDelay, k)
+	m, err := f.inner.Recv()
+	f.recvK = k
+	f.effective()
+	return m, err
 }
 
-// TryRecv forwards to the inner substrate unless a stall or would-block
-// fault fires, in which case it reports no message with no effect.
+// TryRecv forwards to the inner substrate unless a stall fault holds or the
+// message's would-block fault fires, in which case it reports no message
+// with no effect; refusals are charged per message, exactly as in TrySend.
 func (f *Faulty) TryRecv() (Message, bool, error) {
-	stalled := f.tick()
-	if (stalled || roll(&f.recvRNG, f.plan.WouldBlockP)) && !f.closed.Load() {
+	if f.stalled() && !f.closed.Load() {
 		return Message{}, false, nil
 	}
-	return f.inner.TryRecv()
+	k := f.recvK + 1
+	if !f.recvRefused && !f.closed.Load() &&
+		ordinalRoll(f.plan.Seed, saltRecvBlock, k, f.plan.WouldBlockP) {
+		f.recvRefused = true
+		return Message{}, false, nil
+	}
+	m, ok, err := f.inner.TryRecv()
+	if ok {
+		f.recvK = k
+		f.recvRefused = false
+		f.effective()
+	}
+	return m, ok, err
 }
 
 // Close forwards the teardown and releases any stall.
@@ -172,8 +240,9 @@ func (f *Faulty) CloseWithError(err error) {
 	f.inner.CloseWithError(err)
 }
 
-// Ops returns the number of operations observed so far (both sides); chaos
-// reports use it to describe how deep into a schedule a fault fired.
+// Ops returns the number of effective operations completed so far (both
+// sides); chaos reports use it to describe how deep into a schedule a fault
+// fired.
 func (f *Faulty) Ops() int { return int(f.ops.Load()) }
 
 var _ Substrate = (*Faulty)(nil)

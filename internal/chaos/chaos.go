@@ -18,6 +18,11 @@
 // leaked goroutine (counted by the test), or an error matching no arm —
 // fails the soak. The soak itself lives in the package's tests and in
 // `make chaos-smoke`; see EXPERIMENTS.md for the recipe.
+//
+// The harness runs over two substrates: Run drives the in-memory rings, and
+// RunNet drives the wire substrate — internal/netchan pipes wrapped in the
+// same seed-derived Faulty plans — so the trichotomy is pinned on both sides
+// of the transport boundary with one fault-family matrix.
 package chaos
 
 import (
@@ -28,10 +33,12 @@ import (
 
 	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/netchan"
 	"repro/internal/protocols"
 	"repro/internal/sched"
 	"repro/internal/session"
 	"repro/internal/types"
+	"repro/internal/wire"
 )
 
 // Mode selects how a run executes its session.
@@ -98,6 +105,16 @@ func (c Class) String() string {
 // expected end of a bounded run, exactly as a deliberate stop is for
 // internal/sched's quiescence rule.
 var ErrBudgetCut = errors.New("chaos: bounded run reached its action budget")
+
+// The budget cut must keep its identity across the wire: on the network
+// column a blocking-mode sibling sees the abort as a goodbye frame, and
+// Classify's Clean arm works by errors.Is — so the sentinel travels by name
+// (wire.DecodeCause rehydrates it under the *wire.RemoteError).
+func init() {
+	if err := wire.RegisterCause("chaos/budget-cut", ErrBudgetCut); err != nil {
+		panic(err)
+	}
+}
 
 // Classify sorts a run outcome into the trichotomy. A nil error is Clean, as
 // is a teardown whose root cause is ErrBudgetCut (the bounded-run cut); a
@@ -244,19 +261,60 @@ func faultyNetwork(seed uint64) func(roles ...types.Role) *session.Network {
 func Run(name string, base *session.Session, seed uint64, mode Mode, cfg Config) Result {
 	cfg = cfg.withDefaults()
 	inst := base.Fork().Rewire(faultyNetwork(seed))
+	err := execute(inst, mode, cfg)
+	return Result{Protocol: name, Seed: seed, Mode: mode, Class: Classify(err), Err: err}
+}
+
+// RunNet is Run's wire-substrate column: the same seed-derived fault plans
+// wrap netchan pipes instead of rings, so every message additionally
+// round-trips through the wire codecs and the send/recv pumps before a
+// fault can touch it. After the run every route is hard-torn with Abandon —
+// a faulted cell leaves buffered frames behind on purpose, and a graceful
+// close there would wedge a writer against a ring nobody reads.
+//
+// All three modes reuse the in-memory runners. In scheduler mode that is
+// the deadline re-poll path rather than the external-readiness bridge
+// (sched.GoExternal) the fabrics use: an injected would-block refusal comes
+// with no wire readiness event behind it, so a parked external session
+// would sleep through the retry that clears the storm.
+func RunNet(e protocols.Entry, base *session.Session, seed uint64, mode Mode, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	tab, err := wire.TableFromLocals(e.Name, e.Locals)
+	if err != nil {
+		return Result{Protocol: e.Name, Seed: seed, Mode: mode, Class: Unclassified, Err: err}
+	}
+	var routes []*netchan.Route
+	inst := base.Fork().Rewire(func(roles ...types.Role) *session.Network {
+		n := 0
+		return session.NewCustomNetwork(func() channel.Substrate {
+			plan := planFor(seed, n)
+			n++
+			r := netchan.Pipe(tab, netchan.Options{})
+			routes = append(routes, r)
+			return channel.NewFaulty(r, plan)
+		}, roles...)
+	})
+	err = execute(inst, mode, cfg)
+	for _, r := range routes {
+		r.Abandon()
+	}
+	return Result{Protocol: e.Name, Seed: seed, Mode: mode, Class: Classify(err), Err: err}
+}
+
+// execute runs an already-rewired instance in the given mode against a
+// fresh deadline — the shared back half of Run and RunNet.
+func execute(inst *session.Session, mode Mode, cfg Config) error {
 	deadline := time.Now().Add(cfg.Timeout)
-	var err error
 	switch mode {
 	case ModeBlocking:
-		err = runBlocking(inst, deadline, cfg.Budget)
+		return runBlocking(inst, deadline, cfg.Budget)
 	case ModeStepped:
-		err = runStepped(inst, deadline, cfg.Budget)
+		return runStepped(inst, deadline, cfg.Budget)
 	case ModeScheduler:
-		err = runScheduler(inst, deadline, cfg.Budget, cfg.Workers)
+		return runScheduler(inst, deadline, cfg.Budget, cfg.Workers)
 	default:
-		err = fmt.Errorf("chaos: unknown mode %d", int(mode))
+		return fmt.Errorf("chaos: unknown mode %d", int(mode))
 	}
-	return Result{Protocol: name, Seed: seed, Mode: mode, Class: Classify(err), Err: err}
 }
 
 // strategyFor returns the deterministic per-role driving strategy: cycling

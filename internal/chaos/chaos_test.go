@@ -8,9 +8,12 @@ import (
 	"time"
 
 	"repro/internal/channel"
+	"repro/internal/netchan"
 	"repro/internal/protocols"
 	"repro/internal/sched"
 	"repro/internal/session"
+	"repro/internal/types"
+	"repro/internal/wire"
 )
 
 // soakConfig keeps the full soak around the 30s mark: the per-run deadline
@@ -88,6 +91,139 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if counts[Timeout] == 0 {
 		t.Error("soak never exercised the timeout arm")
+	}
+	waitGoroutines(t, baseGoroutines)
+}
+
+// netSoakEntries is the wire-column protocol subset: the distributed test
+// set (two- and three-role, finite and budget-cut, branching, and
+// Elevator's pure sender) plus Hospital for a bottom-up-verified entry.
+// Every route of every cell is a real netchan pipe, so the full matrix
+// would multiply goroutine-pump setup by the whole registry for no extra
+// coverage.
+func netSoakEntries(t *testing.T) []protocols.Entry {
+	t.Helper()
+	names := []string{"Two Adder", "Three Adder", "Ring", "Ring With Choice", "Elevator", "Hospital"}
+	entries := make([]protocols.Entry, 0, len(names))
+	for _, n := range names {
+		e, ok := protocols.Find(n)
+		if !ok {
+			t.Fatalf("registry lost %q", n)
+		}
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+// TestChaosNetSoak is the network column of the soak: the same fault
+// families and execution modes as TestChaosSoak, but every route is a
+// Faulty-wrapped netchan pipe — each message crosses the wire codecs and
+// both pumps before the session layer sees it. The trichotomy contract is
+// unchanged: every cell classifies, the fault-free and transient-noise
+// families end Clean, and the abort and timeout arms both fire somewhere.
+// Goroutines are the sharper edge here (every pipe runs a writer, a reader
+// and a pump), so the leak check also pins Route.Abandon as a sufficient
+// cleanup for arbitrarily faulted cells.
+func TestChaosNetSoak(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
+	var counts [4]int
+	for _, e := range netSoakEntries(t) {
+		base, err := Build(e)
+		if err != nil {
+			t.Fatalf("%s: building session: %v", e.Name, err)
+		}
+		for _, seed := range soakSeeds() {
+			for _, mode := range Modes {
+				res := RunNet(e, base, seed, mode, soakConfig)
+				counts[res.Class]++
+				if res.Class == Unclassified {
+					t.Errorf("%s seed=%d %s: unclassified outcome: %v", e.Name, seed, mode, res.Err)
+				}
+				if seed%4 <= 1 && res.Class != Clean {
+					t.Errorf("%s seed=%d %s: fault family %d must end clean, got %s (%v)",
+						e.Name, seed, mode, seed%4, res.Class, res.Err)
+				}
+			}
+		}
+	}
+	t.Logf("net soak outcomes: clean=%d timeout=%d abort=%d unclassified=%d",
+		counts[Clean], counts[Timeout], counts[Abort], counts[Unclassified])
+	if counts[Abort] == 0 {
+		t.Error("net soak never exercised the abort arm")
+	}
+	if counts[Timeout] == 0 {
+		t.Error("net soak never exercised the timeout arm")
+	}
+	waitGoroutines(t, baseGoroutines)
+}
+
+// driveSchedule pushes a fixed alternating workload — send message k
+// (retrying through refusals), receive it (ditto) — through a Faulty route
+// until the injected close ends it, and returns the observable schedule.
+// Refused probes yield (over the pipe a message is in the pumps' hands for
+// a while); the probe cap is the hang detector for a genuinely wedged
+// route.
+func driveSchedule(t *testing.T, inner channel.Substrate, plan channel.FaultPlan) (delivered, ops int) {
+	t.Helper()
+	f := channel.NewFaulty(inner, plan)
+	for probes := 0; ; {
+		for {
+			if probes++; probes > 1<<20 {
+				t.Fatal("driveSchedule: probe budget exhausted — route wedged")
+			}
+			ok, err := f.TrySend(channel.Message{Label: "v", Value: int32(delivered)})
+			if err != nil {
+				return delivered, f.Ops()
+			}
+			if ok {
+				break
+			}
+			runtime.Gosched()
+		}
+		for {
+			if probes++; probes > 1<<20 {
+				t.Fatal("driveSchedule: probe budget exhausted — route wedged")
+			}
+			_, ok, err := f.TryRecv()
+			if err != nil {
+				return delivered, f.Ops()
+			}
+			if ok {
+				delivered++
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// TestFaultyWireScheduleMatchesRing is the cross-substrate determinism pin
+// behind seed replayability: for one fixed message sequence, the fault
+// schedule — how many messages cross, which effective operation the
+// injected close lands on — is identical over an instant in-memory ring and
+// over a real netchan pipe, where every message costs a timing-dependent
+// number of would-block probes. This is exactly the property that makes a
+// chaos seed meaningful on the network column at all.
+func TestFaultyWireScheduleMatchesRing(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
+	tab, err := wire.TableFromGlobal("chaos-wire-pin",
+		types.MustParseGlobal("mu t.a->b:v(i32).t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []uint64{1, 7, 42, 1337} {
+		plan := channel.FaultPlan{Seed: seed, WouldBlockP: 300, CloseAfter: 24}
+		ringN, ringOps := driveSchedule(t, channel.NewRingQueue(), plan)
+		route := netchan.Pipe(tab, netchan.Options{})
+		wireN, wireOps := driveSchedule(t, route, plan)
+		route.Abandon()
+		if ringOps != 24 {
+			t.Errorf("seed %d: ring close landed after %d effective ops, want 24", seed, ringOps)
+		}
+		if wireN != ringN || wireOps != ringOps {
+			t.Errorf("seed %d: schedule drifted across substrates: wire %d/%d, ring %d/%d",
+				seed, wireN, wireOps, ringN, ringOps)
+		}
 	}
 	waitGoroutines(t, baseGoroutines)
 }

@@ -1,0 +1,160 @@
+// Package equiv is the trace-equivalence machinery behind the repo's
+// strongest cross-cutting property: however a verified session is executed
+// — blocking goroutines, non-blocking steppers under the scheduler, or one
+// OS process per role over sockets (cmd/sessnet) — every role observes the
+// same ordered action trace.
+//
+// The anchor is the sequential stepped reference run (ReferenceRun): a
+// single goroutine round-robins every role until the session quiesces,
+// which yields a consistent cut — per-role action budgets under which every
+// receive in the cut has its matching send in the cut. Re-running any other
+// execution mode under those budgets must reproduce the reference traces
+// exactly; internal/sched pins this for the in-process scheduler, and
+// RunDistributed pins it across process boundaries over internal/netchan.
+package equiv
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fsm"
+	"repro/internal/protocols"
+	"repro/internal/session"
+	"repro/internal/types"
+)
+
+// TraceStrategy makes deterministic choices (cycling the options of real
+// choices only) and records every performed action in order. Deterministic
+// choice is what makes traces comparable across execution modes: every
+// driver of the same role takes the same branch at the same point.
+type TraceStrategy struct {
+	n     int
+	trace []string
+}
+
+// Choose cycles through the options of real choices; singleton option sets
+// (no choice) do not advance the cycle.
+func (s *TraceStrategy) Choose(_ fsm.State, options []fsm.Transition) int {
+	if len(options) == 1 {
+		return 0
+	}
+	s.n++
+	return (s.n - 1) % len(options)
+}
+
+// Payload is consulted exactly once per performed send (the stepper caches
+// the decision across would-block retries), so it doubles as the send
+// recorder.
+func (s *TraceStrategy) Payload(act fsm.Action) any {
+	s.trace = append(s.trace, act.String())
+	return nil
+}
+
+// Received records a completed receive.
+func (s *TraceStrategy) Received(act fsm.Action, _ any) {
+	s.trace = append(s.trace, act.String())
+}
+
+// Trace returns the actions recorded so far, in order.
+func (s *TraceStrategy) Trace() []string { return s.trace }
+
+// Lookup finds a registry protocol by its Table-1 name.
+func Lookup(name string) (protocols.Entry, error) {
+	for _, e := range protocols.Registry() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return protocols.Entry{}, fmt.Errorf("equiv: unknown registry protocol %q", name)
+}
+
+// BuildSession builds a monitored session for a registry entry from its
+// plain (unoptimised) endpoints: top-down when a global type exists,
+// bottom-up k-MC otherwise (Hospital).
+func BuildSession(e protocols.Entry) (*session.Session, error) {
+	if e.Global != nil {
+		sess, err := session.TopDown(e.Global, nil, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("equiv: %s: TopDown: %w", e.Name, err)
+		}
+		return sess, nil
+	}
+	sess, err := session.BottomUp(e.KmcBound, protocols.Machines(protocols.FSMs(e.Locals))...)
+	if err != nil {
+		return nil, fmt.Errorf("equiv: %s: BottomUp: %w", e.Name, err)
+	}
+	return sess, nil
+}
+
+// ReferenceRun steps every role sequentially (round-robin, one goroutine)
+// until the session quiesces, with each role capped at maxCap actions. It
+// returns the per-role action counts — the consistent cut — and the
+// per-role reference traces.
+func ReferenceRun(sess *session.Session, maxCap int) (map[types.Role]int, map[types.Role][]string, error) {
+	type refTask struct {
+		st    *session.Stepper
+		strat *TraceStrategy
+		role  types.Role
+		done  bool
+	}
+	var tasks []*refTask
+	for _, r := range sess.Roles() {
+		ep, err := sess.Endpoint(r)
+		if err != nil {
+			return nil, nil, fmt.Errorf("equiv: %s: %w", r, err)
+		}
+		strat := &TraceStrategy{}
+		st, err := session.NewStepper(ep, sess.FSM(r), strat, maxCap)
+		if err != nil {
+			return nil, nil, fmt.Errorf("equiv: %s: NewStepper: %w", r, err)
+		}
+		tasks = append(tasks, &refTask{st: st, strat: strat, role: r})
+	}
+	for {
+		progressed := false
+		live := 0
+		for _, task := range tasks {
+			if task.done {
+				continue
+			}
+			done, err := task.st.Step()
+			if done {
+				task.done = true
+				if err != nil && !errors.Is(err, session.ErrStopped) {
+					return nil, nil, fmt.Errorf("equiv: %s: reference run faulted: %w", task.role, err)
+				}
+				progressed = true
+				continue
+			}
+			live++
+			if errors.Is(err, session.ErrWouldBlock) {
+				continue
+			}
+			if err != nil {
+				return nil, nil, fmt.Errorf("equiv: %s: reference run: %w", task.role, err)
+			}
+			progressed = true
+		}
+		if live == 0 {
+			break
+		}
+		if !progressed {
+			// Quiescent with parked tasks: budget-stopped peers will never
+			// feed them. That is the consistent cut; abort the leftovers.
+			for _, task := range tasks {
+				if !task.done {
+					task.st.Abort()
+				}
+			}
+			break
+		}
+	}
+	budgets := map[types.Role]int{}
+	traces := map[types.Role][]string{}
+	for _, task := range tasks {
+		budgets[task.role] = task.st.Steps()
+		traces[task.role] = task.strat.Trace()
+	}
+	return budgets, traces, nil
+}

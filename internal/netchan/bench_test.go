@@ -1,0 +1,169 @@
+package netchan
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/types"
+)
+
+// The network-vs-ring substrate benches behind `make bench-net`: the same
+// send+recv, ping-pong and batched-64 shapes as the channel benches, timed
+// over same-host Unix sockets and loopback TCP against the in-memory
+// RingQueue the session layer wires by default. A network iteration pays
+// the whole pipeline — codec encode, framed write, kernel, framed read,
+// codec decode, pump hand-off — so the columns in BENCH_net.json are the
+// substrate cost of leaving the process, not a socket microbenchmark.
+
+var benchMsg = channel.Message{Label: "val", Value: int32(42)}
+
+// benchFabricRoutes builds two connected fabrics for roles p and q and
+// returns both directed routes, each as its two process-local halves:
+// spq/rpq are the sending and receiving ends of p→q, sqp/rqp of q→p.
+func benchFabricRoutes(b *testing.B, network string) (spq, rpq, sqp, rqp channel.Substrate) {
+	b.Helper()
+	tab := testTable(b)
+	roles := []types.Role{"p", "q"}
+	fp := NewFabric("p", tab, Options{})
+	fq := NewFabric("q", tab, Options{})
+	addrOf := func(f *Fabric, name string) string {
+		addr := ":0"
+		if network == "unix" {
+			addr = filepath.Join(b.TempDir(), name+".sock")
+		}
+		got, err := f.Listen(network, addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return got
+	}
+	ap, aq := addrOf(fp, "p"), addrOf(fq, "q")
+	fp.SetPeer("q", aq)
+	fq.SetPeer("p", ap)
+	mkP, mkQ := fp.RouteMaker(roles), fq.RouteMaker(roles)
+	// Row-major ordinals over (p, q): 0 = p->q, 1 = q->p.
+	spq, rqp = mkP(), mkP()
+	rpq, sqp = mkQ(), mkQ()
+	b.Cleanup(func() {
+		fp.Close()
+		fq.Close()
+	})
+	return spq, rpq, sqp, rqp
+}
+
+// BenchmarkNetSendRecv is one message end to end: a blocking send, then a
+// blocking receive that waits for it to cross the substrate.
+func BenchmarkNetSendRecv(b *testing.B) {
+	b.Run("ring", func(b *testing.B) {
+		q := channel.NewRingQueue()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := q.Send(benchMsg); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := q.Recv(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, network := range []string{"unix", "tcp"} {
+		b.Run(network, func(b *testing.B) {
+			spq, rpq, _, _ := benchFabricRoutes(b, network)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := spq.Send(benchMsg); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := rpq.Recv(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNetPingPong is a full round trip: p→q, then q→p — the unit the
+// session layer's request/response protocols pay per exchange.
+func BenchmarkNetPingPong(b *testing.B) {
+	b.Run("ring", func(b *testing.B) {
+		pq, qp := channel.NewRingQueue(), channel.NewRingQueue()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pq.Send(benchMsg)
+			if _, err := pq.Recv(); err != nil {
+				b.Fatal(err)
+			}
+			qp.Send(benchMsg)
+			if _, err := qp.Recv(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, network := range []string{"unix", "tcp"} {
+		b.Run(network, func(b *testing.B) {
+			spq, rpq, sqp, rqp := benchFabricRoutes(b, network)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := spq.Send(benchMsg); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := rpq.Recv(); err != nil {
+					b.Fatal(err)
+				}
+				if err := sqp.Send(benchMsg); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := rqp.Recv(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNetBatch64 moves 64 messages per iteration through the batched
+// SendN/RecvN paths — over the wire the batch coalesces into large writes,
+// which is where the AMR-style reordering headroom comes from.
+func BenchmarkNetBatch64(b *testing.B) {
+	batch := make([]channel.Message, 64)
+	for i := range batch {
+		batch[i] = benchMsg
+	}
+	dst := make([]channel.Message, 64)
+	drive := func(b *testing.B, s channel.BatchSender, r channel.BatchReceiver) {
+		b.Helper()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sent := 0
+			for sent < len(batch) {
+				n, err := s.SendN(batch[sent:])
+				if err != nil {
+					b.Fatal(err)
+				}
+				sent += n
+			}
+			got := 0
+			for got < len(batch) {
+				n, err := r.RecvN(dst[got:])
+				if err != nil {
+					b.Fatal(err)
+				}
+				got += n
+			}
+		}
+	}
+	b.Run("ring", func(b *testing.B) {
+		q := channel.NewRingQueue()
+		drive(b, q, q)
+	})
+	for _, network := range []string{"unix", "tcp"} {
+		b.Run(network, func(b *testing.B) {
+			spq, rpq, _, _ := benchFabricRoutes(b, network)
+			drive(b, spq.(channel.BatchSender), rpq.(channel.BatchReceiver))
+		})
+	}
+}

@@ -1,0 +1,39 @@
+// Package netchan is the socket-backed channel substrate: the
+// channel.Substrate contract of the in-memory rings, carried over TCP and
+// Unix-domain connections framed by internal/wire.
+//
+// A network route is one direction of one role pair, carried on its own
+// connection. Each end is a pump pair around a bounded channel.Ring: the
+// sending half buffers TrySend/SendN traffic in its ring and a writer
+// goroutine drains it, encoding whole runs into single writes; the
+// receiving half parses frames off the socket into its ring, from which
+// TryRecv/RecvN pop. The rings are the would-block boundary — a full send
+// ring is exactly the full-socket-buffer condition, reported as
+// (false, nil) per the Try* contract — and the receive ring's bound gives
+// end-to-end backpressure: when the consumer lags, the reader stops
+// draining the socket and TCP flow control pushes back on the sender, so a
+// ring of capacity k preserves the k-bounded execution model the protocols
+// were verified under.
+//
+// Close semantics cross the wire as a goodbye frame: CloseWithError(cause)
+// drains buffered messages, then carries the cause so the remote peer's
+// receives fail with a *channel.CloseError unwrapping to the cause —
+// byte-for-byte the contract of the in-memory substrates. A connection
+// that drops without a goodbye surfaces as ErrDisconnected.
+//
+// Receive pumps come in two flavours: a portable per-connection goroutine
+// (blocking reads parked on the Go runtime's netpoller), and an
+// epoll-backed poller (Linux, Options.UsePoller) where one goroutine owns
+// every registered connection and drains readiness events without blocking
+// — rings full stash the connection until the consumer drains, re-arming
+// interest on demand. Either way, every delivery and close fires the
+// fabric's notify hook, which cmd/sessnet wires to a sched.Waker so
+// sessions parked on ErrWouldBlock are woken by readiness instead of
+// sterile re-polling.
+//
+// Fabric ties the halves to a session: it listens for peers, dials them
+// with retry, matches connections to routes by the wire hello handshake
+// (from-role, to-role, protocol), and hands session.NewCustomNetwork a
+// route maker that builds the send half, receive half, or an inert stub
+// for routes not local to this process.
+package netchan

@@ -1,0 +1,560 @@
+package netchan
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/wire"
+)
+
+// ErrDisconnected is the close cause observed when the peer's connection
+// drops without a goodbye frame: a crash or a cut link, as opposed to a
+// deliberate Close/CloseWithError.
+var ErrDisconnected = errors.New("netchan: peer disconnected without a goodbye frame")
+
+// Options tunes a fabric or pipe substrate. The zero value is ready to use.
+type Options struct {
+	// Buffer is the per-direction ring capacity (default 64). This is the
+	// k of the k-bounded execution model: the number of in-flight messages
+	// a route absorbs before TrySend reports would-block and backpressure
+	// reaches the peer.
+	Buffer int
+	// Batch caps how many buffered messages the writer encodes into one
+	// socket write (default Buffer).
+	Batch int
+	// UsePoller selects the epoll-backed receive pump where the platform
+	// supports it (Linux); otherwise — and by default — each connection
+	// reads on its own goroutine, parked on the runtime netpoller.
+	UsePoller bool
+	// DialTimeout bounds connection establishment per route, including
+	// retries while the peer's listener is still coming up (default 10s).
+	DialTimeout time.Duration
+	// Notify, when set, is invoked (on pump goroutines) after every
+	// delivery, freed send slot, and close — the readiness hook a
+	// scheduler's waker plugs into.
+	Notify func()
+}
+
+func (o Options) withDefaults() Options {
+	if o.Buffer < 1 {
+		o.Buffer = 64
+	}
+	if o.Batch < 1 || o.Batch > o.Buffer {
+		o.Batch = o.Buffer
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// notifier is the shared readiness hook: halves load it on every
+// transition, and SetNotify swaps it fabric-wide.
+type notifier struct{ fn atomic.Pointer[func()] }
+
+func (n *notifier) set(fn func()) {
+	if fn != nil {
+		n.fn.Store(&fn)
+	}
+}
+
+func (n *notifier) wake() {
+	if f := n.fn.Load(); f != nil {
+		(*f)()
+	}
+}
+
+// sendHalf is the sending end of a network route: a bounded ring drained
+// by a writer goroutine that frames whole runs into single writes and
+// carries Close/CloseWithError as a goodbye frame after the drain.
+type sendHalf struct {
+	ring   *channel.Ring
+	tab    *wire.Table
+	batch  int
+	notify *notifier
+
+	ready   chan struct{} // closed once conn or dialErr is set
+	conn    net.Conn
+	dialErr error
+	done    chan struct{} // writer exited
+}
+
+func newSendHalf(tab *wire.Table, opts Options, n *notifier) *sendHalf {
+	s := &sendHalf{
+		ring:   channel.NewRing(opts.Buffer),
+		tab:    tab,
+		batch:  opts.Batch,
+		notify: n,
+		ready:  make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+// attach hands the half its connection; fail aborts it with a dial error.
+func (s *sendHalf) attach(conn net.Conn) {
+	s.conn = conn
+	close(s.ready)
+}
+func (s *sendHalf) fail(err error) { s.dialErr = err; close(s.ready) }
+
+// run is the writer pump: drain the ring in batches, one write per batch,
+// goodbye (carrying the close cause, if any) once the ring is closed and
+// drained. A Close racing the dial does not cut the flush short: the
+// writer waits for the dial to resolve — a graceful fabric teardown keeps
+// the dial alive while the ring holds traffic, and only the grace cut (or
+// the dial deadline) aborts it — so messages accepted before Close still
+// reach the wire ahead of the goodbye, even when the sender finished its
+// whole role before any connection existed.
+func (s *sendHalf) run() {
+	defer close(s.done)
+	<-s.ready
+	if s.conn == nil {
+		s.ring.CloseWithError(s.dialErr)
+		s.notify.wake()
+		return
+	}
+	batch := make([]channel.Message, s.batch)
+	var wbuf []byte
+	for {
+		n, err := s.ring.RecvN(batch)
+		if err != nil {
+			// Closed and drained: say goodbye. Best-effort with a short
+			// deadline — the peer may already be gone — and the cause,
+			// when one was set, crosses the wire by name (wire.EncodeCause).
+			s.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			s.conn.Write(wire.AppendGoodbye(nil, closeCause(err)))
+			s.conn.Close()
+			s.notify.wake()
+			return
+		}
+		wbuf = wbuf[:0]
+		werr := error(nil)
+		for _, m := range batch[:n] {
+			if wbuf, werr = s.tab.AppendData(wbuf, m.Label, m.Value); werr != nil {
+				break
+			}
+		}
+		if werr == nil {
+			_, werr = s.conn.Write(wbuf)
+		}
+		if werr != nil {
+			s.ring.CloseWithError(werr)
+			s.conn.Close()
+			s.notify.wake()
+			return
+		}
+		s.notify.wake() // ring slots freed: senders parked would-block may retry
+	}
+}
+
+// closeCause extracts the cause from a ring's close error: nil for a plain
+// close, the wrapped cause for CloseWithError.
+func closeCause(err error) error {
+	var ce *channel.CloseError
+	if errors.As(err, &ce) {
+		return ce.Cause
+	}
+	return nil
+}
+
+func (s *sendHalf) Send(m channel.Message) error { return s.ring.Send(m) }
+func (s *sendHalf) TrySend(m channel.Message) (bool, error) {
+	return s.ring.TrySend(m)
+}
+func (s *sendHalf) SendN(ms []channel.Message) (int, error) { return s.ring.SendN(ms) }
+
+func (s *sendHalf) Recv() (channel.Message, error) {
+	panic("netchan: Recv on the sending end of a network route")
+}
+func (s *sendHalf) TryRecv() (channel.Message, bool, error) {
+	panic("netchan: TryRecv on the sending end of a network route")
+}
+
+func (s *sendHalf) Close() { s.ring.Close() }
+
+func (s *sendHalf) CloseWithError(err error) { s.ring.CloseWithError(err) }
+
+// recvHalf is the receiving end: a pump parses frames off the socket into
+// a bounded ring. In goroutine mode the pump is a dedicated reader; in
+// polled mode the epoll poller drives feed() from readiness events.
+type recvHalf struct {
+	ring   *channel.Ring
+	tab    *wire.Table
+	notify *notifier
+
+	mu      sync.Mutex // guards conn/state transitions and polled-mode feeds
+	conn    net.Conn
+	started bool
+	stopped bool // local Close before or after attach
+
+	// Pump parse state (owned by the pump: the reader goroutine, or the
+	// poller/consumer under mu in polled mode).
+	buf     []byte
+	pending *channel.Message // decoded but undelivered (polled mode, ring full)
+
+	polled  bool
+	poller  *poller
+	stashed atomic.Bool // polled mode: interest disarmed because the ring was full
+	rbuf    []byte
+}
+
+func newRecvHalf(tab *wire.Table, opts Options, n *notifier) *recvHalf {
+	return &recvHalf{
+		ring:   channel.NewRing(opts.Buffer),
+		tab:    tab,
+		notify: n,
+		rbuf:   make([]byte, 64<<10),
+	}
+}
+
+// attach hands the half its accepted connection plus any bytes the
+// handshake read past the hello frame. p non-nil selects polled mode.
+func (r *recvHalf) attach(conn net.Conn, leftover []byte, p *poller) error {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		conn.Close()
+		return nil
+	}
+	r.conn = conn
+	r.started = true
+	r.buf = append(r.buf, leftover...)
+	if p != nil {
+		r.polled, r.poller = true, p
+		r.mu.Unlock()
+		if err := p.add(conn, r); err != nil {
+			return err
+		}
+		// Drain the handshake leftover (and anything readable) once; the
+		// poller takes over from here.
+		r.pump()
+		return nil
+	}
+	r.mu.Unlock()
+	go r.runReader()
+	return nil
+}
+
+// fail aborts a half whose connection never arrived.
+func (r *recvHalf) fail(err error) {
+	r.ring.CloseWithError(err)
+	r.notify.wake()
+}
+
+// runReader is the portable pump: blocking reads on a dedicated goroutine
+// (parked on the runtime netpoller), blocking ring sends for backpressure.
+// The handshake may have read past the hello frame, so whatever it left in
+// r.buf is drained before the first read — a message that arrived glued to
+// the hello must not wait for further traffic to surface it.
+func (r *recvHalf) runReader() {
+	conn := r.conn
+	if done := r.drainBlocking(); done {
+		conn.Close()
+		r.notify.wake()
+		return
+	}
+	for {
+		n, err := conn.Read(r.rbuf)
+		if n > 0 {
+			r.buf = append(r.buf, r.rbuf[:n]...)
+			if done := r.drainBlocking(); done {
+				conn.Close()
+				r.notify.wake()
+				return
+			}
+		}
+		if err != nil {
+			r.ring.CloseWithError(readCause(err))
+			conn.Close()
+			r.notify.wake()
+			return
+		}
+	}
+}
+
+// readCause maps a transport read error to the close cause receivers see:
+// a silent EOF (or a locally closed conn) is ErrDisconnected, anything
+// else is carried as-is.
+func readCause(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, io.ErrClosedPipe) || errors.Is(err, ErrDisconnected) {
+		return ErrDisconnected
+	}
+	return fmt.Errorf("netchan: transport read: %w", err)
+}
+
+// drainBlocking parses every complete frame in r.buf, delivering with
+// blocking ring sends. It reports whether the stream is finished (goodbye,
+// parse failure, or local close).
+func (r *recvHalf) drainBlocking() bool {
+	for {
+		f, n, err := r.tab.Parse(r.buf)
+		if errors.Is(err, wire.ErrIncomplete) {
+			return false
+		}
+		if err != nil {
+			r.ring.CloseWithError(err)
+			return true
+		}
+		r.buf = append(r.buf[:0], r.buf[n:]...)
+		switch f.Kind {
+		case wire.KindData:
+			if r.ring.Send(channel.Message{Label: f.Label, Value: f.Value}) != nil {
+				return true // locally closed: stop pumping
+			}
+			r.notify.wake()
+		case wire.KindGoodbye:
+			r.ring.CloseWithError(f.Cause) // nil cause = plain close
+			return true
+		default:
+			r.ring.CloseWithError(&wire.FormatError{Reason: "unexpected handshake frame mid-stream"})
+			return true
+		}
+	}
+}
+
+func (r *recvHalf) Recv() (channel.Message, error) {
+	m, err := r.ring.Recv()
+	r.drained()
+	return m, err
+}
+func (r *recvHalf) TryRecv() (channel.Message, bool, error) {
+	m, ok, err := r.ring.TryRecv()
+	if ok {
+		r.drained()
+	}
+	return m, ok, err
+}
+func (r *recvHalf) RecvN(dst []channel.Message) (int, error) {
+	n, err := r.ring.RecvN(dst)
+	if n > 0 {
+		r.drained()
+	}
+	return n, err
+}
+
+// drained re-arms a stashed polled connection: the consumer just freed
+// ring space, so the pump can deliver again.
+func (r *recvHalf) drained() {
+	if r.stashed.CompareAndSwap(true, false) {
+		r.pump()
+	}
+}
+
+// errAgain is the polled pump's "socket drained, wait for readiness".
+var errAgain = errors.New("netchan: read would block")
+
+// pump drives a polled connection: deliver what is decoded, parse what is
+// buffered, read what is ready — stopping without blocking at the first
+// full ring (stash: the consumer re-arms via drained) or dry socket
+// (re-arm epoll interest). Serialised by r.mu against concurrent poller
+// and consumer calls.
+func (r *recvHalf) pump() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.polled || r.stopped {
+		return
+	}
+	for {
+		switch st := r.drainTry(); st {
+		case pumpDone:
+			r.finishPolled()
+			return
+		case pumpFull:
+			return
+		}
+		n, err := r.readNB()
+		if n > 0 {
+			r.buf = append(r.buf, r.rbuf[:n]...)
+			continue
+		}
+		if err == errAgain {
+			if rerr := r.poller.rearm(r.conn); rerr != nil {
+				r.ring.CloseWithError(rerr)
+				r.finishPolled()
+				r.notify.wake()
+			}
+			return
+		}
+		r.ring.CloseWithError(readCause(err))
+		r.finishPolled()
+		r.notify.wake()
+		return
+	}
+}
+
+type pumpState int
+
+const (
+	pumpMore pumpState = iota // buffer exhausted: read again
+	pumpFull                  // ring full: stashed, consumer will re-arm
+	pumpDone                  // goodbye / failure: stream finished
+)
+
+// drainTry is drainBlocking with TrySend delivery: it never blocks the
+// poller thread. A full ring stashes the half (pending holds the decoded
+// message), with a lost-wakeup guard: if the consumer drained between the
+// failed TrySend and the stash, the stash is taken back and delivery
+// retried.
+func (r *recvHalf) drainTry() pumpState {
+	for {
+		if r.pending != nil {
+			ok, err := r.ring.TrySend(*r.pending)
+			if err != nil {
+				return pumpDone // locally closed
+			}
+			if !ok {
+				r.stashed.Store(true)
+				if r.ring.Len() < r.ring.Cap() && r.stashed.CompareAndSwap(true, false) {
+					continue // consumer drained in the gap: retry
+				}
+				return pumpFull
+			}
+			r.pending = nil
+			r.notify.wake()
+		}
+		f, n, err := r.tab.Parse(r.buf)
+		if errors.Is(err, wire.ErrIncomplete) {
+			return pumpMore
+		}
+		if err != nil {
+			r.ring.CloseWithError(err)
+			r.notify.wake()
+			return pumpDone
+		}
+		r.buf = append(r.buf[:0], r.buf[n:]...)
+		switch f.Kind {
+		case wire.KindData:
+			m := channel.Message{Label: f.Label, Value: f.Value}
+			r.pending = &m
+		case wire.KindGoodbye:
+			r.ring.CloseWithError(f.Cause)
+			r.notify.wake()
+			return pumpDone
+		default:
+			r.ring.CloseWithError(&wire.FormatError{Reason: "unexpected handshake frame mid-stream"})
+			r.notify.wake()
+			return pumpDone
+		}
+	}
+}
+
+// finishPolled deregisters a finished polled connection. Assumes r.mu held.
+func (r *recvHalf) finishPolled() {
+	r.stopped = true
+	if r.poller != nil {
+		r.poller.remove(r.conn)
+	}
+	r.conn.Close()
+}
+
+func (r *recvHalf) Send(channel.Message) error {
+	panic("netchan: Send on the receiving end of a network route")
+}
+func (r *recvHalf) TrySend(channel.Message) (bool, error) {
+	panic("netchan: TrySend on the receiving end of a network route")
+}
+
+// Close tears the receiving end down locally: buffered messages stay
+// receivable (ring drain semantics), the pump stops. Messages still in the
+// socket are lost — inherent to tearing down a distributed route.
+func (r *recvHalf) Close() { r.closeLocal(nil) }
+
+// CloseWithError is Close with a locally observed cause (first cause wins,
+// so a cause already delivered by a goodbye frame is not overwritten).
+func (r *recvHalf) CloseWithError(err error) { r.closeLocal(err) }
+
+func (r *recvHalf) closeLocal(cause error) {
+	r.mu.Lock()
+	r.stopped = true
+	conn := r.conn
+	r.mu.Unlock()
+	if cause == nil {
+		r.ring.Close()
+	} else {
+		r.ring.CloseWithError(cause)
+	}
+	if conn != nil {
+		conn.Close() // unblocks the reader; polled conns just error on next feed
+	}
+	r.notify.wake()
+}
+
+// Route is a full in-process substrate over a connection pair: the sending
+// half on one end, the receiving half on the other. It implements
+// channel.Substrate — the session runtimes use it exactly like a ring —
+// while every message round-trips through the wire format. Pipe builds one
+// over an in-memory duplex; fabrics use the halves directly.
+type Route struct {
+	send *sendHalf
+	recv *recvHalf
+	n    *notifier
+}
+
+func (p *Route) Send(m channel.Message) error             { return p.send.Send(m) }
+func (p *Route) TrySend(m channel.Message) (bool, error)  { return p.send.TrySend(m) }
+func (p *Route) SendN(ms []channel.Message) (int, error)  { return p.send.SendN(ms) }
+func (p *Route) Recv() (channel.Message, error)           { return p.recv.Recv() }
+func (p *Route) TryRecv() (channel.Message, bool, error)  { return p.recv.TryRecv() }
+func (p *Route) RecvN(dst []channel.Message) (int, error) { return p.recv.RecvN(dst) }
+
+// Close closes the sending end only: the goodbye frame closes the
+// receiving end after every in-flight data frame has drained, so a
+// receiver still sees all messages sent before the close — the same
+// drain-before-closeErr contract the ring gives in-process.
+func (p *Route) Close() {
+	p.send.Close()
+}
+
+// CloseWithError is Close carrying a cause: the goodbye delivers it to the
+// receiving end (first cause wins end-to-end).
+func (p *Route) CloseWithError(err error) {
+	p.send.CloseWithError(err)
+}
+
+// Abandon hard-tears the route down without draining: both rings close,
+// the connections drop, the pumps exit. For cleanup paths (tests, chaos
+// harnesses) that leave buffered messages behind on purpose — a graceful
+// Close there would wedge the writer against a ring nobody reads.
+func (p *Route) Abandon() {
+	p.recv.closeLocal(nil)
+	p.send.Close()
+	if p.send.conn != nil {
+		p.send.conn.Close()
+	}
+}
+
+// SetNotify installs the readiness hook for both directions.
+func (p *Route) SetNotify(fn func()) { p.n.set(fn) }
+
+// Pipe returns a substrate over an in-memory duplex (net.Pipe): the full
+// wire format and pump structure with no sockets — the loopback used by
+// the contract tests and the chaos network column. net.Pipe conns cannot
+// be polled, so the pipe always uses the goroutine pump.
+func Pipe(tab *wire.Table, opts Options) *Route {
+	opts = opts.withDefaults()
+	n := &notifier{}
+	n.set(opts.Notify)
+	c1, c2 := net.Pipe()
+	s := newSendHalf(tab, opts, n)
+	s.attach(c1)
+	r := newRecvHalf(tab, opts, n)
+	r.attach(c2, nil, nil)
+	return &Route{send: s, recv: r, n: n}
+}
+
+var (
+	_ channel.Substrate     = (*sendHalf)(nil)
+	_ channel.Substrate     = (*recvHalf)(nil)
+	_ channel.Substrate     = (*Route)(nil)
+	_ channel.BatchSender   = (*Route)(nil)
+	_ channel.BatchReceiver = (*Route)(nil)
+)

@@ -1,13 +1,12 @@
-package sched
+package sched_test
 
 import (
-	"errors"
 	"reflect"
 	"testing"
 
-	"repro/internal/core"
-	"repro/internal/fsm"
+	"repro/internal/equiv"
 	"repro/internal/protocols"
+	"repro/internal/sched"
 	"repro/internal/session"
 	"repro/internal/types"
 )
@@ -15,126 +14,28 @@ import (
 // This file is the stepping/blocking equivalence property: for EVERY
 // registry protocol, a session driven by non-blocking steppers under the
 // scheduler observes exactly the same per-role trace (the ordered sequence
-// of performed actions) as the classic blocking monitored run. Budgets for
-// infinite protocols are derived from a sequential stepped reference run,
-// which yields a consistent cut: the blocking replay then terminates
-// cleanly (every receive in the cut has its matching send in the cut, and
-// sends never block on the unbounded default substrate).
+// of performed actions) as the classic blocking monitored run. The
+// consistent-cut derivation and the deterministic trace strategy live in
+// internal/equiv — the same machinery cmd/sessnet uses to pin the
+// multi-process socket run against the same reference.
 
-// traceStrategy makes deterministic choices (cycling the options of real
-// choices only) and records every performed action in order.
-type traceStrategy struct {
-	n     int
-	trace []string
-}
-
-func (s *traceStrategy) Choose(_ fsm.State, options []fsm.Transition) int {
-	if len(options) == 1 {
-		return 0
-	}
-	s.n++
-	return (s.n - 1) % len(options)
-}
-
-// Payload is consulted exactly once per performed send (the stepper caches
-// the decision across would-block retries), so it doubles as the send
-// recorder.
-func (s *traceStrategy) Payload(act fsm.Action) any {
-	s.trace = append(s.trace, act.String())
-	return nil
-}
-
-func (s *traceStrategy) Received(act fsm.Action, _ any) {
-	s.trace = append(s.trace, act.String())
-}
-
-// entrySession builds a monitored session for a registry entry from its
-// plain (unoptimised) endpoints: top-down when a global type exists,
-// bottom-up k-MC otherwise (Hospital).
+// entrySession builds a monitored session for a registry entry, failing the
+// test on error.
 func entrySession(t *testing.T, e protocols.Entry) *session.Session {
 	t.Helper()
-	if e.Global != nil {
-		sess, err := session.TopDown(e.Global, nil, core.Options{})
-		if err != nil {
-			t.Fatalf("%s: TopDown: %v", e.Name, err)
-		}
-		return sess
-	}
-	sess, err := session.BottomUp(e.KmcBound, protocols.Machines(protocols.FSMs(e.Locals))...)
+	sess, err := equiv.BuildSession(e)
 	if err != nil {
-		t.Fatalf("%s: BottomUp: %v", e.Name, err)
+		t.Fatal(err)
 	}
 	return sess
 }
 
-// referenceRun steps every role sequentially (round-robin, one goroutine)
-// until the session quiesces, with each role capped at maxCap actions. It
-// returns the per-role action counts — the consistent cut — and traces.
+// referenceRun wraps equiv.ReferenceRun with test plumbing.
 func referenceRun(t *testing.T, e protocols.Entry, sess *session.Session, maxCap int) (map[types.Role]int, map[types.Role][]string) {
 	t.Helper()
-	type refTask struct {
-		st    *session.Stepper
-		strat *traceStrategy
-		role  types.Role
-		done  bool
-	}
-	var tasks []*refTask
-	for _, r := range sess.Roles() {
-		ep, err := sess.Endpoint(r)
-		if err != nil {
-			t.Fatalf("%s/%s: %v", e.Name, r, err)
-		}
-		strat := &traceStrategy{}
-		st, err := session.NewStepper(ep, sess.FSM(r), strat, maxCap)
-		if err != nil {
-			t.Fatalf("%s/%s: NewStepper: %v", e.Name, r, err)
-		}
-		tasks = append(tasks, &refTask{st: st, strat: strat, role: r})
-	}
-	for {
-		progressed := false
-		live := 0
-		for _, task := range tasks {
-			if task.done {
-				continue
-			}
-			done, err := task.st.Step()
-			if done {
-				task.done = true
-				if err != nil && !errors.Is(err, session.ErrStopped) {
-					t.Fatalf("%s/%s: reference run faulted: %v", e.Name, task.role, err)
-				}
-				progressed = true
-				continue
-			}
-			live++
-			if errors.Is(err, session.ErrWouldBlock) {
-				continue
-			}
-			if err != nil {
-				t.Fatalf("%s/%s: reference run: %v", e.Name, task.role, err)
-			}
-			progressed = true
-		}
-		if live == 0 {
-			break
-		}
-		if !progressed {
-			// Quiescent with parked tasks: budget-stopped peers will never
-			// feed them. That is the consistent cut; abort the leftovers.
-			for _, task := range tasks {
-				if !task.done {
-					task.st.Abort()
-				}
-			}
-			break
-		}
-	}
-	budgets := map[types.Role]int{}
-	traces := map[types.Role][]string{}
-	for _, task := range tasks {
-		budgets[task.role] = task.st.Steps()
-		traces[task.role] = task.strat.trace
+	budgets, traces, err := equiv.ReferenceRun(sess, maxCap)
+	if err != nil {
+		t.Fatalf("%s: %v", e.Name, err)
 	}
 	return budgets, traces
 }
@@ -144,11 +45,11 @@ func referenceRun(t *testing.T, e protocols.Entry, sess *session.Session, maxCap
 // observed traces.
 func blockingRun(t *testing.T, e protocols.Entry, sess *session.Session, budgets map[types.Role]int) map[types.Role][]string {
 	t.Helper()
-	strats := map[types.Role]*traceStrategy{}
+	strats := map[types.Role]*equiv.TraceStrategy{}
 	procs := map[types.Role]func(*session.Endpoint) error{}
 	for _, r := range sess.Roles() {
 		r := r
-		strat := &traceStrategy{}
+		strat := &equiv.TraceStrategy{}
 		strats[r] = strat
 		procs[r] = func(ep *session.Endpoint) error {
 			return session.Drive(ep, sess.FSM(r), strat, budgets[r])
@@ -159,7 +60,7 @@ func blockingRun(t *testing.T, e protocols.Entry, sess *session.Session, budgets
 	}
 	traces := map[types.Role][]string{}
 	for r, strat := range strats {
-		traces[r] = strat.trace
+		traces[r] = strat.Trace()
 	}
 	return traces
 }
@@ -170,10 +71,10 @@ func blockingRun(t *testing.T, e protocols.Entry, sess *session.Session, budgets
 // stepped reference agrees with both).
 func TestSteppedTraceEqualsBlockingTrace(t *testing.T) {
 	const maxCap = 40
-	s := New(Options{Workers: 4, Quantum: 16})
+	s := sched.New(sched.Options{Workers: 4, Quantum: 16})
 	type pending struct {
 		entry  protocols.Entry
-		strats map[types.Role]*traceStrategy
+		strats map[types.Role]*equiv.TraceStrategy
 		ref    map[types.Role][]string
 		blk    map[types.Role][]string
 	}
@@ -189,14 +90,14 @@ func TestSteppedTraceEqualsBlockingTrace(t *testing.T) {
 		// 3. Scheduler-driven stepped run, all protocols in flight at once
 		// over four workers.
 		stepSess := refSess.Fork()
-		strats := map[types.Role]*traceStrategy{}
-		var steppers []Stepper
+		strats := map[types.Role]*equiv.TraceStrategy{}
+		var steppers []sched.Stepper
 		for _, r := range stepSess.Roles() {
 			ep, err := stepSess.Endpoint(r)
 			if err != nil {
 				t.Fatalf("%s/%s: %v", e.Name, r, err)
 			}
-			strat := &traceStrategy{}
+			strat := &equiv.TraceStrategy{}
 			strats[r] = strat
 			st, err := session.NewStepper(ep, stepSess.FSM(r), strat, budgets[r])
 			if err != nil {
@@ -216,7 +117,7 @@ func TestSteppedTraceEqualsBlockingTrace(t *testing.T) {
 	for _, run := range runs {
 		for r, ref := range run.ref {
 			blk := run.blk[r]
-			sched := run.strats[r].trace
+			sched := run.strats[r].Trace()
 			if !reflect.DeepEqual(ref, blk) {
 				t.Errorf("%s/%s: blocking trace diverges from the stepped reference:\n ref: %v\n blk: %v",
 					run.entry.Name, r, ref, blk)
@@ -237,13 +138,13 @@ func TestSteppedTraceEqualsBlockingTrace(t *testing.T) {
 // requires every session to end cleanly.
 func TestSteppedRegistryUnderLoad(t *testing.T) {
 	const copies = 16
-	s := New(Options{Workers: 4})
+	s := sched.New(sched.Options{Workers: 4})
 	for _, e := range protocols.Registry() {
 		base := entrySession(t, e)
 		for i := 0; i < copies; i++ {
 			inst := base.Fork()
 			err := s.GoSession(inst, 64, func(types.Role) session.Strategy {
-				return &traceStrategy{}
+				return &equiv.TraceStrategy{}
 			})
 			if err != nil {
 				t.Fatalf("%s copy %d: %v", e.Name, i, err)

@@ -199,6 +199,16 @@ type job struct {
 	idle     bool // last visit was a sterile pass inside the deadline
 	onDone   func(error)
 	stepped  int // actions performed during the current worker visit
+
+	// External-readiness bookkeeping (GoExternal). wakes counts Waker.Wake
+	// calls; seen is the worker's snapshot taken at the top of each visit.
+	// A session is parked off the active list only when the two match at
+	// park time — a wake that raced the sterile pass keeps it active, so a
+	// readiness event can never be lost between a failed Try and the park.
+	external bool
+	wakes    atomic.Uint64
+	seen     uint64
+	timer    *time.Timer // deadline requeue while parked; stopped at finish
 }
 
 type worker struct {
@@ -206,6 +216,7 @@ type worker struct {
 	cond    *sync.Cond
 	inbox   []*job
 	stopped bool
+	waiting map[*job]struct{} // external sessions parked until a Wake
 
 	active []*job // owned by the worker goroutine
 }
@@ -222,7 +233,7 @@ func New(opts Options) *Scheduler {
 	}
 	s := &Scheduler{quantum: q, timeout: opts.SessionTimeout}
 	for i := 0; i < n; i++ {
-		w := &worker{}
+		w := &worker{waiting: map[*job]struct{}{}}
 		w.cond = sync.NewCond(&w.mu)
 		s.workers = append(s.workers, w)
 		s.join.Add(1)
@@ -289,6 +300,85 @@ func (s *Scheduler) GoWithDeadline(deadline time.Time, onDone func(error), stepp
 	w.cond.Signal()
 	w.mu.Unlock()
 	return nil
+}
+
+// Waker re-readies an externally-driven session (GoExternal). Wake is safe
+// from any goroutine — it is designed to be installed as a transport's
+// readiness hook (netchan's Options.Notify / Fabric.SetNotify) — and is
+// cheap enough to call per delivery: a counter bump plus, when the session
+// is parked, a requeue and worker signal. Wakes on a finished session are
+// no-ops.
+type Waker struct {
+	w *worker
+	j *job
+}
+
+// Wake marks the session ready. The counter bump is ordered before the
+// waiting-list check, mirroring the park protocol's order (snapshot, then
+// park): whichever side loses the race, the wake is observed — either the
+// worker sees the moved counter and keeps the session active, or Wake finds
+// it parked and requeues it.
+func (k *Waker) Wake() {
+	k.j.wakes.Add(1)
+	k.w.mu.Lock()
+	if _, ok := k.w.waiting[k.j]; ok {
+		delete(k.w.waiting, k.j)
+		k.w.inbox = append(k.w.inbox, k.j)
+		k.w.cond.Signal()
+	}
+	k.w.mu.Unlock()
+}
+
+// GoExternal enqueues a session whose progress can come from outside the
+// scheduler: routes backed by sockets (internal/netchan), where a parked
+// task is unblocked by a remote peer's traffic, not by a sibling on the
+// same shard. Sterile quiescence is therefore not a deadlock here — the
+// session parks off the active list until the returned Waker fires (wire
+// its Wake as the transport's notify hook) or the deadline passes, at
+// which point it fails with a *TimeoutError. With a zero deadline (and no
+// Options.SessionTimeout) an un-woken session parks indefinitely: close
+// the transport or arm a deadline for Close/Wait to be able to return.
+func (s *Scheduler) GoExternal(deadline time.Time, onDone func(error), steppers ...Stepper) (*Waker, error) {
+	if len(steppers) == 0 {
+		return nil, fmt.Errorf("sched: session with no tasks")
+	}
+	if deadline.IsZero() && s.timeout > 0 {
+		deadline = time.Now().Add(s.timeout)
+	}
+	j := &job{deadline: deadline, onDone: onDone, external: true}
+	for _, st := range steppers {
+		j.tasks = append(j.tasks, &task{s: st})
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.jobs.Add(1)
+	s.mu.Unlock()
+	j.id = s.next.Add(1)
+	w := s.workers[int(j.id)%len(s.workers)]
+	k := &Waker{w: w, j: j}
+	// Arm the deadline requeue before the job is visible to the worker, so
+	// finish's timer.Stop never races this write. A parked session has no
+	// poll loop to notice its deadline; the timer's Wake requeues it and the
+	// next visit turns the expiry into a *TimeoutError.
+	if !deadline.IsZero() {
+		j.timer = time.AfterFunc(time.Until(deadline), k.Wake)
+	}
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		if j.timer != nil {
+			j.timer.Stop()
+		}
+		s.jobs.Done()
+		return nil, ErrClosed
+	}
+	w.inbox = append(w.inbox, j)
+	w.cond.Signal()
+	w.mu.Unlock()
+	return k, nil
 }
 
 // GoSession enqueues one monitored session: every role of sess is driven
@@ -407,6 +497,12 @@ func (s *Scheduler) run(w *worker) {
 		stepsThisPass := 0
 		for _, j := range w.active {
 			if s.visit(j) {
+				if j.external && j.idle && s.parkExternal(w, j) {
+					// Parked off the active list; a Wake requeues it via the
+					// inbox. Not kept: the worker must not poll it.
+					stepsThisPass += j.stepped
+					continue
+				}
 				keep = append(keep, j)
 			}
 			stepsThisPass += j.stepped
@@ -492,6 +588,11 @@ func stuckRoles(j *job) []types.Role {
 func (s *Scheduler) visit(j *job) bool {
 	j.stepped = 0
 	j.idle = false
+	if j.external {
+		// Snapshot before any Try: a Wake arriving anywhere past this point
+		// moves the counter, and parkExternal will refuse to park.
+		j.seen = j.wakes.Load()
+	}
 	for {
 		progressed := false
 		for _, t := range j.tasks {
@@ -542,6 +643,17 @@ func (s *Scheduler) visit(j *job) bool {
 			if j.stopped {
 				return s.finish(j, nil)
 			}
+			if j.external {
+				// Externally driven: quiescence means "waiting on the wire",
+				// never deadlock. Fail at the deadline; otherwise report idle
+				// and let the worker park the session until a Wake.
+				if !j.deadline.IsZero() && !time.Now().Before(j.deadline) {
+					return s.finish(j, &TimeoutError{Session: j.id, Stuck: stuckRoles(j)})
+				}
+				j.idle = true
+				j.unparkAll()
+				return true
+			}
 			if j.deadline.IsZero() {
 				// No deadline: nothing inside the session can unblock it and
 				// nothing outside it ever will (routes refuse only for lack
@@ -560,6 +672,24 @@ func (s *Scheduler) visit(j *job) bool {
 			return true
 		}
 	}
+}
+
+// parkExternal moves an idle external session off the active list, unless a
+// Wake raced in since the visit's snapshot — then it stays active for an
+// immediate re-visit. The counter check and the waiting-list insert are one
+// critical section against Waker.Wake, which bumps the counter before
+// taking the same lock: every wake either moves the counter in time to veto
+// the park, or finds the session parked and requeues it. Lost wakeups are
+// structurally impossible.
+func (s *Scheduler) parkExternal(w *worker, j *job) bool {
+	w.mu.Lock()
+	if j.wakes.Load() != j.seen {
+		w.mu.Unlock()
+		return false
+	}
+	w.waiting[j] = struct{}{}
+	w.mu.Unlock()
+	return true
 }
 
 // unparkAll re-readies every parked task: some sibling just made progress,
@@ -582,6 +712,9 @@ func (j *job) unparkAll() {
 // scheduler's first failure. It always reports false (drop from the active
 // list).
 func (s *Scheduler) finish(j *job, err error) bool {
+	if j.timer != nil {
+		j.timer.Stop()
+	}
 	for _, t := range j.tasks {
 		if !t.done {
 			if a, ok := t.s.(Aborter); ok {

@@ -1,0 +1,178 @@
+package types
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// codecExemplars returns, for every payload-carrying built-in, a non-zero
+// value of its Go binding — the round-trip seed set.
+func codecExemplars() map[Sort]any {
+	return map[Sort]any{
+		Nat:        uint(42),
+		Int:        int(-7),
+		I32:        int32(-1 << 30),
+		U32:        uint32(0xdeadbeef),
+		I64:        int64(-1 << 62),
+		U64:        uint64(1<<64 - 1),
+		F64:        float64(3.14159),
+		Str:        "hello, wire",
+		Bool:       true,
+		Complex128: complex(1.5, -2.5),
+	}
+}
+
+func TestBuiltinCodecRoundTrip(t *testing.T) {
+	for sort, v := range codecExemplars() {
+		info, ok := LookupSort(sort)
+		if !ok {
+			t.Fatalf("LookupSort(%s) unknown", sort)
+		}
+		if info.Encode == nil || info.Decode == nil || info.Zero == nil {
+			t.Fatalf("built-in %s lacks a codec binding", sort)
+		}
+		if reflect.TypeOf(info.Zero) != reflect.TypeOf(v) {
+			t.Fatalf("%s: Zero is %T, exemplar is %T", sort, info.Zero, v)
+		}
+		b, err := info.Encode(v)
+		if err != nil {
+			t.Fatalf("%s: Encode(%v): %v", sort, v, err)
+		}
+		got, err := info.Decode(b)
+		if err != nil {
+			t.Fatalf("%s: Decode: %v", sort, err)
+		}
+		if got != v {
+			t.Fatalf("%s: round-trip %v -> %v", sort, v, got)
+		}
+	}
+}
+
+func TestUnitHasNoCodec(t *testing.T) {
+	info, ok := LookupSort(Unit)
+	if !ok {
+		t.Fatal("unit unknown")
+	}
+	if info.Encode != nil || info.Decode != nil {
+		t.Fatal("unit must stay codec-less: it carries no payload")
+	}
+}
+
+func TestVecCodecRoundTrip(t *testing.T) {
+	cases := []struct {
+		sort Sort
+		v    any
+	}{
+		{VecOf(I32), []int32{1, -2, 3}},
+		{VecOf(I32), []int32{}},
+		{VecOf(Str), []string{"a", "", "long tail"}},
+		{VecOf(Complex128), []complex128{complex(1, 2), complex(-3, 4)}},
+		{VecOf(VecOf(F64)), [][]float64{{1.5}, {}, {2.5, -0.5}}},
+		{VecOf(VecOf(VecOf(Bool))), [][][]bool{{{true, false}}, {}}},
+	}
+	for _, tc := range cases {
+		info, ok := LookupSort(tc.sort)
+		if !ok {
+			t.Fatalf("LookupSort(%s) unknown", tc.sort)
+		}
+		if info.Encode == nil || info.Decode == nil {
+			t.Fatalf("%s: no derived codec", tc.sort)
+		}
+		b, err := info.Encode(tc.v)
+		if err != nil {
+			t.Fatalf("%s: Encode: %v", tc.sort, err)
+		}
+		got, err := info.Decode(b)
+		if err != nil {
+			t.Fatalf("%s: Decode: %v", tc.sort, err)
+		}
+		if !reflect.DeepEqual(got, tc.v) {
+			t.Fatalf("%s: round-trip %v -> %v", tc.sort, tc.v, got)
+		}
+		if reflect.TypeOf(got) != reflect.TypeOf(tc.v) {
+			t.Fatalf("%s: decoded dynamic type %T, want %T", tc.sort, got, tc.v)
+		}
+	}
+}
+
+func TestCodecRejectsWrongDynamicType(t *testing.T) {
+	for _, sort := range []Sort{I32, Str, VecOf(I32)} {
+		info, _ := LookupSort(sort)
+		_, err := info.Encode(struct{}{})
+		var ce *CodecError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%s: Encode(struct{}{}) err = %v, want *CodecError", sort, err)
+		}
+	}
+}
+
+func TestCodecRejectsMalformedBytes(t *testing.T) {
+	cases := []struct {
+		name string
+		sort Sort
+		data []byte
+	}{
+		{"i32 short", I32, []byte{1, 2}},
+		{"i32 long", I32, []byte{1, 2, 3, 4, 5}},
+		{"bool empty", Bool, nil},
+		{"vec truncated count", VecOf(I32), nil},
+		{"vec count overclaims", VecOf(I32), []byte{0xff, 0xff, 0xff, 0xff, 0x0f}},
+		{"vec truncated element", VecOf(I32), []byte{1, 4, 0, 0}},
+		{"vec element wrong width", VecOf(I32), []byte{1, 2, 0, 0}},
+		{"vec trailing bytes", VecOf(Bool), []byte{1, 1, 1, 9, 9}},
+	}
+	for _, tc := range cases {
+		info, ok := LookupSort(tc.sort)
+		if !ok {
+			t.Fatalf("%s: unknown sort", tc.name)
+		}
+		_, err := info.Decode(tc.data)
+		var ce *CodecError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%s: Decode err = %v, want *CodecError", tc.name, err)
+		}
+	}
+}
+
+// Registering the same sort twice with differing codec bindings must stay
+// idempotent: the comparison covers the Go binding only (funcs are not
+// comparable), and the first codec wins.
+func TestRegisterSortCodecIdempotent(t *testing.T) {
+	first := SortInfo{
+		Name: "codecidem", Go: "uint8", Zero: uint8(0),
+		Encode: func(v any) ([]byte, error) { return []byte{byte(v.(uint8))}, nil },
+		Decode: func(d []byte) (any, error) {
+			if len(d) != 1 {
+				return nil, &CodecError{Sort: "codecidem", Reason: "width"}
+			}
+			return uint8(d[0]), nil
+		},
+	}
+	if err := RegisterSort(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterSort(SortInfo{Name: "codecidem", Go: "uint8"}); err != nil {
+		t.Fatalf("re-registering same binding: %v", err)
+	}
+	info, _ := LookupSort("codecidem")
+	if info.Encode == nil {
+		t.Fatal("first registration's codec lost")
+	}
+	// And the registered codec feeds vec derivation.
+	vinfo, ok := LookupSort(VecOf("codecidem"))
+	if !ok || vinfo.Encode == nil {
+		t.Fatal("vec over registered codec-bound sort not derived")
+	}
+	b, err := vinfo.Encode([]uint8{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := vinfo.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []uint8{1, 2, 3}) {
+		t.Fatalf("round-trip got %v", got)
+	}
+}

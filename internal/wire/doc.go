@@ -1,0 +1,15 @@
+// Package wire defines the byte-level protocol of the socket substrate
+// (internal/netchan): length-prefixed frames carrying labelled payloads,
+// close-with-cause goodbyes and route handshakes, with per-sort codecs
+// derived from the typed-sort registry (types.SortInfo.Encode/Decode).
+//
+// The package is pure encoding: it owns no sockets and no goroutines. A
+// Table — built from a protocol's local types at dial time — maps each
+// message label to its sort's codec and rejects sorts nobody registered a
+// codec for, mirroring how codegen rejects unknown sorts. Frames are
+// appended to caller-owned buffers and parsed incrementally (ErrIncomplete
+// means "read more bytes"), so the transport can batch many frames into one
+// write and parse straight out of a read buffer. Malformed input always
+// fails with a typed *FormatError or *types.CodecError, never a panic: the
+// round-trip fuzzer feeds truncated and corrupted frames.
+package wire
