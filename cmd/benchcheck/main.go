@@ -1,26 +1,40 @@
 // Command benchcheck validates a BENCH_*.json file produced by
-// cmd/benchjson: the file must be well-formed JSON in benchjson's shape, be
-// non-empty, carry only finite metric values, and contain at least one
-// benchmark whose name includes each -expect fragment. With -metric, every
-// result must additionally carry the named custom metric — BENCH_sched.json
-// is gated on "sessions/sec", so the scheduler columns cannot silently
-// degrade into bare ns/op rows. The bench-smoke CI job (and `make
-// bench-smoke`) runs it after regenerating the JSON with one iteration per
-// benchmark, so a perf column silently dropping out of the published
-// artifacts — the way FFT×rumpsteak-gen used to be absent — fails the
-// pipeline instead of going unnoticed.
+// cmd/benchjson and, with -baseline, gates it against a committed snapshot.
 //
-//	benchcheck -file BENCH_codegen.json -expect GenRunStreaming -expect GenRunFFT
-//	benchcheck -file BENCH_sched.json -metric sessions/sec -expect 'sessions=100000/procs=4'
+// Validation: the file must be well-formed JSON in benchjson's shape (the
+// box-annotated object, or the older bare results array), be non-empty,
+// carry only finite metric values, and contain at least one benchmark whose
+// name includes each -expect fragment. With -metric, every result must
+// additionally carry the named custom metric — BENCH_sched.json is gated on
+// "sessions/sec", so the scheduler columns cannot silently degrade into
+// bare ns/op rows.
+//
+// Regression gate: with -baseline, every result present in both files is
+// compared on the deterministic memory metrics. allocs/op is machine-
+// independent and compared everywhere; B/op is compared only when both
+// snapshots carry the same box class (goos+goarch+cpu), because allocator
+// size classes vary across architectures. Timing metrics (ns/op, custom
+// rates) are never gated — a one-iteration smoke run on a noisy CI box says
+// nothing about them. A measured value may exceed its baseline by the
+// relative tolerance plus the absolute slack before the gate trips; both
+// knobs are flags. Columns present in only one file are skipped LOUDLY (a
+// renamed benchmark must update the committed snapshot and the -expect
+// list, not silently fall out of the gate).
+//
+//	benchcheck -file BENCH_codegen.json -expect GenRunStreaming
+//	benchcheck -file BENCH_smoke_sched.json -metric sessions/sec \
+//	    -baseline BENCH_sched.json -expect 'sessions=100000/procs=4'
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"math"
 	"os"
+	"regexp"
+	"sort"
 	"strings"
 )
 
@@ -30,58 +44,134 @@ type result struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("benchcheck: ")
-	file := flag.String("file", "", "benchjson output file to validate")
-	metric := flag.String("metric", "", "custom metric every result must carry (e.g. sessions/sec)")
-	var expects []string
-	flag.Func("expect", "fragment at least one benchmark name must contain (repeatable)", func(arg string) error {
+type box struct {
+	Goos   string `json:"goos"`
+	Goarch string `json:"goarch"`
+	CPU    string `json:"cpu"`
+	CPUs   int    `json:"cpus"`
+}
+
+type snapshot struct {
+	Box     *box     `json:"box"`
+	Results []result `json:"results"`
+}
+
+// load reads a benchjson file in either shape: the box-annotated object, or
+// the pre-annotation bare results array (Box stays nil).
+func load(path string) (snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return snapshot{}, err
+	}
+	var snap snapshot
+	objErr := json.Unmarshal(data, &snap)
+	if objErr == nil && (snap.Box != nil || snap.Results != nil) {
+		return snap, nil
+	}
+	var results []result
+	if arrErr := json.Unmarshal(data, &results); arrErr == nil {
+		return snapshot{Results: results}, nil
+	}
+	return snapshot{}, fmt.Errorf("%s is not well-formed benchjson output: %v", path, objErr)
+}
+
+// sameBoxClass reports whether two snapshots were measured on the same box
+// class; unknown (nil) boxes never match anything.
+func sameBoxClass(a, b *box) bool {
+	return a != nil && b != nil &&
+		a.Goos == b.Goos && a.Goarch == b.Goarch && a.CPU == b.CPU
+}
+
+// gomaxprocsSuffix strips the trailing "-<digits>" GOMAXPROCS marker go
+// test appends to benchmark names, so a snapshot taken at -cpu 4 still
+// lines up with one taken at the default.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func normalize(name string) string {
+	return gomaxprocsSuffix.ReplaceAllString(name, "")
+}
+
+// tolerance is one gated metric's slack: measured may exceed baseline by
+// base*rel + abs before the gate trips.
+type tolerance struct {
+	rel float64
+	abs float64
+}
+
+func (t tolerance) allows(base, cur float64) bool {
+	return cur <= base*(1+t.rel)+t.abs
+}
+
+type config struct {
+	file     string
+	baseline string
+	metric   string
+	expects  []string
+	allocTol tolerance
+	bytesTol tolerance
+}
+
+func parseFlags(args []string, stderr io.Writer) (config, error) {
+	var cfg config
+	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&cfg.file, "file", "", "benchjson output file to validate")
+	fs.StringVar(&cfg.baseline, "baseline", "", "committed benchjson snapshot to gate -file against")
+	fs.StringVar(&cfg.metric, "metric", "", "custom metric every result must carry (e.g. sessions/sec)")
+	fs.Float64Var(&cfg.allocTol.rel, "allocs-tol-rel", 0.25, "relative allocs/op headroom over baseline")
+	fs.Float64Var(&cfg.allocTol.abs, "allocs-tol-abs", 32, "absolute allocs/op slack over baseline")
+	fs.Float64Var(&cfg.bytesTol.rel, "bytes-tol-rel", 0.50, "relative B/op headroom over baseline (same box class only)")
+	fs.Float64Var(&cfg.bytesTol.abs, "bytes-tol-abs", 4096, "absolute B/op slack over baseline (same box class only)")
+	fs.Func("expect", "fragment at least one benchmark name must contain (repeatable)", func(arg string) error {
 		if arg == "" {
 			return fmt.Errorf("empty -expect fragment")
 		}
-		expects = append(expects, arg)
+		cfg.expects = append(cfg.expects, arg)
 		return nil
 	})
-	flag.Parse()
-	if *file == "" {
-		log.Fatal("missing -file")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
 	}
+	if cfg.file == "" {
+		return cfg, fmt.Errorf("missing -file")
+	}
+	return cfg, nil
+}
 
-	data, err := os.ReadFile(*file)
+// run is the whole tool behind a testable seam: it validates (and, with a
+// baseline, gates) per cfg, reporting progress to stdout and problems via
+// the returned error.
+func run(cfg config, stdout io.Writer) error {
+	snap, err := load(cfg.file)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	var results []result
-	if err := json.Unmarshal(data, &results); err != nil {
-		log.Fatalf("%s is not well-formed benchjson output: %v", *file, err)
+	if len(snap.Results) == 0 {
+		return fmt.Errorf("%s holds no benchmark results; the bench run produced nothing parseable", cfg.file)
 	}
-	if len(results) == 0 {
-		log.Fatalf("%s holds no benchmark results; the bench run produced nothing parseable", *file)
-	}
-	for _, r := range results {
+	for _, r := range snap.Results {
 		if r.Name == "" || r.N <= 0 {
-			log.Fatalf("%s holds a malformed result: %+v", *file, r)
+			return fmt.Errorf("%s holds a malformed result: %+v", cfg.file, r)
 		}
 		if len(r.Metrics) == 0 {
-			log.Fatalf("%s: %s carries no metrics", *file, r.Name)
+			return fmt.Errorf("%s: %s carries no metrics", cfg.file, r.Name)
 		}
 		for unit, v := range r.Metrics {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
-				log.Fatalf("%s: %s metric %s is %v", *file, r.Name, unit, v)
+				return fmt.Errorf("%s: %s metric %s is %v", cfg.file, r.Name, unit, v)
 			}
 		}
-		if *metric != "" {
-			if _, ok := r.Metrics[*metric]; !ok {
-				log.Fatalf("%s: %s does not report the required metric %q", *file, r.Name, *metric)
+		if cfg.metric != "" {
+			if _, ok := r.Metrics[cfg.metric]; !ok {
+				return fmt.Errorf("%s: %s does not report the required metric %q", cfg.file, r.Name, cfg.metric)
 			}
 		}
 	}
 
 	var missing []string
-	for _, want := range expects {
+	for _, want := range cfg.expects {
 		found := false
-		for _, r := range results {
+		for _, r := range snap.Results {
 			if strings.Contains(r.Name, want) {
 				found = true
 				break
@@ -92,7 +182,98 @@ func main() {
 		}
 	}
 	if len(missing) > 0 {
-		log.Fatalf("%s is missing expected columns %v (have %d results)", *file, missing, len(results))
+		return fmt.Errorf("%s is missing expected columns %v (have %d results)", cfg.file, missing, len(snap.Results))
 	}
-	fmt.Printf("benchcheck: %s ok — %d results, all %d expected columns present\n", *file, len(results), len(expects))
+
+	if cfg.baseline != "" {
+		if err := gate(cfg, snap, stdout); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "benchcheck: %s ok — %d results, all %d expected columns present\n",
+		cfg.file, len(snap.Results), len(cfg.expects))
+	return nil
+}
+
+// gate compares snap against the committed baseline on the deterministic
+// memory metrics, within cfg's tolerances.
+func gate(cfg config, snap snapshot, stdout io.Writer) error {
+	base, err := load(cfg.baseline)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	baseByName := map[string]result{}
+	for _, r := range base.Results {
+		baseByName[normalize(r.Name)] = r
+	}
+	sameBox := sameBoxClass(snap.Box, base.Box)
+	if !sameBox {
+		fmt.Fprintf(stdout, "benchcheck: NOTE: %s and %s were measured on different box classes; B/op not gated (allocs/op still is)\n",
+			cfg.file, cfg.baseline)
+	}
+
+	curNames := map[string]bool{}
+	var failures []string
+	compared := 0
+	for _, r := range snap.Results {
+		name := normalize(r.Name)
+		curNames[name] = true
+		b, ok := baseByName[name]
+		if !ok {
+			fmt.Fprintf(stdout, "benchcheck: SKIP %s: new column, no baseline entry in %s — commit a regenerated snapshot to gate it\n",
+				name, cfg.baseline)
+			continue
+		}
+		if bv, bok := b.Metrics["allocs/op"]; bok {
+			if cv, cok := r.Metrics["allocs/op"]; cok {
+				compared++
+				if !cfg.allocTol.allows(bv, cv) {
+					failures = append(failures, fmt.Sprintf(
+						"%s: allocs/op regressed: %.0f measured vs %.0f baseline (tolerance %.0f%% + %.0f)",
+						name, cv, bv, cfg.allocTol.rel*100, cfg.allocTol.abs))
+				}
+			}
+		}
+		if sameBox {
+			if bv, bok := b.Metrics["B/op"]; bok {
+				if cv, cok := r.Metrics["B/op"]; cok {
+					if !cfg.bytesTol.allows(bv, cv) {
+						failures = append(failures, fmt.Sprintf(
+							"%s: B/op regressed: %.0f measured vs %.0f baseline (tolerance %.0f%% + %.0f)",
+							name, cv, bv, cfg.bytesTol.rel*100, cfg.bytesTol.abs))
+					}
+				}
+			}
+		}
+	}
+	var gone []string
+	for name := range baseByName {
+		if !curNames[name] {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(stdout, "benchcheck: SKIP %s: baseline column absent from %s — renamed or dropped? (gate it back via -expect)\n",
+			name, cfg.file)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("regression gate failed against %s:\n  %s",
+			cfg.baseline, strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(stdout, "benchcheck: %s within tolerance of %s (%d columns gated)\n",
+		cfg.file, cfg.baseline, compared)
+	return nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(1)
+	}
 }

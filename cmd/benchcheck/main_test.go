@@ -1,0 +1,123 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// write drops JSON content into a temp file and returns its path.
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const boxA = `{"goos":"linux","goarch":"amd64","cpu":"TestCPU @ 1GHz","cpus":4}`
+const boxB = `{"goos":"linux","goarch":"arm64","cpu":"OtherCPU","cpus":8}`
+
+func snapJSON(box string, results ...string) string {
+	return `{"box":` + box + `,"results":[` + strings.Join(results, ",") + `]}`
+}
+
+func row(name string, allocs, bytes float64) string {
+	return `{"name":"` + name + `","n":1,"metrics":{"ns/op":100,"allocs/op":` +
+		strconv.FormatFloat(allocs, 'f', -1, 64) + `,"B/op":` +
+		strconv.FormatFloat(bytes, 'f', -1, 64) + `}}`
+}
+
+// check runs the tool with the given flags, returning its error.
+func check(t *testing.T, args ...string) error {
+	t.Helper()
+	cfg, err := parseFlags(args, io.Discard)
+	if err != nil {
+		t.Fatalf("parseFlags(%v): %v", args, err)
+	}
+	return run(cfg, io.Discard)
+}
+
+func TestValidationStillGates(t *testing.T) {
+	file := write(t, "cur.json", snapJSON(boxA, row("BenchmarkA/x", 10, 100)))
+	if err := check(t, "-file", file, "-expect", "BenchmarkA/x"); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+	if err := check(t, "-file", file, "-expect", "BenchmarkMissing"); err == nil {
+		t.Fatal("missing expected column not reported")
+	}
+	empty := write(t, "empty.json", snapJSON(boxA))
+	if err := check(t, "-file", empty); err == nil {
+		t.Fatal("empty results accepted")
+	}
+}
+
+func TestLegacyArrayShapeStillLoads(t *testing.T) {
+	file := write(t, "legacy.json", `[`+row("BenchmarkA", 5, 50)+`]`)
+	if err := check(t, "-file", file, "-expect", "BenchmarkA"); err != nil {
+		t.Fatalf("legacy array-shape snapshot rejected: %v", err)
+	}
+}
+
+func TestBaselineWithinToleranceAccepted(t *testing.T) {
+	base := write(t, "base.json", snapJSON(boxA, row("BenchmarkA/x", 1000, 10000)))
+	cur := write(t, "cur.json", snapJSON(boxA, row("BenchmarkA/x-4", 1100, 11000)))
+	if err := check(t, "-file", cur, "-baseline", base); err != nil {
+		t.Fatalf("within-tolerance run rejected (and the -4 suffix must normalize away): %v", err)
+	}
+}
+
+// TestSeededAllocRegressionFails is the self-test the CI gate's credibility
+// rests on: a doubled allocs/op count against the committed baseline MUST
+// go red.
+func TestSeededAllocRegressionFails(t *testing.T) {
+	base := write(t, "base.json", snapJSON(boxA, row("BenchmarkSchedPooledSteady", 0, 0),
+		row("BenchmarkA/x", 1000, 10000)))
+	cur := write(t, "cur.json", snapJSON(boxA, row("BenchmarkSchedPooledSteady", 40, 512),
+		row("BenchmarkA/x", 2100, 10000)))
+	err := check(t, "-file", cur, "-baseline", base)
+	if err == nil {
+		t.Fatal("seeded allocs/op regression passed the gate")
+	}
+	if !strings.Contains(err.Error(), "allocs/op regressed") {
+		t.Fatalf("regression error does not name the metric: %v", err)
+	}
+	if !strings.Contains(err.Error(), "BenchmarkA/x") {
+		t.Fatalf("regression error does not name the column: %v", err)
+	}
+	// The 0-alloc steady row gets the absolute slack (32), so 40 allocs over
+	// a 0 baseline must independently trip the gate.
+	if !strings.Contains(err.Error(), "BenchmarkSchedPooledSteady") {
+		t.Fatalf("0-alloc row regression not caught: %v", err)
+	}
+}
+
+func TestBytesGatedOnlyOnSameBoxClass(t *testing.T) {
+	base := write(t, "base.json", snapJSON(boxA, row("BenchmarkA/x", 100, 1000)))
+	sameBoxBad := write(t, "same.json", snapJSON(boxA, row("BenchmarkA/x", 100, 50000)))
+	if err := check(t, "-file", sameBoxBad, "-baseline", base); err == nil {
+		t.Fatal("same-box B/op regression passed the gate")
+	} else if !strings.Contains(err.Error(), "B/op regressed") {
+		t.Fatalf("B/op regression error malformed: %v", err)
+	}
+	otherBoxBad := write(t, "other.json", snapJSON(boxB, row("BenchmarkA/x", 100, 50000)))
+	if err := check(t, "-file", otherBoxBad, "-baseline", base); err != nil {
+		t.Fatalf("cross-box B/op difference must be skipped, got: %v", err)
+	}
+	legacyBase := write(t, "legacy.json", `[`+row("BenchmarkA/x", 100, 1000)+`]`)
+	if err := check(t, "-file", sameBoxBad, "-baseline", legacyBase); err != nil {
+		t.Fatalf("boxless legacy baseline must not gate B/op, got: %v", err)
+	}
+}
+
+func TestNewAndDroppedColumnsAreSkippedNotFatal(t *testing.T) {
+	base := write(t, "base.json", snapJSON(boxA, row("BenchmarkOld", 10, 100)))
+	cur := write(t, "cur.json", snapJSON(boxA, row("BenchmarkNew", 99999, 99999)))
+	if err := check(t, "-file", cur, "-baseline", base); err != nil {
+		t.Fatalf("new/dropped columns must skip loudly, not fail: %v", err)
+	}
+}

@@ -1,14 +1,25 @@
-// Command benchjson converts `go test -bench` output on stdin into a JSON
-// array on stdout, one object per benchmark result:
+// Command benchjson converts `go test -bench` output on stdin into JSON on
+// stdout: an object carrying the box class the numbers were measured on and
+// one entry per benchmark result:
 //
-//	[{"name": "BenchmarkPingPong/ring", "n": 3122941,
-//	  "metrics": {"ns/op": 358.6, "B/op": 0, "allocs/op": 0}}, ...]
+//	{"box": {"goos": "linux", "goarch": "amd64",
+//	         "cpu": "Intel(R) Xeon(R) Processor @ 2.70GHz", "cpus": 1},
+//	 "results": [{"name": "BenchmarkPingPong/ring", "n": 3122941,
+//	              "metrics": {"ns/op": 358.6, "B/op": 0, "allocs/op": 0}}, ...]}
+//
+// The box block is parsed from the goos/goarch/cpu header lines go test
+// prints before the first result (cpus is this process's visible CPU count,
+// which shares the box with the benchmarks by construction). Consumers use
+// it to decide which metrics are comparable across snapshots: allocs/op is
+// deterministic everywhere, B/op and timing only mean something against the
+// same box class — cmd/benchcheck's regression gate keys off exactly this.
 //
 // Custom metrics reported via b.ReportMetric (e.g. "msgs/us") are included.
-// Non-benchmark lines (goos/goarch headers, PASS/ok) are skipped, so the
-// raw output of `go test -bench . -benchmem ./...` can be piped straight
-// through. Used by `make bench` to write BENCH_channel.json, the perf
-// trajectory file future PRs compare against.
+// Non-benchmark lines (PASS/ok) are skipped, so the raw output of `go test
+// -bench . -benchmem ./...` can be piped straight through. Used by `make
+// bench` to write BENCH_channel.json, the perf trajectory file future PRs
+// compare against. (Older snapshots were a bare results array; cmd/benchcheck
+// still reads both shapes.)
 package main
 
 import (
@@ -16,6 +27,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -26,13 +38,43 @@ type result struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
+type box struct {
+	Goos   string `json:"goos"`
+	Goarch string `json:"goarch"`
+	CPU    string `json:"cpu,omitempty"`
+	CPUs   int    `json:"cpus"`
+}
+
+type output struct {
+	Box     box      `json:"box"`
+	Results []result `json:"results"`
+}
+
 func main() {
-	results := []result{} // encode as [] (not null) when no benchmarks parse
+	out := output{
+		// Defaults from this process; the header lines of the piped run
+		// override them (and agree by construction — same box, same toolchain).
+		Box:     box{Goos: runtime.GOOS, Goarch: runtime.GOARCH, CPUs: runtime.NumCPU()},
+		Results: []result{}, // encode as [] (not null) when no benchmarks parse
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		if r, ok := parseLine(sc.Text()); ok {
-			results = append(results, r)
+		line := sc.Text()
+		if v, ok := strings.CutPrefix(line, "goos: "); ok {
+			out.Box.Goos = strings.TrimSpace(v)
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "goarch: "); ok {
+			out.Box.Goarch = strings.TrimSpace(v)
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "cpu: "); ok {
+			out.Box.CPU = strings.TrimSpace(v)
+			continue
+		}
+		if r, ok := parseLine(line); ok {
+			out.Results = append(out.Results, r)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -41,7 +83,7 @@ func main() {
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
+	if err := enc.Encode(out); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}

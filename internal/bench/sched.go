@@ -12,6 +12,7 @@ package bench
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fsm"
@@ -68,6 +69,12 @@ func (v *valuesThenStop) Payload(act fsm.Action) any {
 }
 func (v *valuesThenStop) Received(fsm.Action, any) {}
 
+// ResetStrategy implements session.StrategyResetter so the pooled
+// throughput runs rewind the source's send counter in place instead of
+// allocating a fresh strategy per recycled instance — a requirement for the
+// zero-alloc steady state.
+func (v *valuesThenStop) ResetStrategy() { v.sent = 0 }
+
 // schedStrategy returns the per-role strategy of one benchmark session.
 func schedStrategy(r types.Role) session.Strategy {
 	if r == "s" {
@@ -101,6 +108,49 @@ func SchedThroughput(workers, n int) (int, error) {
 	}
 	if err := s.Close(); err != nil {
 		return 0, fmt.Errorf("bench: sched run (%d sessions, %d workers): %w", n, workers, err)
+	}
+	return n, nil
+}
+
+// SchedThroughputPooled is SchedThroughput over the scheduler's pooled
+// enqueue path (sched.GoSessionPooled): instead of forking a fresh instance
+// per session, finished instances are recycled from per-worker free lists,
+// and the bounded Backlog admission keeps resident memory flat — this is
+// the path that holds sessions/sec level from 10k to 1M concurrent
+// sessions. noSteal disables work stealing for the ablation column; the
+// payload protocol, strategies and budgets are identical to
+// SchedThroughput, so the two columns are directly comparable.
+func SchedThroughputPooled(workers, n int, noSteal bool) (int, error) {
+	base, err := schedBaseSession()
+	if err != nil {
+		return 0, err
+	}
+	s := sched.New(sched.Options{Workers: workers, NoSteal: noSteal})
+	// First-failure capture without taking the error's address: &err in the
+	// callback would heap-allocate the parameter on every invocation and
+	// poison the zero-alloc steady state this function demonstrates.
+	var mu sync.Mutex
+	var failed error
+	onDone := func(err error) {
+		if err != nil {
+			mu.Lock()
+			if failed == nil {
+				failed = err
+			}
+			mu.Unlock()
+		}
+	}
+	for i := 0; i < n; i++ {
+		if err := s.GoSessionPooled(base, schedSessionBudget, schedStrategy, time.Time{}, onDone); err != nil {
+			s.Close()
+			return 0, fmt.Errorf("bench: pooled sched session %d: %w", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		return 0, fmt.Errorf("bench: pooled sched run (%d sessions, %d workers, noSteal=%v): %w", n, workers, noSteal, err)
+	}
+	if failed != nil {
+		return 0, fmt.Errorf("bench: pooled sched run: session failed: %w", failed)
 	}
 	return n, nil
 }

@@ -11,6 +11,9 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
+
+	"repro/internal/sched"
 )
 
 // schedSessionCounts is the session-count axis (1 → 100k).
@@ -37,6 +40,83 @@ func BenchmarkSchedThroughput(b *testing.B) {
 	}
 }
 
+// schedPooledCounts is the pooled session-count axis: the flat-throughput
+// claim is about the high end, so it starts where the unpooled axis gets
+// expensive and rides to one million concurrent sessions (resident memory
+// stays Backlog×Workers instances, so the row completes on a small box).
+var schedPooledCounts = []int{10000, 100000, 1000000}
+
+func stealName(noSteal bool) string {
+	if noSteal {
+		return "off"
+	}
+	return "on"
+}
+
+func BenchmarkSchedPooledThroughput(b *testing.B) {
+	for _, procs := range schedProcSettings {
+		for _, noSteal := range []bool{false, true} {
+			for _, n := range schedPooledCounts {
+				if n == 1000000 && procs != 1 {
+					// One 1M row per steal setting is the scaling witness;
+					// repeating it per GOMAXPROCS only slows the suite.
+					continue
+				}
+				name := fmt.Sprintf("sessions=%d/procs=%d/steal=%s", n, procs, stealName(noSteal))
+				b.Run(name, func(b *testing.B) {
+					defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := SchedThroughputPooled(procs, n, noSteal); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "sessions/sec")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkSchedPooledSteady is the allocation column behind the pooling
+// claim: one warmed worker running the streaming protocol through the
+// pooled enqueue path, synchronously — allocs/op and B/op must both read 0
+// (the tier-1 pin TestSchedPooledZeroAllocSteadyState asserts the same
+// property via testing.AllocsPerRun; this row makes it visible in
+// BENCH_sched.json and gateable by cmd/benchcheck).
+func BenchmarkSchedPooledSteady(b *testing.B) {
+	base, err := schedBaseSession()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := sched.New(sched.Options{Workers: 1, NoSteal: true})
+	defer s.Close()
+	done := make(chan error, 1)
+	onDone := func(err error) { done <- err }
+	run := func() error {
+		if err := s.GoSessionPooled(base, schedSessionBudget, schedStrategy, time.Time{}, onDone); err != nil {
+			return err
+		}
+		return <-done
+	}
+	for i := 0; i < 64; i++ { // warm the pool and the worker's slices
+		if err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// One session per op, so the row carries the same rate metric as the
+	// rest of the sched matrix (BENCH_sched.json is gated on it).
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/sec")
+}
+
 func BenchmarkSchedGoroutineBaseline(b *testing.B) {
 	for _, n := range schedSessionCounts {
 		if n > 10000 {
@@ -56,11 +136,17 @@ func BenchmarkSchedGoroutineBaseline(b *testing.B) {
 }
 
 // TestSchedThroughputSmall is the tier-1 pin that the benchmark harness
-// itself is sound: a small run completes with every session ending cleanly.
+// itself is sound: a small run completes with every session ending cleanly,
+// on the forking, pooled (both steal settings) and goroutine-baseline paths.
 func TestSchedThroughputSmall(t *testing.T) {
 	for _, workers := range []int{1, 3} {
 		if _, err := SchedThroughput(workers, 64); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for _, noSteal := range []bool{false, true} {
+			if _, err := SchedThroughputPooled(workers, 64, noSteal); err != nil {
+				t.Fatalf("workers=%d noSteal=%v: %v", workers, noSteal, err)
+			}
 		}
 	}
 	if _, err := SchedGoroutineBaseline(32); err != nil {

@@ -74,6 +74,21 @@ type Receiver interface {
 	TryRecv() (msg Message, ok bool, err error)
 }
 
+// Resetter is implemented by substrates that can be returned to their
+// fresh-channel state in place, so a session network can be recycled
+// instead of reallocated (the scheduler's pooled Fork path). Reset may
+// only be called at a quiescent point: no concurrent Send/Recv/Close on
+// the substrate — the session runtimes guarantee this by resetting only
+// networks whose every endpoint has finished or been released.
+//
+// Reset reports whether the substrate is reusable. A false return is not
+// an error: some substrates (Rendezvous over a native chan, the Faulty
+// wrapper, network-backed routes) cannot be reopened once closed, and a
+// network containing one simply falls back to a fresh allocation.
+type Resetter interface {
+	Reset() bool
+}
+
 // BatchSender is implemented by substrates that can publish a run of
 // messages with amortised synchronisation. SendN sends all of ms in order
 // and returns how many were sent (short only on ErrClosed).
@@ -203,6 +218,21 @@ func (q *Queue) CloseWithError(err error) {
 	}
 	q.closed = true
 	q.lockedCond().Broadcast()
+}
+
+// Reset restores the queue to its empty, open state, keeping the backing
+// array. Quiescence contract as documented on Resetter.
+func (q *Queue) Reset() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i := q.head; i < len(q.buf); i++ {
+		q.buf[i] = Message{} // release payloads for GC
+	}
+	q.buf = q.buf[:0]
+	q.head = 0
+	q.closed = false
+	q.cause = nil
+	return true
 }
 
 // Bounded is a FIFO with a fixed capacity: sends block while full. It models
@@ -345,6 +375,21 @@ func (b *Bounded) CloseWithError(err error) {
 	b.notEmpty.Broadcast()
 }
 
+// Reset restores the queue to its empty, open state, keeping the backing
+// ring. Quiescence contract as documented on Resetter.
+func (b *Bounded) Reset() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range b.buf {
+		b.buf[i] = Message{} // release payloads for GC
+	}
+	b.head = 0
+	b.n = 0
+	b.closed = false
+	b.cause = nil
+	return true
+}
+
 // Rendezvous is a synchronous channel: Send blocks until a receiver takes the
 // message, as in the synchronous baselines (Sesh, MultiCrusty).
 type Rendezvous struct {
@@ -426,14 +471,23 @@ func (r *Rendezvous) CloseWithError(err error) {
 	r.Close()
 }
 
+// Reset reports whether the rendezvous is reusable: a clean (never-closed)
+// rendezvous already is — it holds no buffered state — while a closed one
+// cannot be reopened (native channel semantics), so pooled networks built
+// over Rendezvous fall back to fresh allocation after any teardown.
+func (r *Rendezvous) Reset() bool { return !r.closed.Load() }
+
 var (
 	_ Sender    = (*Queue)(nil)
 	_ Receiver  = (*Queue)(nil)
 	_ Substrate = (*Queue)(nil)
+	_ Resetter  = (*Queue)(nil)
 	_ Sender    = (*Bounded)(nil)
 	_ Receiver  = (*Bounded)(nil)
 	_ Substrate = (*Bounded)(nil)
+	_ Resetter  = (*Bounded)(nil)
 	_ Sender    = (*Rendezvous)(nil)
 	_ Receiver  = (*Rendezvous)(nil)
 	_ Substrate = (*Rendezvous)(nil)
+	_ Resetter  = (*Rendezvous)(nil)
 )

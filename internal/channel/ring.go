@@ -366,6 +366,23 @@ func (r *Ring) CloseWithError(err error) {
 	r.Close()
 }
 
+// Reset restores the ring to its empty, open state, keeping the backing
+// array. It drains through the normal consumer path (which zeroes slots),
+// so the monotonic head/tail counters stay consistent. Quiescence contract
+// as documented on Resetter.
+func (r *Ring) Reset() bool {
+	for {
+		if _, ok, _ := r.TryRecv(); !ok {
+			break
+		}
+	}
+	// Clear the cause before reopening so the "cause installed before the
+	// closed flag" publication invariant holds again for the next close.
+	r.cause.Store(nil)
+	r.closed.Store(false)
+	return true
+}
+
 // ringSegShift sizes RingQueue segments: 64 messages (2 KiB) each, so the
 // amortised allocation cost of an unbounded send is 1/64 segment — and zero
 // in steady state, because drained segments are recycled through a one-slot
@@ -632,6 +649,20 @@ func (q *RingQueue) CloseWithError(err error) {
 	q.Close()
 }
 
+// Reset restores the queue to its empty, open state, draining through the
+// normal consumer path so segments are recycled into the free cache rather
+// than leaked. Quiescence contract as documented on Resetter.
+func (q *RingQueue) Reset() bool {
+	for {
+		if _, ok, _ := q.TryRecv(); !ok {
+			break
+		}
+	}
+	q.cause.Store(nil)
+	q.closed.Store(false)
+	return true
+}
+
 var (
 	_ Sender        = (*Ring)(nil)
 	_ Receiver      = (*Ring)(nil)
@@ -643,4 +674,6 @@ var (
 	_ BatchReceiver = (*RingQueue)(nil)
 	_ Substrate     = (*Ring)(nil)
 	_ Substrate     = (*RingQueue)(nil)
+	_ Resetter      = (*Ring)(nil)
+	_ Resetter      = (*RingQueue)(nil)
 )

@@ -3,7 +3,9 @@ package chaos
 import (
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
+	"strconv"
 	"testing"
 	"time"
 
@@ -28,8 +30,19 @@ func soakEntries() []protocols.Entry {
 }
 
 // soakSeeds covers every fault family (seed mod 4; see planFor) twice in the
-// full soak, once in -short mode.
+// full soak, once in -short mode. The nightly workflow widens the sweep by
+// setting CHAOS_SOAK_SEEDS=<n>, which runs seeds 0..n-1 — every family n/4
+// times — without a recompile.
 func soakSeeds() []uint64 {
+	if v := os.Getenv("CHAOS_SOAK_SEEDS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			seeds := make([]uint64, n)
+			for i := range seeds {
+				seeds[i] = uint64(i)
+			}
+			return seeds
+		}
+	}
 	if testing.Short() {
 		return []uint64{0, 1, 2, 3}
 	}
@@ -53,6 +66,18 @@ func waitGoroutines(t *testing.T, base int) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+}
+
+// familiesCovered reports which fault families (seed mod 4) a seed sweep
+// reaches; the arm-coverage assertions only apply when the sweep includes
+// the family that produces the arm (a CHAOS_SOAK_SEEDS=2 run is all-clean
+// by construction).
+func familiesCovered(seeds []uint64) map[uint64]bool {
+	fams := map[uint64]bool{}
+	for _, s := range seeds {
+		fams[s%4] = true
+	}
+	return fams
 }
 
 // TestChaosSoak is the acceptance soak: every registry protocol × seeds
@@ -86,10 +111,11 @@ func TestChaosSoak(t *testing.T) {
 	}
 	t.Logf("soak outcomes: clean=%d timeout=%d abort=%d unclassified=%d",
 		counts[Clean], counts[Timeout], counts[Abort], counts[Unclassified])
-	if counts[Abort] == 0 {
+	fams := familiesCovered(soakSeeds())
+	if fams[2] && counts[Abort] == 0 {
 		t.Error("soak never exercised the abort arm")
 	}
-	if counts[Timeout] == 0 {
+	if fams[3] && counts[Timeout] == 0 {
 		t.Error("soak never exercised the timeout arm")
 	}
 	waitGoroutines(t, baseGoroutines)
@@ -148,11 +174,100 @@ func TestChaosNetSoak(t *testing.T) {
 	}
 	t.Logf("net soak outcomes: clean=%d timeout=%d abort=%d unclassified=%d",
 		counts[Clean], counts[Timeout], counts[Abort], counts[Unclassified])
-	if counts[Abort] == 0 {
+	fams := familiesCovered(soakSeeds())
+	if fams[2] && counts[Abort] == 0 {
 		t.Error("net soak never exercised the abort arm")
 	}
-	if counts[Timeout] == 0 {
+	if fams[3] && counts[Timeout] == 0 {
 		t.Error("net soak never exercised the timeout arm")
+	}
+	waitGoroutines(t, baseGoroutines)
+}
+
+// TestChaosStealSoak is the migration arm of the soak: every (protocol,
+// seed) cell shares ONE scheduler sized to force stealing — MaxActive 1
+// keeps each worker's hands on a single session, so the uneven cell costs
+// (instant cleans next to deadline-parked stalls) leave quiescent work in
+// inboxes for idle workers to raid. The contract is unchanged from
+// TestChaosSoak: every cell classifies into the trichotomy, the fault-free
+// and transient-noise families end Clean, and nothing leaks — now with
+// sessions completing on workers they were never enqueued on.
+func TestChaosStealSoak(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
+	// MaxActive 1 is the steal-forcer. Unlike the sequential soaks, every
+	// cell shares one deadline window, so the per-role budget is kept small
+	// enough that the whole matrix's retry volume fits the window on a slow
+	// single-core box; the trichotomy arms are unaffected (budget cuts are
+	// Clean, the stall family still rides to its deadline).
+	cfg := Config{Timeout: 4 * time.Second, Budget: 256}.withDefaults()
+	s := sched.New(sched.Options{Workers: 4, MaxActive: 1, Quantum: 64})
+	type cell struct {
+		name string
+		seed uint64
+		res  chan error
+	}
+	var cells []*cell
+	for _, e := range soakEntries() {
+		base, err := Build(e)
+		if err != nil {
+			t.Fatalf("%s: building session: %v", e.Name, err)
+		}
+		for _, seed := range soakSeeds() {
+			inst := base.Fork().Rewire(faultyNetwork(seed))
+			var steppers []sched.Stepper
+			fail := func(err error) {
+				for _, st := range steppers {
+					if a, ok := st.(interface{ Abort() }); ok {
+						a.Abort()
+					}
+				}
+				t.Fatalf("%s seed=%d: %v", e.Name, seed, err)
+			}
+			for _, r := range inst.Roles() {
+				ep, err := inst.Endpoint(r)
+				if err != nil {
+					fail(err)
+				}
+				st, err := session.NewStepper(ep, inst.FSM(r), strategyFor(r), cfg.Budget)
+				if err != nil {
+					fail(err)
+				}
+				steppers = append(steppers, st)
+			}
+			c := &cell{name: e.Name, seed: seed, res: make(chan error, 1)}
+			deadline := time.Now().Add(cfg.Timeout)
+			if err := s.GoWithDeadline(deadline, func(err error) { c.res <- err }, steppers...); err != nil {
+				t.Fatalf("%s seed=%d: GoWithDeadline: %v", e.Name, seed, err)
+			}
+			cells = append(cells, c)
+		}
+	}
+	// Close drains every in-flight cell; per-cell results were captured by
+	// the onDone callbacks, so the aggregate error (first fault, by design)
+	// is not consulted.
+	s.Close()
+	var counts [4]int
+	for _, c := range cells {
+		var err error
+		select {
+		case err = <-c.res:
+		default:
+			t.Fatalf("%s seed=%d: no result after Close", c.name, c.seed)
+		}
+		class := Classify(err)
+		counts[class]++
+		if class == Unclassified {
+			t.Errorf("%s seed=%d: unclassified outcome: %v", c.name, c.seed, err)
+		}
+		if c.seed%4 <= 1 && class != Clean {
+			t.Errorf("%s seed=%d: fault family %d must end clean, got %s (%v)",
+				c.name, c.seed, c.seed%4, class, err)
+		}
+	}
+	t.Logf("steal soak outcomes: clean=%d timeout=%d abort=%d unclassified=%d steals=%d",
+		counts[Clean], counts[Timeout], counts[Abort], counts[Unclassified], s.Steals())
+	if s.Steals() == 0 {
+		t.Error("steal soak never migrated a session (MaxActive 1 over uneven cells should force it)")
 	}
 	waitGoroutines(t, baseGoroutines)
 }

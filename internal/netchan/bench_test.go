@@ -49,6 +49,19 @@ func benchFabricRoutes(b *testing.B, network string) (spq, rpq, sqp, rqp channel
 		fp.Close()
 		fq.Close()
 	})
+	// Warm both directed routes: the first send pays the lazy dial, the
+	// hello handshake and first-use buffer growth. Those belong to setup,
+	// not to the steady-state per-message cost the columns report — and at
+	// smoke iteration counts they would otherwise dominate the gated
+	// allocs/op.
+	for _, pair := range []struct{ s, r channel.Substrate }{{spq, rpq}, {sqp, rqp}} {
+		if err := pair.s.Send(benchMsg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pair.r.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
 	return spq, rpq, sqp, rqp
 }
 

@@ -133,6 +133,84 @@ func TestSteppedTraceEqualsBlockingTrace(t *testing.T) {
 	}
 }
 
+// TestStealAblationTraceEquivalence is the migration-safety property: work
+// stealing moves whole quiescent sessions between workers, so the observed
+// per-role traces must be bit-identical with stealing on and off. The
+// stealing run uses MaxActive 1 and a tiny quantum so overflow lands in
+// inboxes and idle workers actually raid them — migration under test, not
+// by accident.
+func TestStealAblationTraceEquivalence(t *testing.T) {
+	const maxCap = 40
+	type cut struct {
+		entry   protocols.Entry
+		base    *session.Session
+		budgets map[types.Role]int
+		ref     map[types.Role][]string
+	}
+	var cuts []*cut
+	for _, e := range protocols.Registry() {
+		sess := entrySession(t, e)
+		budgets, ref := referenceRun(t, e, sess, maxCap)
+		cuts = append(cuts, &cut{entry: e, base: sess, budgets: budgets, ref: ref})
+	}
+
+	run := func(noSteal bool) map[string]map[types.Role][]string {
+		s := sched.New(sched.Options{Workers: 4, Quantum: 1, MaxActive: 1, NoSteal: noSteal})
+		perEntry := map[string]map[types.Role]*equiv.TraceStrategy{}
+		for _, c := range cuts {
+			inst := c.base.Fork()
+			strats := map[types.Role]*equiv.TraceStrategy{}
+			var steppers []sched.Stepper
+			for _, r := range inst.Roles() {
+				ep, err := inst.Endpoint(r)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", c.entry.Name, r, err)
+				}
+				strat := &equiv.TraceStrategy{}
+				strats[r] = strat
+				st, err := session.NewStepper(ep, inst.FSM(r), strat, c.budgets[r])
+				if err != nil {
+					t.Fatalf("%s/%s: NewStepper: %v", c.entry.Name, r, err)
+				}
+				steppers = append(steppers, st)
+			}
+			if err := s.Go(steppers...); err != nil {
+				t.Fatalf("%s: Go(noSteal=%v): %v", c.entry.Name, noSteal, err)
+			}
+			perEntry[c.entry.Name] = strats
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("scheduler(noSteal=%v): %v", noSteal, err)
+		}
+		out := map[string]map[types.Role][]string{}
+		for name, strats := range perEntry {
+			traces := map[types.Role][]string{}
+			for r, strat := range strats {
+				traces[r] = strat.Trace()
+			}
+			out[name] = traces
+		}
+		return out
+	}
+
+	withSteal := run(false)
+	without := run(true)
+	for _, c := range cuts {
+		for r, ref := range c.ref {
+			on := withSteal[c.entry.Name][r]
+			off := without[c.entry.Name][r]
+			if !reflect.DeepEqual(ref, on) {
+				t.Errorf("%s/%s: steal-on trace diverges from reference:\n ref: %v\n on:  %v",
+					c.entry.Name, r, ref, on)
+			}
+			if !reflect.DeepEqual(ref, off) {
+				t.Errorf("%s/%s: steal-off trace diverges from reference:\n ref: %v\n off: %v",
+					c.entry.Name, r, ref, off)
+			}
+		}
+	}
+}
+
 // TestSteppedRegistryUnderLoad re-runs every registry protocol as many
 // concurrent forks over the scheduler — the "heavy traffic" shape — and
 // requires every session to end cleanly.

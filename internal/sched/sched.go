@@ -14,6 +14,29 @@
 //     so ready/parked bookkeeping needs no cross-worker synchronisation and
 //     the SPSC substrate operations of one session never contend.
 //
+//   - Work stealing. Round-robin placement balances counts, not durations: a
+//     shard that drew the long sessions stalls its backlog while other
+//     workers sleep. An idle worker therefore steals whole sessions from the
+//     deepest inbox. Only inbox residents are stealable — a session in an
+//     inbox is quiescent by construction (no worker is stepping it, no
+//     channel op is in flight), so migration never violates the SPSC
+//     contract; sessions being stepped (active) or parked awaiting an
+//     external wake (waiting) never move. The external-readiness Waker
+//     follows a migrated session through its owner pointer, which is
+//     retargeted under the victim's lock. Options.NoSteal disables stealing
+//     for ablation.
+//
+//   - Pooling. GoSessionPooled recycles the entire per-instance object
+//     graph — forked session, network, routes, endpoints, monitors,
+//     steppers, job and task records — through per-worker free lists keyed
+//     by the base session, so scheduler steady state allocates nothing per
+//     session-run (the Session.Reset/Stepper.Reset reuse path). Admission
+//     is bounded: Options.Backlog caps each worker's in-flight pooled
+//     sessions and GoSessionPooled blocks until a slot frees, which both
+//     bounds memory at any concurrency and is what makes the pool actually
+//     hit (an unbounded producer outruns the workers and every enqueue
+//     would miss).
+//
 //   - Ready/parked bookkeeping. Within a session, a task that reports
 //     ErrWouldBlock is parked; any sibling progress (the only thing that can
 //     change the session's channel state) moves all parked tasks back to
@@ -161,16 +184,38 @@ type Options struct {
 	// spuriously refuse; fault-injected substrates (channel.Faulty) need a
 	// timeout.
 	SessionTimeout time.Duration
+	// NoSteal disables work stealing: sessions run to completion on the
+	// worker they were placed on, as before the stealing scheduler. The
+	// default (stealing enabled) lets idle workers claim quiescent sessions
+	// from the deepest inbox. NoSteal exists for the steal-on/steal-off
+	// ablation and for the trace-equivalence harness.
+	NoSteal bool
+	// MaxActive caps how many sessions one worker steps concurrently; the
+	// overflow stays in its inbox, where idle workers can steal it. 0 means
+	// 256. A smaller cap makes a hot shard's backlog visible (stealable)
+	// sooner at the cost of more inbox churn.
+	MaxActive int
+	// Backlog caps each worker's in-flight pooled sessions
+	// (GoSessionPooled): enqueues beyond it block until a slot frees. 0
+	// means 1024. The cap bounds resident memory at any offered load and
+	// keeps the recycle loop tight enough that the free lists actually hit.
+	// Non-pooled enqueues (Go, GoSession, GoExternal) are not admission
+	// controlled.
+	Backlog int
 }
 
 // Scheduler runs sessions added with Go or GoSession until they complete.
 // Workers start immediately at New; Wait blocks for completion of everything
 // added so far; Close drains and stops the pool.
 type Scheduler struct {
-	workers []*worker
-	quantum int
-	timeout time.Duration // Options.SessionTimeout
-	next    atomic.Uint64 // round-robin shard counter; also the session id
+	workers   []*worker
+	quantum   int
+	timeout   time.Duration // Options.SessionTimeout
+	steal     bool          // work stealing enabled (!Options.NoSteal)
+	maxActive int
+	backlog   int
+	next      atomic.Uint64 // round-robin shard counter; also the session id
+	stole     atomic.Uint64 // sessions migrated by stealing, for Steals()
 
 	jobs sync.WaitGroup // in-flight sessions
 
@@ -198,7 +243,6 @@ type job struct {
 	stopped  bool // some task stopped deliberately (session.ErrStopped)
 	idle     bool // last visit was a sterile pass inside the deadline
 	onDone   func(error)
-	stepped  int // actions performed during the current worker visit
 
 	// External-readiness bookkeeping (GoExternal). wakes counts Waker.Wake
 	// calls; seen is the worker's snapshot taken at the top of each visit.
@@ -209,16 +253,46 @@ type job struct {
 	wakes    atomic.Uint64
 	seen     uint64
 	timer    *time.Timer // deadline requeue while parked; stopped at finish
+
+	// owner is the worker currently responsible for the job. It changes
+	// only when the job is stolen — in an inbox, hence quiescent — and the
+	// store happens under the victim's lock, so any party holding a
+	// worker's lock and observing owner == that worker knows no migration
+	// can complete concurrently. Waker.Wake navigates by it.
+	owner atomic.Pointer[worker]
+	// home is the worker whose admission slot (Backlog) the job occupies;
+	// nil for non-pooled jobs. Unlike owner it never changes: a stolen
+	// pooled job still releases its home's slot at finish.
+	home   *worker
+	bundle *bundle // pooled object graph to recycle at finish; nil if unpooled
 }
 
 type worker struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	inbox   []*job
-	stopped bool
-	waiting map[*job]struct{} // external sessions parked until a Wake
+	mu       sync.Mutex
+	cond     *sync.Cond
+	prodCond *sync.Cond // pooled producers blocked on a full Backlog
+	inbox    []*job
+	stopped  bool
+	waiting  map[*job]struct{} // external sessions parked until a Wake
+	pending  int               // in-flight pooled jobs homed here (Backlog slots)
+	free     map[*session.Session][]*bundle
+	idle     bool // asleep (or hunting): a wakeOne candidate
+	poked    bool // wakeOne fired since the worker last cleared it
 
 	active []*job // owned by the worker goroutine
+}
+
+// bundle is the pooled per-instance object graph GoSessionPooled recycles:
+// one forked session (network, routes, endpoints, monitors), its steppers
+// and strategies, and the job/task records that schedule it. A bundle lives
+// on exactly one worker's free list between runs, keyed by the base session
+// it was forked from so protocol-mismatched reuse is impossible.
+type bundle struct {
+	base     *session.Session
+	sess     *session.Session
+	steppers []*session.Stepper
+	strats   []session.Strategy
+	job      *job
 }
 
 // New starts a scheduler with opts.Workers worker goroutines.
@@ -231,16 +305,44 @@ func New(opts Options) *Scheduler {
 	if q <= 0 {
 		q = 64
 	}
-	s := &Scheduler{quantum: q, timeout: opts.SessionTimeout}
+	ma := opts.MaxActive
+	if ma <= 0 {
+		ma = 256
+	}
+	bl := opts.Backlog
+	if bl <= 0 {
+		bl = 1024
+	}
+	s := &Scheduler{
+		quantum:   q,
+		timeout:   opts.SessionTimeout,
+		steal:     !opts.NoSteal,
+		maxActive: ma,
+		backlog:   bl,
+	}
+	// Build the full worker set before starting any goroutine: workers scan
+	// s.workers when stealing, so the slice must be complete (and never
+	// mutated again) before the first worker can observe it.
 	for i := 0; i < n; i++ {
-		w := &worker{waiting: map[*job]struct{}{}}
+		w := &worker{
+			waiting: map[*job]struct{}{},
+			free:    map[*session.Session][]*bundle{},
+		}
 		w.cond = sync.NewCond(&w.mu)
+		w.prodCond = sync.NewCond(&w.mu)
 		s.workers = append(s.workers, w)
+	}
+	for _, w := range s.workers {
 		s.join.Add(1)
 		go s.run(w)
 	}
 	return s
 }
+
+// Steals reports the cumulative number of sessions migrated between workers
+// by work stealing. It is a diagnostic for tests and the throughput
+// ablation, not a synchronisation point.
+func (s *Scheduler) Steals() uint64 { return s.stole.Load() }
 
 // Go enqueues one session given its tasks. All tasks are placed on the same
 // worker (sessions are sharded whole; see the package comment), chosen
@@ -290,6 +392,7 @@ func (s *Scheduler) GoWithDeadline(deadline time.Time, onDone func(error), stepp
 	s.mu.Unlock()
 	j.id = s.next.Add(1)
 	w := s.workers[int(j.id)%len(s.workers)]
+	j.owner.Store(w)
 	w.mu.Lock()
 	if w.stopped {
 		w.mu.Unlock()
@@ -309,7 +412,6 @@ func (s *Scheduler) GoWithDeadline(deadline time.Time, onDone func(error), stepp
 // is parked, a requeue and worker signal. Wakes on a finished session are
 // no-ops.
 type Waker struct {
-	w *worker
 	j *job
 }
 
@@ -318,15 +420,31 @@ type Waker struct {
 // park): whichever side loses the race, the wake is observed — either the
 // worker sees the moved counter and keeps the session active, or Wake finds
 // it parked and requeues it.
+//
+// Wake navigates by the job's owner pointer, which work stealing may
+// retarget. The load-lock-recheck loop makes that safe: migrations store
+// the new owner under the old owner's lock, so once Wake holds the lock of
+// the worker it loaded and the pointer still matches, no migration can
+// complete until it releases the lock — and a session parked in a waiting
+// map is never stolen at all, so the requeue itself cannot race a
+// migration.
 func (k *Waker) Wake() {
 	k.j.wakes.Add(1)
-	k.w.mu.Lock()
-	if _, ok := k.w.waiting[k.j]; ok {
-		delete(k.w.waiting, k.j)
-		k.w.inbox = append(k.w.inbox, k.j)
-		k.w.cond.Signal()
+	for {
+		w := k.j.owner.Load()
+		w.mu.Lock()
+		if k.j.owner.Load() != w {
+			w.mu.Unlock()
+			continue
+		}
+		if _, ok := w.waiting[k.j]; ok {
+			delete(w.waiting, k.j)
+			w.inbox = append(w.inbox, k.j)
+			w.cond.Signal()
+		}
+		w.mu.Unlock()
+		return
 	}
-	k.w.mu.Unlock()
 }
 
 // GoExternal enqueues a session whose progress can come from outside the
@@ -358,7 +476,8 @@ func (s *Scheduler) GoExternal(deadline time.Time, onDone func(error), steppers 
 	s.mu.Unlock()
 	j.id = s.next.Add(1)
 	w := s.workers[int(j.id)%len(s.workers)]
-	k := &Waker{w: w, j: j}
+	j.owner.Store(w)
+	k := &Waker{j: j}
 	// Arm the deadline requeue before the job is visible to the worker, so
 	// finish's timer.Stop never races this write. A parked session has no
 	// poll loop to notice its deadline; the timer's Wake requeues it and the
@@ -417,6 +536,160 @@ func (s *Scheduler) GoSessionWithDeadline(sess *session.Session, maxSteps int, s
 		return fail(err)
 	}
 	return nil
+}
+
+// GoSessionPooled is GoSession over recycled instances: instead of forking
+// base per call, it reuses a finished instance's entire object graph —
+// network, routes, endpoints, monitors, steppers, job records — from the
+// target worker's free list (Session.Reset + Stepper.Reset), forking fresh
+// only on a pool miss or when the substrate declines to reset. In steady
+// state the call allocates nothing.
+//
+// Strategies are pooled too: a recycled instance's strategies are rewound
+// in place when they implement session.StrategyResetter, and only otherwise
+// replaced via strat (which then allocates). For a zero-alloc steady state,
+// make strat return resettable strategies.
+//
+// Admission is bounded: when the target worker already has Options.Backlog
+// pooled sessions in flight, GoSessionPooled blocks until one finishes.
+// That backpressure is load-bearing — it bounds resident memory at any
+// offered load (1M sessions run in Backlog×Workers instances) and keeps
+// enqueues behind the recycle loop so the pool hits. A zero deadline gets
+// Options.SessionTimeout like every other enqueue. onDone may be nil; like
+// GoWithDone it runs on the worker and must be cheap.
+func (s *Scheduler) GoSessionPooled(base *session.Session, maxSteps int, strat func(types.Role) session.Strategy, deadline time.Time, onDone func(error)) error {
+	if deadline.IsZero() && s.timeout > 0 {
+		deadline = time.Now().Add(s.timeout)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.jobs.Add(1)
+	s.mu.Unlock()
+	id := s.next.Add(1)
+	w := s.workers[int(id)%len(s.workers)]
+	// Admission: wait for a Backlog slot, then reserve it and try the free
+	// list. The job is already counted (jobs.Add above), so Close cannot
+	// stop this worker while we wait — it drains in-flight jobs first, and
+	// their finishes are what signal prodCond.
+	w.mu.Lock()
+	for w.pending >= s.backlog && !w.stopped {
+		w.prodCond.Wait()
+	}
+	if w.stopped {
+		w.mu.Unlock()
+		s.jobs.Done()
+		return ErrClosed
+	}
+	w.pending++
+	var b *bundle
+	if lst := w.free[base]; len(lst) > 0 {
+		b = lst[len(lst)-1]
+		lst[len(lst)-1] = nil
+		w.free[base] = lst[:len(lst)-1]
+	}
+	w.mu.Unlock()
+	if b != nil {
+		b = resetBundle(b, maxSteps, strat)
+	}
+	if b == nil {
+		nb, err := newBundle(base, maxSteps, strat)
+		if err != nil {
+			w.mu.Lock()
+			w.pending--
+			w.prodCond.Signal()
+			w.mu.Unlock()
+			s.jobs.Done()
+			return err
+		}
+		b = nb
+	}
+	j := b.job
+	j.id = id
+	j.deadline = deadline
+	j.onDone = onDone
+	j.home = w
+	j.owner.Store(w)
+	w.mu.Lock()
+	w.inbox = append(w.inbox, j)
+	w.cond.Signal()
+	w.mu.Unlock()
+	return nil
+}
+
+// newBundle forks a fresh instance of base and builds its pooled object
+// graph: the pool-miss (and first-use) path of GoSessionPooled.
+func newBundle(base *session.Session, maxSteps int, strat func(types.Role) session.Strategy) (*bundle, error) {
+	sess := base.Fork()
+	roles := sess.Roles()
+	b := &bundle{
+		base:     base,
+		sess:     sess,
+		steppers: make([]*session.Stepper, 0, len(roles)),
+		strats:   make([]session.Strategy, 0, len(roles)),
+		job:      &job{},
+	}
+	fail := func(err error) (*bundle, error) {
+		for _, st := range b.steppers {
+			st.Abort()
+		}
+		return nil, err
+	}
+	for _, r := range roles {
+		ep, err := sess.Endpoint(r)
+		if err != nil {
+			return fail(err)
+		}
+		sg := strat(r)
+		st, err := session.NewStepper(ep, sess.FSM(r), sg, maxSteps)
+		if err != nil {
+			return fail(err)
+		}
+		b.steppers = append(b.steppers, st)
+		b.strats = append(b.strats, sg)
+		b.job.tasks = append(b.job.tasks, &task{s: st})
+	}
+	b.job.bundle = b
+	return b, nil
+}
+
+// resetBundle rearms a recycled bundle for a new run, returning nil (fall
+// back to a fresh fork; the bundle is abandoned) when the substrate or a
+// stepper declines to reset.
+func resetBundle(b *bundle, maxSteps int, strat func(types.Role) session.Strategy) *bundle {
+	if !b.sess.Reset() {
+		return nil
+	}
+	for i, st := range b.steppers {
+		sg := b.strats[i]
+		if r, ok := sg.(session.StrategyResetter); ok {
+			r.ResetStrategy()
+		} else {
+			sg = strat(st.Role())
+			b.strats[i] = sg
+		}
+		if err := st.Reset(sg, maxSteps); err != nil {
+			// Release the claims re-taken so far; the bundle is dead.
+			for k := 0; k < i; k++ {
+				b.steppers[k].Abort()
+			}
+			return nil
+		}
+	}
+	j := b.job
+	j.parked = 0
+	j.done = 0
+	j.stopped = false
+	j.idle = false
+	j.external = false
+	j.timer = nil
+	for _, t := range j.tasks {
+		t.parked = false
+		t.done = false
+	}
+	return b
 }
 
 // Wait blocks until every session enqueued so far has completed and returns
@@ -483,29 +756,71 @@ func (s *Scheduler) run(w *worker) {
 	for {
 		w.mu.Lock()
 		for len(w.inbox) == 0 && len(w.active) == 0 && !w.stopped {
+			if !s.steal {
+				w.cond.Wait()
+				continue
+			}
+			// Out of local work: advertise idleness, then hunt other
+			// shards' inboxes. The idle flag makes this worker a wakeOne
+			// target; a poke landing during the hunt sets poked under this
+			// lock and vetoes the Wait below, so overflow published
+			// concurrently with a failed hunt is never slept through.
+			w.idle = true
+			w.mu.Unlock()
+			stole := s.trySteal(w)
+			w.mu.Lock()
+			if stole || w.poked || len(w.inbox) > 0 || w.stopped {
+				w.idle = false
+				w.poked = false
+				continue
+			}
 			w.cond.Wait()
+			w.idle = false
+			w.poked = false
 		}
 		if w.stopped && len(w.inbox) == 0 && len(w.active) == 0 {
 			w.mu.Unlock()
 			return
 		}
-		w.active = append(w.active, w.inbox...)
-		w.inbox = w.inbox[:0]
+		// Pull at most maxActive sessions; the overflow stays in the inbox
+		// where idle workers can steal it (inbox residents are quiescent —
+		// the no-mid-step migration invariant holds by construction).
+		n := s.maxActive - len(w.active)
+		if n > len(w.inbox) {
+			n = len(w.inbox)
+		}
+		if n > 0 {
+			w.active = append(w.active, w.inbox[:n]...)
+			rem := copy(w.inbox, w.inbox[n:])
+			for i := rem; i < len(w.inbox); i++ {
+				w.inbox[i] = nil
+			}
+			w.inbox = w.inbox[:rem]
+		}
+		overflow := len(w.inbox)
 		w.mu.Unlock()
+		if overflow > 0 && s.steal {
+			// More quiescent work than this worker will step soon: poke one
+			// sleeping worker to come steal it.
+			s.wakeOne(w)
+		}
 
 		keep := w.active[:0]
 		stepsThisPass := 0
 		for _, j := range w.active {
-			if s.visit(j) {
+			// visit returns the step count by value: once finish has recycled
+			// a pooled job, j may already be re-armed by a producer, so the
+			// worker must not read j after a false return.
+			live, stepped := s.visit(w, j)
+			stepsThisPass += stepped
+			if live {
 				if j.external && j.idle && s.parkExternal(w, j) {
 					// Parked off the active list; a Wake requeues it via the
 					// inbox. Not kept: the worker must not poll it.
-					stepsThisPass += j.stepped
 					continue
 				}
 				keep = append(keep, j)
 			}
-			stepsThisPass += j.stepped
 		}
 		// Clear the dropped tail so finished jobs are collectable.
 		for i := len(keep); i < len(w.active); i++ {
@@ -534,6 +849,22 @@ func (s *Scheduler) run(w *worker) {
 		if !allIdle {
 			continue
 		}
+		// Every active session is deadline-parked. If fresh work waits in
+		// the inbox (it would otherwise starve behind a full-but-idle
+		// active set), rotate the idle sessions back to the inbox — they
+		// are quiescent there, so they also become stealable — and pull
+		// the fresh work on the next pass.
+		w.mu.Lock()
+		if len(w.inbox) > 0 {
+			w.inbox = append(w.inbox, w.active...)
+			for i := range w.active {
+				w.active[i] = nil
+			}
+			w.active = w.active[:0]
+			w.mu.Unlock()
+			continue
+		}
+		w.mu.Unlock()
 		idlePasses++
 		if idlePasses < idleSpins {
 			runtime.Gosched()
@@ -551,6 +882,74 @@ func (s *Scheduler) run(w *worker) {
 				time.Sleep(nap)
 			}
 		}
+	}
+}
+
+// trySteal migrates up to half of the deepest inbox onto the thief. Only
+// inbox residents move: they are quiescent (no worker steps them, no
+// channel operation is in flight), so whole-session migration preserves the
+// SPSC no-cross-shard invariant. The owner pointer of each stolen job is
+// retargeted under the victim's lock, which is what Waker.Wake's
+// load-lock-recheck loop synchronises against. Jobs in a waiting map
+// (external sessions parked for a Wake) and active jobs are never touched.
+func (s *Scheduler) trySteal(thief *worker) bool {
+	var victim *worker
+	best := 0
+	for _, x := range s.workers {
+		if x == thief {
+			continue
+		}
+		x.mu.Lock()
+		n := len(x.inbox)
+		x.mu.Unlock()
+		if n > best {
+			best, victim = n, x
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	victim.mu.Lock()
+	n := (len(victim.inbox) + 1) / 2
+	if n == 0 {
+		victim.mu.Unlock()
+		return false
+	}
+	loot := make([]*job, n)
+	cut := len(victim.inbox) - n
+	copy(loot, victim.inbox[cut:])
+	for i := cut; i < len(victim.inbox); i++ {
+		victim.inbox[i] = nil
+	}
+	victim.inbox = victim.inbox[:cut]
+	for _, j := range loot {
+		j.owner.Store(thief)
+	}
+	victim.mu.Unlock()
+	s.stole.Add(uint64(n))
+	thief.mu.Lock()
+	thief.inbox = append(thief.inbox, loot...)
+	thief.mu.Unlock()
+	return true
+}
+
+// wakeOne pokes one sleeping (or hunting) worker other than self: called
+// when a worker publishes overflow it will not step soon. The poked flag is
+// set under the target's lock, closing the race with a hunt that is about
+// to conclude "nothing to steal" and sleep.
+func (s *Scheduler) wakeOne(self *worker) {
+	for _, x := range s.workers {
+		if x == self {
+			continue
+		}
+		x.mu.Lock()
+		if x.idle && !x.poked {
+			x.poked = true
+			x.cond.Signal()
+			x.mu.Unlock()
+			return
+		}
+		x.mu.Unlock()
 	}
 }
 
@@ -584,9 +983,12 @@ func stuckRoles(j *job) []types.Role {
 }
 
 // visit steps one session for at most a quantum of actions, maintaining the
-// ready/parked bookkeeping. It reports whether the session stays active.
-func (s *Scheduler) visit(j *job) bool {
-	j.stepped = 0
+// ready/parked bookkeeping. It reports whether the session stays active,
+// plus the number of actions performed — returned by value because a pooled
+// job is recycled inside finish and must not be read after a false return.
+// w is the worker running the visit, which finish needs for pool recycling.
+func (s *Scheduler) visit(w *worker, j *job) (bool, int) {
+	stepped := 0
 	j.idle = false
 	if j.external {
 		// Snapshot before any Try: a Wake arriving anywhere past this point
@@ -599,8 +1001,8 @@ func (s *Scheduler) visit(j *job) bool {
 			if t.done || t.parked {
 				continue
 			}
-			if j.stepped >= s.quantum {
-				return true // quantum exhausted mid-pass; stay active
+			if stepped >= s.quantum {
+				return true, stepped // quantum exhausted mid-pass; stay active
 			}
 			done, err := stepSafe(t.s)
 			switch {
@@ -610,7 +1012,7 @@ func (s *Scheduler) visit(j *job) bool {
 				if errors.Is(err, session.ErrStopped) {
 					j.stopped = true
 				} else if err != nil {
-					return s.finish(j, fmt.Errorf("sched: session %d task %d: %w", j.id, indexOf(j, t), err))
+					return s.finish(w, j, fmt.Errorf("sched: session %d task %d: %w", j.id, indexOf(j, t), err)), stepped
 				}
 				// Completion is progress: a stop or finish may have
 				// published messages parked siblings wait for.
@@ -625,15 +1027,15 @@ func (s *Scheduler) visit(j *job) bool {
 				// fault the session. The task is left not-done so finish
 				// aborts it (releasing its endpoint claim) along with its
 				// siblings.
-				return s.finish(j, fmt.Errorf("sched: session %d task %d: %w", j.id, indexOf(j, t), err))
+				return s.finish(w, j, fmt.Errorf("sched: session %d task %d: %w", j.id, indexOf(j, t), err)), stepped
 			default:
-				j.stepped++
+				stepped++
 				progressed = true
 				j.unparkAll()
 			}
 		}
 		if j.done == len(j.tasks) {
-			return s.finish(j, nil)
+			return s.finish(w, j, nil), stepped
 		}
 		if !progressed {
 			// A full pass with no progress parks every live task (each was
@@ -641,27 +1043,27 @@ func (s *Scheduler) visit(j *job) bool {
 			// stopped deliberately, that quiescence is the expected end of a
 			// bounded run, not a deadlock.
 			if j.stopped {
-				return s.finish(j, nil)
+				return s.finish(w, j, nil), stepped
 			}
 			if j.external {
 				// Externally driven: quiescence means "waiting on the wire",
 				// never deadlock. Fail at the deadline; otherwise report idle
 				// and let the worker park the session until a Wake.
 				if !j.deadline.IsZero() && !time.Now().Before(j.deadline) {
-					return s.finish(j, &TimeoutError{Session: j.id, Stuck: stuckRoles(j)})
+					return s.finish(w, j, &TimeoutError{Session: j.id, Stuck: stuckRoles(j)}), stepped
 				}
 				j.idle = true
 				j.unparkAll()
-				return true
+				return true, stepped
 			}
 			if j.deadline.IsZero() {
 				// No deadline: nothing inside the session can unblock it and
 				// nothing outside it ever will (routes refuse only for lack
 				// of peer progress) — fail fast, attributed.
-				return s.finish(j, &DeadlockError{Session: j.id, Stuck: stuckRoles(j)})
+				return s.finish(w, j, &DeadlockError{Session: j.id, Stuck: stuckRoles(j)}), stepped
 			}
 			if !time.Now().Before(j.deadline) {
-				return s.finish(j, &TimeoutError{Session: j.id, Stuck: stuckRoles(j)})
+				return s.finish(w, j, &TimeoutError{Session: j.id, Stuck: stuckRoles(j)}), stepped
 			}
 			// Deadline armed and not yet passed: the quiescence may be
 			// transient (a fault-injected route refuses spuriously and will
@@ -669,7 +1071,7 @@ func (s *Scheduler) visit(j *job) bool {
 			// worker naps before re-polling an all-idle shard.
 			j.idle = true
 			j.unparkAll()
-			return true
+			return true, stepped
 		}
 	}
 }
@@ -709,9 +1111,12 @@ func (j *job) unparkAll() {
 // finish completes a session: tasks still live (a faulted session's
 // siblings, or the parked leftovers of a deliberate stop) are aborted so
 // their endpoint claims release, and a non-nil err is recorded as the
-// scheduler's first failure. It always reports false (drop from the active
-// list).
-func (s *Scheduler) finish(j *job, err error) bool {
+// scheduler's first failure. A pooled job's bundle is recycled onto the
+// finishing worker's free list (clean outcomes only — a faulted instance's
+// substrate state is not trusted for reuse) and its home worker's Backlog
+// slot is released, unblocking one waiting producer. It always reports
+// false (drop from the active list).
+func (s *Scheduler) finish(w *worker, j *job, err error) bool {
 	if j.timer != nil {
 		j.timer.Stop()
 	}
@@ -726,8 +1131,32 @@ func (s *Scheduler) finish(j *job, err error) bool {
 	if err != nil {
 		s.fail(err)
 	}
-	if j.onDone != nil {
-		j.onDone(err)
+	// Recycle before onDone, and never touch j afterwards: the moment the
+	// bundle is visible in a free list (or the Backlog slot frees), a
+	// producer may pop it and re-arm the job. Recycling first also means a
+	// producer unblocked by onDone — the synchronous enqueue-then-wait
+	// loop — always finds the bundle already pooled.
+	onDone := j.onDone
+	if b := j.bundle; b != nil {
+		home := j.home
+		w.mu.Lock()
+		if err == nil && !w.stopped {
+			w.free[b.base] = append(w.free[b.base], b)
+		}
+		if home == w {
+			home.pending--
+			home.prodCond.Signal()
+			w.mu.Unlock()
+		} else {
+			w.mu.Unlock()
+			home.mu.Lock()
+			home.pending--
+			home.prodCond.Signal()
+			home.mu.Unlock()
+		}
+	}
+	if onDone != nil {
+		onDone(err)
 	}
 	s.jobs.Done()
 	return false

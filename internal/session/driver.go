@@ -42,6 +42,15 @@ type Strategy interface {
 	Received(act fsm.Action, value any)
 }
 
+// StrategyResetter is implemented by strategies whose accumulated state can
+// be rewound for a fresh protocol instance. The scheduler's pooled path
+// resets a recycled session's strategies instead of allocating new ones;
+// a stateful strategy that does not implement it simply gets replaced per
+// instance by the caller.
+type StrategyResetter interface {
+	ResetStrategy()
+}
+
 // FirstBranch is a Strategy that always selects the first option and sends
 // nil payloads; useful for smoke-driving protocols.
 type FirstBranch struct{}
@@ -54,6 +63,9 @@ func (FirstBranch) Payload(fsm.Action) any { return nil }
 
 // Received implements Strategy.
 func (FirstBranch) Received(fsm.Action, any) {}
+
+// ResetStrategy implements StrategyResetter; FirstBranch is stateless.
+func (FirstBranch) ResetStrategy() {}
 
 // RoundRobin is a Strategy cycling through the options of every choice, so
 // repeated loops exercise all branches.
@@ -89,6 +101,19 @@ func (r *RoundRobin) Payload(act fsm.Action) any {
 func (r *RoundRobin) Received(act fsm.Action, value any) {
 	r.Seen = append(r.Seen, ReceivedMessage{Label: act.Label, Value: value})
 }
+
+// ResetStrategy implements StrategyResetter: the choice cursor rewinds and
+// the received log is truncated (keeping its backing array), so a recycled
+// instance replays the same branch schedule as a fresh one.
+func (r *RoundRobin) ResetStrategy() {
+	r.n = 0
+	r.Seen = r.Seen[:0]
+}
+
+var (
+	_ StrategyResetter = FirstBranch{}
+	_ StrategyResetter = (*RoundRobin)(nil)
+)
 
 // Drive executes a process for the endpoint directly from a verified
 // machine: at output states the strategy selects a branch; at input states

@@ -261,6 +261,28 @@ func (n *Network) abort(role types.Role, cause error) {
 	n.closeAllWith(&ProtocolError{Role: role, Cause: cause})
 }
 
+// Reset restores every route to its fresh-channel state and rearms the
+// abort CAS, so the network can carry a new protocol instance without
+// reallocating — the substrate half of the pooled Fork path. It reports
+// false when any route is not resettable (a non-Resetter substrate, or one
+// whose Reset declined, e.g. a closed Rendezvous); callers then fall back
+// to a fresh network. May only be called at a quiescent point: every
+// endpoint's process has finished or been released, so no route has a
+// concurrent sender or receiver.
+func (n *Network) Reset() bool {
+	for _, q := range n.routes {
+		if q == nil {
+			continue
+		}
+		r, ok := q.(channel.Resetter)
+		if !ok || !r.Reset() {
+			return false
+		}
+	}
+	n.aborted.Store(false)
+	return true
+}
+
 // Close tears the network down: every route is closed, so any process
 // blocked on a message that will never arrive fails promptly with
 // channel.ErrClosed instead of hanging. Session.Run does this automatically
@@ -951,6 +973,32 @@ func (s *Session) Fork() *Session {
 		mk = NewNetwork // hand-constructed Session literals (tests)
 	}
 	return newSessionOn(s.fsms, mk)
+}
+
+// Reset restores a finished (or aborted) instance for reuse: every route of
+// its network returns to fresh-channel state and every memoized endpoint's
+// deadline is cleared, so the next TrySession/NewStepper on it behaves
+// exactly like one on a fresh Fork — without allocating a network, routes,
+// endpoints or monitors. The monitors themselves rewind at claim time
+// (TrySession and NewStepper both reset them), so Reset does not touch
+// them.
+//
+// It reports false when the substrate cannot be reused (see Network.Reset);
+// the instance is then dead and the caller forks a fresh one. May only be
+// called at a quiescent point: no endpoint of this instance is claimed, no
+// operation in flight. The scheduler's pooled path (sched.GoSessionPooled)
+// guarantees this by recycling an instance only after its job finished
+// cleanly.
+func (s *Session) Reset() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.net.Reset() {
+		return false
+	}
+	for _, ep := range s.eps {
+		ep.deadline = time.Time{}
+	}
+	return true
 }
 
 // Endpoint returns the monitored endpoint for role. Like Network.Endpoint,

@@ -58,6 +58,34 @@ func NewStepper(e *Endpoint, m *fsm.FSM, strat Strategy, maxSteps int) (*Stepper
 	return &Stepper{e: e, m: m, strat: strat, cur: m.Initial(), maxSteps: maxSteps, pending: -1}, nil
 }
 
+// Reset re-arms a finished stepper over the same endpoint and machine for a
+// new protocol instance, replaying NewStepper without the allocation: the
+// endpoint is re-claimed (ErrLinearity if something else holds it), its
+// monitor rewound, and the walk state cleared. The strategy may differ from
+// the previous run's; the caller is responsible for having Reset the
+// underlying session's network first (Session.Reset), since a stepper over
+// closed routes faults immediately. Resetting an unfinished stepper is a
+// caller bug and fails with ErrLinearity (the endpoint is still held).
+func (s *Stepper) Reset(strat Strategy, maxSteps int) error {
+	if !s.finished {
+		return ErrLinearity
+	}
+	if !s.e.inUse.CompareAndSwap(false, true) {
+		return ErrLinearity
+	}
+	if s.e.mon != nil {
+		s.e.mon.reset()
+	}
+	s.strat = strat
+	s.cur = s.m.Initial()
+	s.steps = 0
+	s.maxSteps = maxSteps
+	s.pending = -1
+	s.pendingPayload = nil
+	s.finished = false
+	return nil
+}
+
 // Role returns the stepped endpoint's role.
 func (s *Stepper) Role() types.Role { return s.e.role }
 
