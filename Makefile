@@ -85,6 +85,13 @@ SCHED_BENCH_PKGS ?= ./internal/bench
 NET_BENCH_PATTERN ?= BenchmarkNetSendRecv|BenchmarkNetPingPong|BenchmarkNetBatch64
 NET_BENCH_PKGS ?= ./internal/netchan
 
+# The static-verification scalability axis (internal/protofuzz/scale_test):
+# reflexive core.Check over 1200-state chains, k-MC over 1000-state
+# projected systems, the AMR search at deep pipelining unrolls, and the
+# full differential pipeline on one oversized cell.
+CHECK_BENCH_PATTERN ?= BenchmarkCheckScale|BenchmarkKmcScale|BenchmarkOptimiseScale|BenchmarkPipelineDeep
+CHECK_BENCH_PKGS ?= ./internal/protofuzz
+
 # Extra flags for the bench targets; bench-smoke passes -benchtime 2x — fast,
 # but with the 1-iteration sizing probe go test runs before any multi-
 # iteration benchmark, so one-time lazy setup lands in the probe instead of
@@ -97,8 +104,9 @@ BENCH_OUT ?= BENCH_channel.json
 CODEGEN_BENCH_OUT ?= BENCH_codegen.json
 SCHED_BENCH_OUT ?= BENCH_sched.json
 NET_BENCH_OUT ?= BENCH_net.json
+CHECK_BENCH_OUT ?= BENCH_check.json
 
-.PHONY: verify race bench bench-codegen bench-sched bench-net bench-smoke chaos-smoke net-smoke fuzz-smoke sessvet lint generate drift doccheck ci
+.PHONY: verify race bench bench-codegen bench-sched bench-net bench-check bench-smoke chaos-smoke net-smoke fuzz-smoke sessvet lint generate drift doccheck ci
 
 # The staticcheck/govulncheck pins must match .github/workflows/ci.yml.
 STATICCHECK_VERSION ?= 2025.1.1
@@ -145,6 +153,11 @@ bench-net:
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > $(NET_BENCH_OUT)
 	@echo "wrote $(NET_BENCH_OUT)"
 
+bench-check:
+	$(GO) test -run '^$$' -bench '$(CHECK_BENCH_PATTERN)' -benchmem $(BENCH_FLAGS) -timeout 1800s $(CHECK_BENCH_PKGS) \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > $(CHECK_BENCH_OUT)
+	@echo "wrote $(CHECK_BENCH_OUT)"
+
 # bench-smoke: the CI bench job. Two iterations per benchmark keeps it fast
 # (and the sizing probe absorbs one-time setup allocations, see BENCH_FLAGS);
 # benchcheck then fails the pipeline if a JSON file is malformed, an
@@ -160,6 +173,7 @@ bench-smoke:
 	$(MAKE) bench-codegen BENCH_FLAGS='-benchtime 2x' CODEGEN_BENCH_OUT=BENCH_smoke_codegen.json
 	$(MAKE) bench-sched BENCH_FLAGS='-benchtime 2x' SCHED_BENCH_OUT=BENCH_smoke_sched.json
 	$(MAKE) bench-net BENCH_FLAGS='-benchtime 2x' NET_BENCH_OUT=BENCH_smoke_net.json
+	$(MAKE) bench-check BENCH_FLAGS='-benchtime 2x' CHECK_BENCH_OUT=BENCH_smoke_check.json
 	$(GO) run ./cmd/benchcheck -file BENCH_smoke_channel.json \
 		-baseline BENCH_channel.json \
 		-expect BenchmarkSendRecv -expect BenchmarkPingPong \
@@ -191,15 +205,24 @@ bench-smoke:
 		-expect BenchmarkNetPingPong/ring -expect BenchmarkNetPingPong/tcp \
 		-expect BenchmarkNetBatch64/ring -expect BenchmarkNetBatch64/unix \
 		-expect BenchmarkNetBatch64/tcp
+	$(GO) run ./cmd/benchcheck -file BENCH_smoke_check.json \
+		-baseline BENCH_check.json \
+		-expect 'CheckScale/states=1201' \
+		-expect 'KmcScale/states=1001' \
+		-expect 'OptimiseScale/sends=8' \
+		-expect BenchmarkPipelineDeep
 
-# fuzz-smoke: both wire-format fuzzers — the Scribble parse→format→parse
-# round trip and the wire codec encode→decode round trip — for FUZZ_TIME
-# each. CI runs the default 30s per target; the nightly workflow stretches
-# the same target to minutes.
+# fuzz-smoke: the wire-format fuzzers — the Scribble parse→format→parse
+# round trip and the wire codec encode→decode round trip — plus the
+# whole-stack differential fuzzer (parse → project → k-MC → certified
+# optimisation → codegen → three-mode execution → guided replay), for
+# FUZZ_TIME each. CI runs the default 30s per target; the nightly workflow
+# stretches the same targets to minutes.
 FUZZ_TIME ?= 30s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzScribbleRoundTrip -fuzztime $(FUZZ_TIME) ./internal/scribble
 	$(GO) test -run '^$$' -fuzz FuzzWireRoundTrip -fuzztime $(FUZZ_TIME) ./internal/wire
+	$(GO) test -run '^$$' -fuzz FuzzPipeline -fuzztime $(FUZZ_TIME) ./internal/protofuzz
 
 # net-smoke: the CI network job — build cmd/sessnet, then run the
 # multi-process demo (one OS process per role, Unix sockets) over every

@@ -1,0 +1,157 @@
+// Command protofuzz replays, sweeps, and shrinks the generative
+// differential fuzzer from internal/protofuzz. A seed names one cell of
+// the deterministic sweep — the same Config{Seed: N} the tier-1
+// TestPipelineSeedSweep runs — so a CI failure message's seed replays
+// byte-for-byte here:
+//
+//	protofuzz -seed 274              # replay one cell
+//	protofuzz -sweep 1000            # run seeds 1..1000, summarise
+//	protofuzz -scribble min.scr      # run a protocol file through the stack
+//
+// When a cell fails at a stage the pipeline does not discard (projection
+// rejections and k-MC unboundedness are legitimate generator by-products),
+// the failing protocol is shrunk to a local minimum preserving the failure
+// signature and written as a registry-style .scr reproducer under -out.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/protofuzz"
+	"repro/internal/scribble"
+	"repro/internal/types"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("protofuzz: ")
+	seed := flag.Uint64("seed", 0, "replay one sweep cell by seed")
+	sweep := flag.Uint64("sweep", 0, "run seeds 1..N and summarise")
+	scr := flag.String("scribble", "", "run a Scribble .scr file through the pipeline")
+	out := flag.String("out", ".", "directory for shrunk .scr reproducers")
+	shrinkDiscards := flag.Bool("shrink-discards", false, "also shrink discarded cells (unprojectable / k-MC-unbounded)")
+	maxK := flag.Int("maxk", 0, "override the pipeline k-MC bound (0 = default)")
+	runCap := flag.Int("runcap", 0, "override the per-role action budget (0 = default)")
+	flag.Parse()
+
+	modes := 0
+	for _, on := range []bool{*seed != 0, *sweep != 0, *scr != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		log.Fatal("give exactly one of -seed, -sweep, -scribble")
+	}
+	opts := protofuzz.PipelineOptions{MaxK: *maxK, RunCap: *runCap}
+
+	switch {
+	case *scr != "":
+		data, err := os.ReadFile(*scr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := scribble.Parse(string(data))
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Exit(runCell(p.Name, p.Global, opts, *out, *shrinkDiscards))
+	case *seed != 0:
+		g := protofuzz.Generate(protofuzz.Config{Seed: *seed})
+		os.Exit(runCell(fmt.Sprintf("seed%d", *seed), g, opts, *out, *shrinkDiscards))
+	default:
+		os.Exit(runSweep(*sweep, opts, *out, *shrinkDiscards))
+	}
+}
+
+// runCell pushes one protocol through the full differential pipeline and
+// reports the outcome; on a hard failure it shrinks and writes a
+// reproducer, returning a non-zero exit status.
+func runCell(name string, g types.Global, opts protofuzz.PipelineOptions, out string, shrinkDiscards bool) int {
+	fmt.Printf("## %s (%d roles, size %d)\n%s\n", name, len(types.Roles(g)), protofuzz.Size(g), g)
+	rep, fail := protofuzz.RunPipeline(g, opts)
+	if fail == nil {
+		fmt.Printf("ok: k=%d optK=%d states=%d actions=%d improved=%d recursive=%v\n",
+			rep.K, rep.OptK, rep.States, rep.Actions, rep.Improved, rep.Recursive)
+		return 0
+	}
+	if fail.Discard() && !shrinkDiscards {
+		fmt.Printf("discard at %s: %v\n", fail.Stage, fail.Err)
+		return 0
+	}
+	fmt.Printf("FAIL at %s: %v\n", fail.Stage, fail.Err)
+	min := protofuzz.Shrink(g, protofuzz.FailsWith(fail, opts))
+	src, err := protofuzz.FormatReproducer(reproName(name), min)
+	if err != nil {
+		log.Fatalf("formatting reproducer: %v", err)
+	}
+	path := filepath.Join(out, name+".scr")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shrunk %d -> %d nodes, reproducer written to %s:\n%s", protofuzz.Size(g), protofuzz.Size(min), path, src)
+	if fail.Discard() {
+		return 0
+	}
+	return 1
+}
+
+// runSweep mirrors the tier-1 sweep loop over an arbitrary seed range,
+// shrinking every hard failure it meets instead of stopping at the first.
+func runSweep(n uint64, opts protofuzz.PipelineOptions, out string, shrinkDiscards bool) int {
+	var cells, discards, failures int
+	var recursive, improved, multiRole, actions int
+	for seed := uint64(1); seed <= n; seed++ {
+		g := protofuzz.Generate(protofuzz.Config{Seed: seed})
+		rep, fail := protofuzz.RunPipeline(g, opts)
+		if fail != nil {
+			if fail.Discard() {
+				discards++
+				if shrinkDiscards {
+					runCell(fmt.Sprintf("seed%d", seed), g, opts, out, true)
+				}
+				continue
+			}
+			failures++
+			fmt.Printf("seed %d FAILED:\n", seed)
+			runCell(fmt.Sprintf("seed%d", seed), g, opts, out, shrinkDiscards)
+			continue
+		}
+		cells++
+		actions += rep.Actions
+		if rep.Recursive {
+			recursive++
+		}
+		if rep.Improved > 0 {
+			improved++
+		}
+		if rep.Roles >= 3 {
+			multiRole++
+		}
+	}
+	fmt.Printf("sweep 1..%d: %d ok, %d discards, %d failures; %d recursive, %d improved, %d multi-role, %d actions ×3 modes\n",
+		n, cells, discards, failures, recursive, improved, multiRole, actions)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+// reproName mangles a cell name into a scribble identifier.
+func reproName(name string) string {
+	out := []rune{}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 {
+		return "Repro"
+	}
+	return string(out)
+}

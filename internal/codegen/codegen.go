@@ -2,6 +2,7 @@ package codegen
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"go/format"
 	"go/token"
@@ -310,7 +311,7 @@ func (g *generator) prepare() error {
 	for _, l := range g.labels {
 		id := "Label" + exportIdent(string(l))
 		if prev, ok := labelIdents[id]; ok && prev != l {
-			return fmt.Errorf("codegen: labels %q and %q both mangle to %s", prev, l, id)
+			return fmt.Errorf("%w: labels %q and %q both mangle to %s", ErrIdentCollision, prev, l, id)
 		}
 		labelIdents[id] = l
 		if err := g.reserve(id, "label "+string(l)); err != nil {
@@ -320,9 +321,17 @@ func (g *generator) prepare() error {
 	return nil
 }
 
+// ErrIdentCollision reports that two protocol names (roles, labels, or the
+// identifiers derived from them) mangle to the same exported Go identifier.
+// The protocol itself is fine — it projects and verifies — but the
+// generated API cannot render both names; callers that feed arbitrary
+// protocols through codegen (internal/protofuzz) classify this rejection
+// as by-design rather than a generator bug.
+var ErrIdentCollision = errors.New("codegen: identifier collision")
+
 func (g *generator) reserve(name, owner string) error {
 	if prev, ok := g.names[name]; ok {
-		return fmt.Errorf("codegen: identifier %s needed by %s collides with %s; rename a role or label", name, owner, prev)
+		return fmt.Errorf("%w: identifier %s needed by %s collides with %s; rename a role or label", ErrIdentCollision, name, owner, prev)
 	}
 	g.names[name] = owner
 	return nil

@@ -224,6 +224,11 @@ func TestGenerateRejectsCollidingLabels(t *testing.T) {
 	if err == nil {
 		t.Fatal("colliding labels accepted")
 	}
+	// The rejection is typed: internal/protofuzz classifies it as a
+	// by-design discard rather than a generator bug.
+	if !errors.Is(err, codegen.ErrIdentCollision) {
+		t.Fatalf("collision error is not ErrIdentCollision: %v", err)
+	}
 }
 
 func TestGenerateRejectsUndirected(t *testing.T) {

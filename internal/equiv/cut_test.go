@@ -1,0 +1,212 @@
+package equiv
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fsm"
+	"repro/internal/session"
+	"repro/internal/types"
+)
+
+// cut_test pins the consistent-cut derivation itself — ReferenceRun's
+// budgets-and-traces contract — on hand-built protocols where the cut can
+// be computed by hand: budgets that stop a role mid-choice, roles the
+// budget starves entirely, and recursive protocols cut at every point
+// around the unroll boundary.
+
+func mustSession(t *testing.T, g types.Global) *session.Session {
+	t.Helper()
+	if err := types.ValidateGlobal(g); err != nil {
+		t.Fatalf("ill-formed fixture: %v", err)
+	}
+	sess, err := session.TopDown(g, nil, core.Options{})
+	if err != nil {
+		t.Fatalf("TopDown: %v", err)
+	}
+	return sess
+}
+
+// checkConsistent asserts the cut property on a trace set: for every
+// directed channel, the receiver's observed label sequence is a prefix of
+// the sender's emitted one — every receive in the cut has its send in the
+// cut, and in the same order.
+func checkConsistent(t *testing.T, traces map[types.Role][]string) {
+	t.Helper()
+	sends := map[[2]types.Role][]string{}
+	recvs := map[[2]types.Role][]string{}
+	for role, acts := range traces {
+		for _, act := range acts {
+			i := strings.IndexAny(act, "!?")
+			if i < 0 {
+				t.Fatalf("%s: unparseable action %q", role, act)
+			}
+			peer := types.Role(act[:i])
+			label := act[i+1:]
+			if j := strings.IndexByte(label, '('); j >= 0 {
+				label = label[:j]
+			}
+			if act[i] == '!' {
+				ch := [2]types.Role{role, peer}
+				sends[ch] = append(sends[ch], label)
+			} else {
+				ch := [2]types.Role{peer, role}
+				recvs[ch] = append(recvs[ch], label)
+			}
+		}
+	}
+	for ch, rs := range recvs {
+		ss := sends[ch]
+		if len(rs) > len(ss) {
+			t.Fatalf("channel %s->%s: %d receives but only %d sends", ch[0], ch[1], len(rs), len(ss))
+		}
+		for i := range rs {
+			if rs[i] != ss[i] {
+				t.Fatalf("channel %s->%s: receive %d saw %q, send %d was %q", ch[0], ch[1], i, rs[i], i, ss[i])
+			}
+		}
+	}
+}
+
+// choiceLoop is a recursive protocol whose loop body opens with a real
+// choice: a picks go (loop) or stop (end) each iteration.
+func choiceLoop() types.Global {
+	a, b := types.Role("a"), types.Role("b")
+	return types.GRec{Name: "t", Body: types.Comm{From: a, To: b, Branches: []types.GBranch{
+		{Label: "go", Sort: types.I32, Cont: types.GComm(b, a, "ack", types.Unit, types.GVar{Name: "t"})},
+		{Label: "stop", Sort: types.Unit, Cont: types.GEnd{}},
+	}}}
+}
+
+// pingPong never terminates: every budget cuts it mid-recursion.
+func pingPong() types.Global {
+	a, b := types.Role("a"), types.Role("b")
+	return types.GRec{Name: "t", Body: types.GComm(a, b, "ping", types.I32,
+		types.GComm(b, a, "pong", types.I32, types.GVar{Name: "t"}))}
+}
+
+// TestReferenceCutMidChoice hand-computes the cut when the budget expires
+// in the middle of a choice iteration: with two actions per role, a
+// performs the first loop iteration's send and receive and b answers, and
+// the run is severed exactly at the next choice point — b is parked
+// awaiting a branch selection a's exhausted budget will never send. The
+// derived cut must be the completed first iteration, nothing more.
+func TestReferenceCutMidChoice(t *testing.T) {
+	budgets, traces, err := ReferenceRun(mustSession(t, choiceLoop()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTraces := map[types.Role][]string{
+		"a": {"b!go(i32)", "b?ack"},
+		"b": {"a?go(i32)", "a!ack"},
+	}
+	for role, want := range wantTraces {
+		if got := strings.Join(traces[role], " "); got != strings.Join(want, " ") {
+			t.Fatalf("%s: trace %q, want %q", role, got, strings.Join(want, " "))
+		}
+		if budgets[role] != len(want) {
+			t.Fatalf("%s: budget %d, want %d", role, budgets[role], len(want))
+		}
+	}
+	checkConsistent(t, traces)
+}
+
+// TestReferenceCutZeroBudget pins the starved-role case: c's only action
+// is a receive that b — itself budget-stopped upstream — never sends, so
+// the cut must assign c budget zero and an empty trace rather than hanging
+// or faulting.
+func TestReferenceCutZeroBudget(t *testing.T) {
+	a, b, c := types.Role("a"), types.Role("b"), types.Role("c")
+	g := types.GComm(a, b, "m1", types.I32,
+		types.GComm(a, b, "m2", types.I32,
+			types.GComm(a, b, "m3", types.I32,
+				types.GComm(b, c, "done", types.Unit, types.GEnd{}))))
+	budgets, traces, err := ReferenceRun(mustSession(t, g), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budgets[c] != 0 || len(traces[c]) != 0 {
+		t.Fatalf("starved role c: budget %d, trace %v; want 0 and empty", budgets[c], traces[c])
+	}
+	if budgets[a] != 2 || budgets[b] != 2 {
+		t.Fatalf("upstream budgets a=%d b=%d, want 2 and 2", budgets[a], budgets[b])
+	}
+	checkConsistent(t, traces)
+}
+
+// TestReferenceCutUnrollBoundary sweeps the cap across recursion unroll
+// boundaries of an infinite loop: at every cap both roles exhaust their
+// budget exactly, every cut is consistent, the derivation is
+// deterministic, and each cut's traces are prefixes of the next larger
+// cut's — growing the budget only extends the cut, never rewrites it.
+func TestReferenceCutUnrollBoundary(t *testing.T) {
+	g := pingPong()
+	var prev map[types.Role][]string
+	for cap := 1; cap <= 8; cap++ {
+		budgets, traces, err := ReferenceRun(mustSession(t, g), cap)
+		if err != nil {
+			t.Fatalf("cap %d: %v", cap, err)
+		}
+		for role, n := range budgets {
+			if n != cap {
+				t.Fatalf("cap %d: role %s stopped at %d actions", cap, role, n)
+			}
+			if len(traces[role]) != n {
+				t.Fatalf("cap %d: role %s budget %d but %d trace entries", cap, role, n, len(traces[role]))
+			}
+		}
+		checkConsistent(t, traces)
+		_, again, err := ReferenceRun(mustSession(t, g), cap)
+		if err != nil {
+			t.Fatalf("cap %d rerun: %v", cap, err)
+		}
+		for role := range traces {
+			if strings.Join(traces[role], " ") != strings.Join(again[role], " ") {
+				t.Fatalf("cap %d: non-deterministic cut for %s", cap, role)
+			}
+		}
+		for role, cut := range prev {
+			if len(cut) > len(traces[role]) {
+				t.Fatalf("cap %d: role %s trace shrank from the previous cap", cap, role)
+			}
+			for i := range cut {
+				if cut[i] != traces[role][i] {
+					t.Fatalf("cap %d: role %s cut is not a prefix of the larger cut at %d: %q vs %q",
+						cap, role, i, cut[i], traces[role][i])
+				}
+			}
+		}
+		prev = traces
+	}
+}
+
+// lastOption is a TraceRecorder that always takes the final option of a
+// real choice — the opposite rule to TraceStrategy's cycle.
+type lastOption struct{ TraceStrategy }
+
+func (s *lastOption) Choose(_ fsm.State, options []fsm.Transition) int {
+	return len(options) - 1
+}
+
+// TestReferenceRunWithRecorder pins the strategy-factory hook: a custom
+// recorder steers the run (here: always take the last branch, so the
+// choice loop stops immediately) and the derived cut reflects those
+// choices while staying consistent.
+func TestReferenceRunWithRecorder(t *testing.T) {
+	budgets, traces, err := ReferenceRunWith(mustSession(t, choiceLoop()), 10,
+		func(types.Role) TraceRecorder { return &lastOption{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[types.Role]string{"a": "b!stop", "b": "a?stop"}
+	for role, w := range want {
+		if got := strings.Join(traces[role], " "); got != w {
+			t.Fatalf("%s: trace %q, want %q", role, got, w)
+		}
+		if budgets[role] != 1 {
+			t.Fatalf("%s: budget %d, want 1", role, budgets[role])
+		}
+	}
+	checkConsistent(t, traces)
+}

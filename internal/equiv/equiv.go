@@ -87,14 +87,31 @@ func BuildSession(e protocols.Entry) (*session.Session, error) {
 	return sess, nil
 }
 
+// TraceRecorder is a deterministic strategy that records the actions it
+// performs. ReferenceRunWith accepts any recorder, so harnesses
+// (internal/protofuzz) can substitute their own choice rule — e.g. one
+// invariant under machine rewrites — while reusing the consistent-cut
+// derivation.
+type TraceRecorder interface {
+	session.Strategy
+	Trace() []string
+}
+
 // ReferenceRun steps every role sequentially (round-robin, one goroutine)
 // until the session quiesces, with each role capped at maxCap actions. It
 // returns the per-role action counts — the consistent cut — and the
 // per-role reference traces.
 func ReferenceRun(sess *session.Session, maxCap int) (map[types.Role]int, map[types.Role][]string, error) {
+	return ReferenceRunWith(sess, maxCap, func(types.Role) TraceRecorder { return &TraceStrategy{} })
+}
+
+// ReferenceRunWith is ReferenceRun with a caller-supplied strategy factory;
+// mk is called once per role. The factory's strategies must be
+// deterministic, or the returned budgets are not a replayable cut.
+func ReferenceRunWith(sess *session.Session, maxCap int, mk func(types.Role) TraceRecorder) (map[types.Role]int, map[types.Role][]string, error) {
 	type refTask struct {
 		st    *session.Stepper
-		strat *TraceStrategy
+		strat TraceRecorder
 		role  types.Role
 		done  bool
 	}
@@ -104,7 +121,7 @@ func ReferenceRun(sess *session.Session, maxCap int) (map[types.Role]int, map[ty
 		if err != nil {
 			return nil, nil, fmt.Errorf("equiv: %s: %w", r, err)
 		}
-		strat := &TraceStrategy{}
+		strat := mk(r)
 		st, err := session.NewStepper(ep, sess.FSM(r), strat, maxCap)
 		if err != nil {
 			return nil, nil, fmt.Errorf("equiv: %s: NewStepper: %w", r, err)

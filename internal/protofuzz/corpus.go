@@ -1,0 +1,125 @@
+package protofuzz
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// NamedGlobal is a corpus entry: a deterministic hand-built global type
+// exercising a shape the random generator reaches only rarely.
+type NamedGlobal struct {
+	Name   string
+	Global types.Global
+}
+
+// CorpusGlobals returns the deterministic extreme-shape corpus used to seed
+// the fuzz targets (FuzzPipeline, FuzzScribbleRoundTrip, FuzzWireRoundTrip):
+// deep nested recursion, a maximum-arity choice, nested vector payloads and
+// a wide role pipeline. Every entry validates and projects.
+func CorpusGlobals() []NamedGlobal {
+	a, b, c := types.Role("a"), types.Role("b"), types.Role("c")
+
+	// Two nested loops: the outer restarts the session, the inner streams
+	// vectors until the chooser breaks out of one loop or both.
+	deepRec := types.GRec{Name: "outer", Body: types.GComm(a, b, "go", types.Unit,
+		types.GRec{Name: "inner", Body: types.Comm{From: b, To: a, Branches: []types.GBranch{
+			{Label: "val", Sort: types.VecOf(types.I32), Cont: types.GVar{Name: "inner"}},
+			{Label: "again", Sort: types.Unit, Cont: types.GVar{Name: "outer"}},
+			{Label: "stop", Sort: types.Unit, Cont: types.GEnd{}},
+		}}},
+	)}
+
+	// One choice carrying every label in the generator pool at once — the
+	// widest branch any generated protocol can have.
+	maxArity := func() types.Global {
+		branches := make([]types.GBranch, len(labelPool))
+		for i, l := range labelPool {
+			branches[i] = types.GBranch{Label: l, Sort: types.I32, Cont: types.GComm(b, a, "ack", types.Unit, types.GEnd{})}
+		}
+		return types.Comm{From: a, To: b, Branches: branches}
+	}()
+
+	// Nested vector payloads through a three-role relay, the shapes that
+	// stress the sort registry and the wire codecs.
+	nestedVec := types.GComm(a, b, "grid", types.VecOf(types.VecOf(types.F64)),
+		types.GComm(b, c, "col", types.VecOf(types.Complex128),
+			types.GComm(c, a, "flat", types.VecOf(types.I32), types.GEnd{})))
+
+	// A six-stage pipeline: the longest role chain the default generator
+	// config can produce, with every handoff single-branch.
+	wide := func() types.Global {
+		roles := make([]types.Role, 6)
+		for i := range roles {
+			roles[i] = types.Role(fmt.Sprintf("r%d", i))
+		}
+		g := types.Global(types.GEnd{})
+		for i := len(roles) - 2; i >= 0; i-- {
+			g = types.GComm(roles[i], roles[i+1], "val", types.I64, g)
+		}
+		return g
+	}()
+
+	// A recursion whose body hides the loop behind a real choice — the
+	// shape where budget cuts land mid-choice.
+	choiceLoop := types.GRec{Name: "t", Body: types.Comm{From: a, To: b, Branches: []types.GBranch{
+		{Label: "req", Sort: types.Str, Cont: types.GComm(b, a, "ack", types.Bool, types.GVar{Name: "t"})},
+		{Label: "stop", Sort: types.Unit, Cont: types.GEnd{}},
+	}}}
+
+	return []NamedGlobal{
+		{Name: "deep_recursion", Global: deepRec},
+		{Name: "max_arity", Global: maxArity},
+		{Name: "nested_vec", Global: nestedVec},
+		{Name: "wide_pipeline", Global: wide},
+		{Name: "choice_loop", Global: choiceLoop},
+	}
+}
+
+// DeepGlobal builds a two-role alternating chain of n single-branch
+// communications: each projection is a machine with n+1 states. It is the
+// scalability input for the k-MC checker and the session pipeline — state
+// counts the registry never reaches.
+func DeepGlobal(n int) types.Global {
+	p, q := types.Role("p"), types.Role("q")
+	g := types.Global(types.GEnd{})
+	for i := n - 1; i >= 0; i-- {
+		from, to := p, q
+		if i%2 == 1 {
+			from, to = to, from
+		}
+		g = types.GComm(from, to, "m", types.I64, g)
+	}
+	return g
+}
+
+// DeepLocal builds a single-role alternating send/recv chain with n actions
+// (n+1 states) against peer q. Reflexively checking it drives core.Check's
+// n×n history to its quadratic worst case, which is what the BENCH_check
+// scalability sweep measures.
+func DeepLocal(n int) types.Local {
+	q := types.Role("q")
+	l := types.Local(types.End{})
+	for i := n - 1; i >= 0; i-- {
+		if i%2 == 0 {
+			l = types.LSend(q, "m", types.I64, l)
+		} else {
+			l = types.LRecv(q, "m", types.I64, l)
+		}
+	}
+	return l
+}
+
+// PipelinedLocal builds a recv-then-k-sends loop: rec t. q?req(i32).
+// q!ack(i64)…(k times)….t. The AMR optimiser hoists the send block across
+// the receive, so deep unrolls of this shape are the optimiser's
+// worst-case search input for the scalability sweep.
+func PipelinedLocal(k int) types.Local {
+	q := types.Role("q")
+	body := types.Local(types.Var{Name: "t"})
+	for i := 0; i < k; i++ {
+		body = types.LSend(q, types.Label(fmt.Sprintf("ack%d", i)), types.I64, body)
+	}
+	body = types.LRecv(q, "req", types.I32, body)
+	return types.Rec{Name: "t", Body: body}
+}

@@ -1,0 +1,120 @@
+package protofuzz
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strconv"
+
+	"repro/internal/project"
+	"repro/internal/scribble"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// corpusfiles derives the checked-in seed corpora for the wire-format
+// fuzzers from the protocol generator. FuzzScribbleRoundTrip and
+// FuzzWireRoundTrip live in packages the generator transitively imports
+// (scribble and wire sit below session in the dependency order), so they
+// cannot call the generator from their f.Add loops; instead the generated
+// seeds are materialised as go-fuzz corpus files under each package's
+// testdata/fuzz/<Target>/ directory — picked up both by seed replay in
+// plain `go test` and as the fuzzing start set — and TestSeedCorpusInSync
+// here keeps the files from drifting as the generator evolves.
+
+// corpusGenSeeds are the generator seeds rendered into both corpora. They
+// are ordinary sweep seeds: each names a deterministic projectable
+// protocol via GenerateProjectable(Config{Seed: s}, 20).
+var corpusGenSeeds = []uint64{1, 2, 3, 5, 8, 13}
+
+// ScribbleSeedCorpus returns the generated scribble sources keyed by
+// corpus file name: formatted projectable protocols for every corpus seed
+// plus the deterministic extreme-shape corpus.
+func ScribbleSeedCorpus() (map[string]string, error) {
+	out := map[string]string{}
+	for _, seed := range corpusGenSeeds {
+		g, _, ok := GenerateProjectable(Config{Seed: seed}, 20)
+		if !ok {
+			return nil, fmt.Errorf("no projectable protocol within 20 proposals of seed %d", seed)
+		}
+		src, err := scribble.FormatGlobal(fmt.Sprintf("pfgen%d", seed), g)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		out[fmt.Sprintf("pf_gen_%04d", seed)] = src
+	}
+	for _, ng := range CorpusGlobals() {
+		src, err := scribble.FormatGlobal(ng.Name, ng.Global)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", ng.Name, err)
+		}
+		out["pf_corpus_"+ng.Name] = src
+	}
+	return out, nil
+}
+
+// WireSeedCorpus returns generated wire-frame byte streams keyed by corpus
+// file name: for each corpus seed, the projectable protocol's r0 endpoint
+// is compiled to a label table and every label is encoded as one data
+// frame with a non-trivial exemplar payload, batched into a single stream
+// the frame parser must consume frame by frame.
+func WireSeedCorpus() (map[string][]byte, error) {
+	out := map[string][]byte{}
+	for _, seed := range corpusGenSeeds {
+		g, _, ok := GenerateProjectable(Config{Seed: seed}, 20)
+		if !ok {
+			return nil, fmt.Errorf("no projectable protocol within 20 proposals of seed %d", seed)
+		}
+		locals, err := project.ProjectAll(g)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		tab, err := wire.TableFromLocals(fmt.Sprintf("pfgen%d", seed), locals)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: table: %w", seed, err)
+		}
+		labels := tab.Labels()
+		sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+		var stream []byte
+		for _, label := range labels {
+			s, _ := tab.Sort(label)
+			stream, err = tab.AppendData(stream, label, sortExemplar(s))
+			if err != nil {
+				return nil, fmt.Errorf("seed %d: %s: %w", seed, label, err)
+			}
+		}
+		out[fmt.Sprintf("pf_gen_%04d", seed)] = stream
+	}
+	return out, nil
+}
+
+// sortExemplar builds a small non-trivial value of a sort from its
+// registered Zero: scalars stay zero, vectors carry two zero elements so
+// nested length framing is exercised.
+func sortExemplar(s types.Sort) any {
+	if s == "" || s == types.Unit {
+		return nil
+	}
+	info, ok := types.LookupSort(s)
+	if !ok {
+		return nil
+	}
+	rv := reflect.ValueOf(info.Zero)
+	if rv.Kind() == reflect.Slice {
+		elem := reflect.Zero(rv.Type().Elem())
+		out := reflect.MakeSlice(rv.Type(), 0, 2)
+		out = reflect.Append(out, elem, elem)
+		return out.Interface()
+	}
+	return info.Zero
+}
+
+// EncodeCorpusString renders a string as a go-fuzz v1 corpus file.
+func EncodeCorpusString(s string) []byte {
+	return []byte("go test fuzz v1\nstring(" + strconv.Quote(s) + ")\n")
+}
+
+// EncodeCorpusBytes renders a byte slice as a go-fuzz v1 corpus file.
+func EncodeCorpusBytes(b []byte) []byte {
+	return []byte("go test fuzz v1\n[]byte(" + strconv.Quote(string(b)) + ")\n")
+}

@@ -1,0 +1,55 @@
+package protofuzz
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSeedCorpusInSync pins the checked-in fuzz seed corpora to the
+// generator: the files under internal/scribble and internal/wire's
+// testdata/fuzz directories must be byte-identical to what the current
+// generator produces. Regenerate with
+//
+//	PF_UPDATE_CORPUS=1 go test ./internal/protofuzz -run TestSeedCorpusInSync
+//
+// after a deliberate generator change (the new files replay as seeds in
+// the target packages' plain `go test`, which validates them).
+func TestSeedCorpusInSync(t *testing.T) {
+	scrib, err := ScribbleSeedCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireFrames, err := WireSeedCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := map[string][]byte{}
+	for name, src := range scrib {
+		files[filepath.Join("..", "scribble", "testdata", "fuzz", "FuzzScribbleRoundTrip", name)] = EncodeCorpusString(src)
+	}
+	for name, frames := range wireFrames {
+		files[filepath.Join("..", "wire", "testdata", "fuzz", "FuzzWireRoundTrip", name)] = EncodeCorpusBytes(frames)
+	}
+
+	update := os.Getenv("PF_UPDATE_CORPUS") != ""
+	for path, want := range files {
+		if update {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, want, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v\nregenerate: PF_UPDATE_CORPUS=1 go test ./internal/protofuzz -run TestSeedCorpusInSync", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s is stale\nregenerate: PF_UPDATE_CORPUS=1 go test ./internal/protofuzz -run TestSeedCorpusInSync", path)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package protofuzz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/protocols"
+	"repro/internal/scribble"
+	"repro/internal/types"
+)
+
+// fuzzProtoName mangles a Table-1 display name into a scribble identifier.
+func fuzzProtoName(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() == 0 {
+		return "P"
+	}
+	return b.String()
+}
+
+// FuzzPipeline feeds arbitrary scribble sources to the entire stack: any
+// protocol the parser accepts must either be rejected for a legitimate
+// reason (unprojectable, unbounded) or survive projection, k-MC, certified
+// optimisation, codegen, three-mode execution, and the guided plain-replay
+// equality — RunPipeline's staged taxonomy decides which. The corpus is
+// seeded with every registry protocol that has a global type, the
+// extreme-shape corpus, and a band of generated protocols, all rendered by
+// scribble.Format so the fuzzer starts from semantically deep inputs
+// rather than parser noise.
+func FuzzPipeline(f *testing.F) {
+	for _, e := range protocols.Registry() {
+		if e.Global == nil {
+			continue
+		}
+		src, err := scribble.FormatGlobal(fuzzProtoName(e.Name), e.Global)
+		if err != nil {
+			f.Fatalf("seeding %s: %v", e.Name, err)
+		}
+		f.Add(src)
+	}
+	for _, ng := range CorpusGlobals() {
+		src, err := scribble.FormatGlobal(ng.Name, ng.Global)
+		if err != nil {
+			f.Fatalf("seeding %s: %v", ng.Name, err)
+		}
+		f.Add(src)
+	}
+	for seed := uint64(1); seed <= 8; seed++ {
+		if g, _, ok := GenerateProjectable(Config{Seed: seed}, 20); ok {
+			src, err := scribble.FormatGlobal("gen", g)
+			if err != nil {
+				f.Fatalf("seeding generated %d: %v", seed, err)
+			}
+			f.Add(src)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := scribble.Parse(src)
+		if err != nil {
+			return
+		}
+		// Bound the per-exec cost: arbitrary accepted protocols can be far
+		// larger than anything the generator emits, and k-MC cost grows
+		// with the role count and state product.
+		if Size(p.Global) > 120 || len(types.Roles(p.Global)) > 8 {
+			t.Skip("oversized input")
+		}
+		rep, fail := RunPipeline(p.Global, PipelineOptions{RunCap: 24})
+		if fail != nil && !fail.Discard() {
+			t.Fatalf("stage %s: %v\nprotocol:\n%s", fail.Stage, fail.Err, p.Global)
+		}
+		_ = rep
+	})
+}

@@ -1,0 +1,102 @@
+package protofuzz
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kmc"
+	"repro/internal/optimise"
+	"repro/internal/project"
+	"repro/internal/protocols"
+)
+
+// scale_test is the scalability sweep behind BENCH_check.json: the static
+// pipeline's three verification engines pushed to machine sizes the
+// protocol registry never reaches — reflexive subtyping over
+// thousand-state chains, k-MC over thousand-state projected systems, and
+// the AMR search over deep pipelining unrolls. Run via `make bench-check`;
+// bench-smoke gates the allocation columns against the committed snapshot.
+
+// BenchmarkCheckScale drives core.Check's visited-pair history to its
+// quadratic worst case: a reflexive check of an alternating send/recv
+// chain with n actions walks n+1 states against themselves.
+func BenchmarkCheckScale(b *testing.B) {
+	for _, n := range []int{300, 600, 1200} {
+		l := DeepLocal(n)
+		b.Run(fmt.Sprintf("states=%d", n+1), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := core.CheckTypes("p", l, l, core.Options{})
+				if err != nil || !res.OK {
+					b.Fatalf("reflexive check rejected: ok=%v err=%v", res.OK, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKmcScale checks two-role systems whose machines have 1000+
+// states — DeepGlobal(n) projects to a pair of (n+1)-state chains — at the
+// bound where the alternating chain is compatible (k = 1).
+func BenchmarkKmcScale(b *testing.B) {
+	for _, n := range []int{250, 500, 1000} {
+		fsms, err := project.ProjectFSMs(DeepGlobal(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		machines := protocols.Machines(fsms)
+		b.Run(fmt.Sprintf("states=%d", n+1), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sys, err := kmc.NewSystem(machines...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				k, res := kmc.CheckUpTo(sys, 1)
+				if !res.OK || k != 1 {
+					b.Fatalf("chain not 1-MC: k=%d %v", k, res.Violation)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOptimiseScale measures the certified AMR search on its
+// worst-case shape — the recv-then-k-sends loop whose whole send block can
+// hoist across the receive — at increasing unroll depth. Every cell must
+// find a certified improvement, or the sweep is measuring a degenerate
+// search.
+func BenchmarkOptimiseScale(b *testing.B) {
+	for _, tc := range []struct{ sends, unroll int }{
+		{2, 1}, {4, 2}, {8, 2},
+	} {
+		l := PipelinedLocal(tc.sends)
+		b.Run(fmt.Sprintf("sends=%d/unroll=%d", tc.sends, tc.unroll), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := optimise.Optimise("p", l, optimise.Options{MaxUnroll: tc.unroll})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Improved {
+					b.Fatalf("no certified improvement on the pipelining shape")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineDeep runs the full differential pipeline — projection,
+// k-MC, certified optimisation, codegen, three execution modes, guided
+// replay — on a deep straight-line protocol, the end-to-end cost of one
+// oversized fuzz cell.
+func BenchmarkPipelineDeep(b *testing.B) {
+	g := DeepGlobal(120)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, fail := RunPipeline(g, PipelineOptions{}); fail != nil {
+			b.Fatalf("stage %s: %v", fail.Stage, fail.Err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package protofuzz
+
+import (
+	"fmt"
+
+	"repro/internal/scribble"
+	"repro/internal/types"
+)
+
+// Size measures a global type as its number of AST nodes (branches count
+// their continuations; a GEnd/GVar leaf is one node). The shrinker
+// minimises this measure.
+func Size(g types.Global) int {
+	switch g := g.(type) {
+	case types.GEnd, types.GVar:
+		return 1
+	case types.GRec:
+		return 1 + Size(g.Body)
+	case types.Comm:
+		n := 1
+		for _, b := range g.Branches {
+			n += Size(b.Cont)
+		}
+		return n
+	}
+	return 1
+}
+
+// Shrink greedily minimises a failing global type. fails must report
+// whether a candidate still exhibits the original failure (same pipeline
+// Stage — error text is allowed to drift). Shrink repeatedly applies local
+// reductions — replace a subtree with end, hoist a branch continuation over
+// its communication, drop a choice branch, unroll a recursion to its
+// end-instantiated body, shrink a payload sort to unit — keeping any
+// candidate that is still well-formed and still fails, until no reduction
+// makes progress. The result is a local minimum: every single reduction
+// either breaks well-formedness or loses the failure.
+func Shrink(g types.Global, fails func(types.Global) bool) types.Global {
+	if !fails(g) {
+		return g
+	}
+	for {
+		improved := false
+		for _, cand := range reductions(g) {
+			if Size(cand) >= Size(g) {
+				continue
+			}
+			if types.ValidateGlobal(cand) != nil {
+				continue
+			}
+			if fails(cand) {
+				g = cand
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return g
+		}
+	}
+}
+
+// reductions enumerates every single-step reduction of g, smallest results
+// first so the greedy loop takes the biggest jumps available.
+func reductions(g types.Global) []types.Global {
+	var out []types.Global
+	// The whole protocol reduced to a leaf (useful only when the failure is
+	// in validate — everywhere else it won't re-fail — but it costs one
+	// check and makes "a trivial protocol doesn't fail" explicit).
+	if _, isEnd := g.(types.GEnd); !isEnd {
+		out = append(out, types.GEnd{})
+	}
+	out = append(out, reduceAt(g, func(sub types.Global) []types.Global {
+		switch sub := sub.(type) {
+		case types.Comm:
+			var rs []types.Global
+			// Hoist each branch continuation over the communication.
+			for _, b := range sub.Branches {
+				rs = append(rs, b.Cont)
+			}
+			// Drop one branch of a real choice.
+			if len(sub.Branches) > 1 {
+				for i := range sub.Branches {
+					kept := make([]types.GBranch, 0, len(sub.Branches)-1)
+					kept = append(kept, sub.Branches[:i]...)
+					kept = append(kept, sub.Branches[i+1:]...)
+					rs = append(rs, types.Comm{From: sub.From, To: sub.To, Branches: kept})
+				}
+			}
+			// Simplify one payload sort to unit.
+			for i, b := range sub.Branches {
+				if b.Sort != types.Unit {
+					simpler := make([]types.GBranch, len(sub.Branches))
+					copy(simpler, sub.Branches)
+					simpler[i].Sort = types.Unit
+					rs = append(rs, types.Comm{From: sub.From, To: sub.To, Branches: simpler})
+				}
+			}
+			// Terminate each branch continuation.
+			for i, b := range sub.Branches {
+				if _, isEnd := b.Cont.(types.GEnd); !isEnd {
+					ended := make([]types.GBranch, len(sub.Branches))
+					copy(ended, sub.Branches)
+					ended[i].Cont = types.GEnd{}
+					rs = append(rs, types.Comm{From: sub.From, To: sub.To, Branches: ended})
+				}
+			}
+			return rs
+		case types.GRec:
+			// Unwrap the binder: one copy of the body with the loop cut.
+			return []types.Global{types.SubstGlobal(sub.Body, sub.Name, types.GEnd{})}
+		}
+		return nil
+	})...)
+	return out
+}
+
+// reduceAt applies f at every subterm of g, returning one whole-protocol
+// candidate per local reduction.
+func reduceAt(g types.Global, f func(types.Global) []types.Global) []types.Global {
+	out := f(g)
+	switch g := g.(type) {
+	case types.GRec:
+		for _, body := range reduceAt(g.Body, f) {
+			out = append(out, types.GRec{Name: g.Name, Body: body})
+		}
+	case types.Comm:
+		for i, b := range g.Branches {
+			for _, cont := range reduceAt(b.Cont, f) {
+				branches := make([]types.GBranch, len(g.Branches))
+				copy(branches, g.Branches)
+				branches[i].Cont = cont
+				out = append(out, types.Comm{From: g.From, To: g.To, Branches: branches})
+			}
+		}
+	}
+	return out
+}
+
+// FailsWith returns a predicate for Shrink that preserves the failure
+// signature of the original run: the candidate must fail RunPipeline in the
+// same stage.
+func FailsWith(orig *Failure, opts PipelineOptions) func(types.Global) bool {
+	return func(g types.Global) bool {
+		_, fail := RunPipeline(g, opts)
+		return fail != nil && fail.Signature() == orig.Signature()
+	}
+}
+
+// FormatReproducer renders a shrunk global as a registry-style .scr module
+// so a fuzzing failure lands in the tree as a parseable regression pin.
+func FormatReproducer(name string, g types.Global) (string, error) {
+	src, err := scribble.FormatGlobal(name, g)
+	if err != nil {
+		return "", fmt.Errorf("protofuzz: formatting reproducer: %w", err)
+	}
+	return src, nil
+}

@@ -1,0 +1,109 @@
+package protofuzz
+
+import (
+	"sort"
+
+	"repro/internal/equiv"
+	"repro/internal/fsm"
+	"repro/internal/types"
+)
+
+// pfStrategy is equiv.TraceStrategy with a rewrite-invariant choice rule:
+// the n-th real choice of a role picks the (n mod arity)-th branch in
+// label-sorted order. equiv.TraceStrategy cycles by the FSM's transition
+// order, which certified AMR rewrites (unrolling rebuilds states) are free
+// to permute — so the same role could legitimately choose different labels
+// in its plain and optimised machines, and the plain-vs-optimised channel
+// oracle would report phantom divergence. Sorting by label makes the chosen
+// label a function of (occurrence index, branch label set) only, both of
+// which certified rewrites preserve.
+type pfStrategy struct {
+	equiv.TraceStrategy
+	n int
+}
+
+// Choose cycles real choices in label-sorted order; singletons neither
+// advance the cycle nor consult it, mirroring equiv.TraceStrategy.
+func (s *pfStrategy) Choose(_ fsm.State, options []fsm.Transition) int {
+	if len(options) == 1 {
+		return 0
+	}
+	idx := make([]int, len(options))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return options[idx[a]].Act.Label < options[idx[b]].Act.Label
+	})
+	s.n++
+	return idx[(s.n-1)%len(options)]
+}
+
+// guidedStrategy drives a plain machine to reproduce an optimised run. A
+// certified AMR rewrite may commit a choice early (hoisting one branch's
+// send above a receive), so the optimised endpoint legitimately resolves
+// choices differently from an independently-cycled plain run — naive trace
+// comparison reports phantom divergence. What the rewrite must preserve is
+// per-channel send order, so the true differential statement is: every
+// optimised behaviour is a plain behaviour under SOME choice resolution.
+// guidedStrategy supplies that resolution: at each real choice it picks the
+// branch matching the optimised run's next send on that channel; the
+// pipeline then requires the guided plain run's channel traces to match the
+// optimised run's exactly (up to budget cuts). A queue mismatch — the
+// optimised run sent a label outside the plain branch set — falls back to a
+// deterministic pick and surfaces in that comparison.
+type guidedStrategy struct {
+	equiv.TraceStrategy
+	queues map[types.Role][]string
+}
+
+func (s *guidedStrategy) Choose(_ fsm.State, options []fsm.Transition) int {
+	if len(options) == 1 {
+		return 0
+	}
+	// A directed choice sends to a single peer, so options[0] names the
+	// channel being guided.
+	if q := s.queues[options[0].Act.Peer]; len(q) > 0 {
+		for i, o := range options {
+			if string(o.Act.Label) == q[0] {
+				return i
+			}
+		}
+	}
+	best := 0
+	for i, o := range options {
+		if o.Act.Label < options[best].Act.Label {
+			best = i
+		}
+	}
+	return best
+}
+
+// Payload fires exactly once per performed send, so it is where the guide
+// queue for the send's channel advances — singleton sends consume their
+// queue entry too, keeping the guide aligned with the channel position.
+func (s *guidedStrategy) Payload(act fsm.Action) any {
+	if q := s.queues[act.Peer]; len(q) > 0 {
+		s.queues[act.Peer] = q[1:]
+	}
+	return s.TraceStrategy.Payload(act)
+}
+
+// guideQueues decomposes an optimised run's per-role traces into the
+// per-role, per-peer send-label queues that guide the plain replay.
+func guideQueues(traces map[types.Role][]string) (map[types.Role]map[types.Role][]string, error) {
+	out := map[types.Role]map[types.Role][]string{}
+	for role, trace := range traces {
+		out[role] = map[types.Role][]string{}
+		for _, act := range trace {
+			peer, isSend, label, err := parseAct(act)
+			if err != nil {
+				return nil, err
+			}
+			if isSend {
+				out[role][peer] = append(out[role][peer], label)
+			}
+		}
+	}
+	return out, nil
+}

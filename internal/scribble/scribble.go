@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 
 	"repro/internal/types"
 )
@@ -61,27 +62,38 @@ func MustParse(src string) *Protocol {
 	return p
 }
 
+// lex decodes src as UTF-8 — byte-wise decoding would silently read each
+// invalid byte as its Latin-1 letter (0xFB lexes as 'û'), admitting
+// identifiers that are not valid UTF-8 and so cannot appear in generated
+// Go source (the whole-stack fuzzer found exactly that), while mis-lexing
+// genuine multi-byte letters.
 func lex(src string) ([]string, error) {
 	var toks []string
 	i := 0
 	for i < len(src) {
-		c := rune(src[i])
+		c, size := utf8.DecodeRuneInString(src[i:])
+		if c == utf8.RuneError && size <= 1 {
+			return nil, fmt.Errorf("scribble: invalid UTF-8 byte 0x%02x at offset %d", src[i], i)
+		}
 		switch {
 		case unicode.IsSpace(c):
-			i++
+			i += size
 		case c == '/' && i+1 < len(src) && src[i+1] == '/':
 			for i < len(src) && src[i] != '\n' {
 				i++
 			}
 		case strings.ContainsRune("(){},;<>", c):
 			toks = append(toks, string(c))
-			i++
+			i += size
 		case unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_':
 			j := i
 			for j < len(src) {
-				r := rune(src[j])
+				r, sz := utf8.DecodeRuneInString(src[j:])
+				if r == utf8.RuneError && sz <= 1 {
+					return nil, fmt.Errorf("scribble: invalid UTF-8 byte 0x%02x at offset %d", src[j], j)
+				}
 				if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
-					j++
+					j += sz
 				} else {
 					break
 				}

@@ -130,10 +130,28 @@ func TestParseErrors(t *testing.T) {
 		"trailing":         `global protocol P(role a, role b) { msg() from a to b; } extra`,
 		"stmt after rec":   `global protocol P(role a, role b) { rec t { msg() from a to b; continue t; } other() from a to b; }`,
 		"mixed receivers":  `global protocol P(role a, role b, role c) { choice at a { m() from a to b; } or { n() from a to c; } }`,
+		// Invalid UTF-8 must be rejected, not read as Latin-1: byte 0xFB
+		// used to lex as the letter 'û', admitting identifiers that cannot
+		// appear in generated Go source (found by FuzzPipeline).
+		"invalid utf8": "global protocol P(role a, role b) { \xfb() from a to b; }",
 	}
 	for name, src := range bad {
 		if _, err := Parse(src); err == nil {
 			t.Errorf("%s: expected error", name)
 		}
+	}
+}
+
+// TestParseUnicodeIdent pins the flip side of UTF-8-aware lexing: genuine
+// multi-byte letters are single identifiers (the old byte-wise lexer split
+// them into Latin-1 bytes and rejected the non-letter halves).
+func TestParseUnicodeIdent(t *testing.T) {
+	p, err := Parse(`global protocol P(role a, role b) { α() from a to b; }`)
+	if err != nil {
+		t.Fatalf("unicode label rejected: %v", err)
+	}
+	comm, ok := p.Global.(types.Comm)
+	if !ok || len(comm.Branches) != 1 || comm.Branches[0].Label != "α" {
+		t.Fatalf("unicode label mis-lexed: %s", p.Global)
 	}
 }
